@@ -1,0 +1,12 @@
+"""Benchmark for the partitioning-strategy ablation (DESIGN.md design-choice study)."""
+
+from conftest import run_figure_benchmark
+
+from repro.experiments import ablation
+
+
+def test_bench_partitioning_ablation(benchmark):
+    result = run_figure_benchmark(benchmark, ablation.run)
+    by_strategy = {row["strategy"]: row["memory_gb"] for row in result.rows}
+    assert by_strategy["dp"] <= min(by_strategy.values()) * 1.02
+    assert by_strategy["model-wise"] == max(by_strategy.values())

@@ -1,0 +1,47 @@
+"""Micro-benchmarks of the core algorithms themselves.
+
+These complement the per-figure benchmarks by timing the paper's own
+algorithmic building blocks at paper scale: the Algorithm-2 dynamic program
+over a 20M-row table (the paper reports ~18 s for its implementation), the
+bucketization of a full query batch and the analytic memory-utility
+computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bucketization import Bucketizer
+from repro.core.planner import ElasticRecPlanner
+from repro.data.distributions import ZipfDistribution
+from repro.hardware.specs import cpu_only_cluster
+from repro.model.configs import rm1
+
+
+def test_bench_dp_partitioning_paper_scale(benchmark):
+    """Algorithm 2 on a 20M-row table at the default boundary granularity."""
+    planner = ElasticRecPlanner(cpu_only_cluster())
+    config = rm1()
+    result = benchmark(planner.partition, config)
+    assert result.boundaries[-1] == config.embedding.rows_per_table
+    assert 1 <= result.num_shards <= 16
+
+
+def test_bench_bucketization_full_query(benchmark):
+    """Routing one RM1 query's lookups (32 items x 128 gathers) onto 4 shards."""
+    rows = 20_000_000
+    distribution = ZipfDistribution.from_locality(rows, 0.9)
+    rng = np.random.default_rng(0)
+    indices = distribution.sample(32 * 128, rng)
+    offsets = np.arange(32, dtype=np.int64) * 128
+    bucketizer = Bucketizer([0, 200_000, 2_000_000, 8_000_000, rows])
+    routed = benchmark(bucketizer.bucketize, indices, offsets)
+    assert sum(r.num_lookups for r in routed) == indices.size
+
+
+def test_bench_expected_unique_paper_scale(benchmark):
+    """Analytic memory-utility evaluation over a 20M-row access distribution."""
+    distribution = ZipfDistribution.from_locality(20_000_000, 0.9)
+    draws = 1000 * 32 * 128
+    touched = benchmark(distribution.expected_unique, draws, 0, 2_000_000)
+    assert 0 < touched <= 2_000_000

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 3 (dense vs sparse FLOP/memory/latency shares)."""
+
+from conftest import run_figure_benchmark
+
+from repro.experiments import fig03
+
+
+def test_bench_fig3_layer_occupancy(benchmark):
+    result = run_figure_benchmark(benchmark, fig03.run, rounds=3)
+    assert len(result.rows) == 3
+    for row in result.rows:
+        assert row["sparse_memory_pct"] > 99.0
+        assert row["dense_flops_pct"] > 75.0

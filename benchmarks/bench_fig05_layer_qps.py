@@ -1,0 +1,11 @@
+"""Benchmark regenerating Figure 5 (per-layer QPS on both systems)."""
+
+from conftest import run_figure_benchmark
+
+from repro.experiments import fig05
+
+
+def test_bench_fig5_layer_qps(benchmark):
+    result = run_figure_benchmark(benchmark, fig05.run, rounds=3)
+    assert len(result.rows) == 6
+    assert all(row["qps_mismatch"] > 1.3 for row in result.rows)

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 6 (sorted embedding access-frequency curves)."""
+
+from conftest import run_figure_benchmark
+
+from repro.experiments import fig06
+
+
+def test_bench_fig6_access_frequency(benchmark):
+    result = run_figure_benchmark(benchmark, fig06.run, rounds=3)
+    assert result.summary["movielens_top10pct_coverage"] > 90.0

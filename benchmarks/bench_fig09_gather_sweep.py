@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 9 (gather QPS sweep and QPS(x) regression)."""
+
+from conftest import run_figure_benchmark
+
+from repro.experiments import fig09
+
+
+def test_bench_fig9_gather_sweep(benchmark):
+    result = run_figure_benchmark(benchmark, fig09.run, rounds=3)
+    at_100 = {
+        row["embedding_dim"]: row["qps"]
+        for row in result.rows
+        if row["num_vectors_gathered"] == 100
+    }
+    assert at_100[32] > at_100[128] > at_100[512]

@@ -1,0 +1,26 @@
+"""Benchmarks regenerating the four Figure 12 microbenchmark sweeps."""
+
+from conftest import run_figure_benchmark
+
+from repro.experiments import fig12
+
+
+def test_bench_fig12a_mlp_size(benchmark):
+    result = run_figure_benchmark(benchmark, fig12.run_mlp_size)
+    assert result.summary["model_wise_growth"] > result.summary["elasticrec_growth"]
+
+
+def test_bench_fig12b_locality(benchmark):
+    result = run_figure_benchmark(benchmark, fig12.run_locality)
+    assert result.rows[-1]["reduction"] > result.rows[0]["reduction"]
+
+
+def test_bench_fig12c_num_tables(benchmark):
+    result = run_figure_benchmark(benchmark, fig12.run_num_tables)
+    assert all(row["reduction"] > 1.0 for row in result.rows)
+
+
+def test_bench_fig12d_num_shards(benchmark):
+    result = run_figure_benchmark(benchmark, fig12.run_num_shards)
+    memories = {row["num_shards"]: row["elasticrec_gb"] for row in result.rows}
+    assert memories[4] < memories[1]

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 13 (CPU-only memory, model-wise vs ElasticRec)."""
+
+from conftest import run_figure_benchmark
+
+from repro.experiments import fig13
+
+
+def test_bench_fig13_cpu_memory(benchmark):
+    result = run_figure_benchmark(benchmark, fig13.run)
+    reductions = {row["model"]: row["reduction"] for row in result.rows}
+    assert all(value > 1.5 for value in reductions.values())
+    assert reductions["RM3"] == max(reductions.values())

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 14 (CPU-only memory utility and replica counts)."""
+
+from conftest import run_figure_benchmark
+
+from repro.experiments import fig14
+
+
+def test_bench_fig14_cpu_utility(benchmark):
+    result = run_figure_benchmark(benchmark, fig14.run)
+    assert result.summary["geomean_utility_gain"] > 3.0

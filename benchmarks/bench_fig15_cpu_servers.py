@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 15 (CPU server count to reach 100 QPS)."""
+
+from conftest import run_figure_benchmark
+
+from repro.experiments import fig15
+
+
+def test_bench_fig15_cpu_servers(benchmark):
+    result = run_figure_benchmark(benchmark, fig15.run)
+    by_model = {row["model"]: row for row in result.rows}
+    assert by_model["RM1"]["reduction"] > 1.2
+    assert by_model["RM3"]["reduction"] > 1.2

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 16 (CPU-GPU memory, model-wise vs ElasticRec)."""
+
+from conftest import run_figure_benchmark
+
+from repro.experiments import fig16
+
+
+def test_bench_fig16_gpu_memory(benchmark):
+    result = run_figure_benchmark(benchmark, fig16.run)
+    assert all(row["reduction"] > 1.2 for row in result.rows)

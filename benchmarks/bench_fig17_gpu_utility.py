@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 17 (CPU-GPU memory utility and replica counts)."""
+
+from conftest import run_figure_benchmark
+
+from repro.experiments import fig17
+
+
+def test_bench_fig17_gpu_utility(benchmark):
+    result = run_figure_benchmark(benchmark, fig17.run)
+    assert result.summary["geomean_utility_gain"] > 3.0

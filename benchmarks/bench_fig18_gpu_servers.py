@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 18 (CPU-GPU server count to reach 200 QPS)."""
+
+from conftest import run_figure_benchmark
+
+from repro.experiments import fig18
+
+
+def test_bench_fig18_gpu_servers(benchmark):
+    result = run_figure_benchmark(benchmark, fig18.run)
+    assert {row["model"] for row in result.rows} == {"RM1", "RM2", "RM3"}

@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 19 (behaviour under fluctuating traffic).
+
+The default run uses the reduced-scale configuration (seconds of wall clock);
+set the environment variable ``ELASTICREC_FIG19_FULL=1`` to run the full
+RM1 / 30-simulated-minute configuration (tens of seconds).
+"""
+
+import os
+
+from conftest import run_figure_benchmark
+
+from repro.experiments import fig19
+
+
+def test_bench_fig19_dynamic_traffic(benchmark):
+    full = os.environ.get("ELASTICREC_FIG19_FULL", "0") == "1"
+    result = run_figure_benchmark(benchmark, lambda: fig19.run(full=full))
+    summary = result.summary
+    assert summary["peak_memory_ratio"] > 1.2
+    assert (
+        summary["elasticrec_sla_violation_fraction"]
+        < summary["model_wise_sla_violation_fraction"]
+    )

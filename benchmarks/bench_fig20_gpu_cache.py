@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 20 (ElasticRec vs model-wise + GPU cache)."""
+
+from conftest import run_figure_benchmark
+
+from repro.experiments import fig20
+
+
+def test_bench_fig20_gpu_cache(benchmark):
+    result = run_figure_benchmark(benchmark, fig20.run)
+    assert result.summary["geomean_elasticrec_vs_cache"] > 1.0
+    for row in result.rows:
+        assert row["model_wise_cache_gb"] < row["model_wise_gb"]

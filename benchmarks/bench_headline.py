@@ -1,0 +1,11 @@
+"""Benchmark recomputing the paper's abstract-level averages."""
+
+from conftest import run_figure_benchmark
+
+from repro.experiments import headline
+
+
+def test_bench_headline_averages(benchmark):
+    result = run_figure_benchmark(benchmark, headline.run)
+    assert result.summary["average_memory_reduction"] > 2.0
+    assert result.summary["average_utility_gain"] > 3.0

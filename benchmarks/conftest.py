@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one figure of the paper via its experiment module
+and reports the figure's headline numbers through ``benchmark.extra_info`` so
+they appear alongside the timing results.  Benchmarks of whole experiments are
+run once per session (``rounds=1``) — the quantity of interest is the
+regenerated table, not micro-timing stability.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.base import ExperimentResult
+
+
+def run_figure_benchmark(
+    benchmark,
+    runner: Callable[[], ExperimentResult],
+    rounds: int = 1,
+) -> ExperimentResult:
+    """Benchmark one experiment runner and attach its summary to the report."""
+    result = benchmark.pedantic(runner, rounds=rounds, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["experiment"] = result.experiment_id
+    for key, value in result.summary.items():
+        benchmark.extra_info[key] = round(float(value), 4)
+    print()
+    print(result.report())
+    return result

@@ -1,0 +1,82 @@
+"""Quickstart: plan an ElasticRec deployment and compare it against model-wise.
+
+This example walks the paper's core pipeline end to end on the RM1 workload
+(Table II) and the CPU-only cluster (Section V-A):
+
+1. profile embedding gathers and fit the ``QPS(x)`` regression (Figure 9);
+2. partition each embedding table with the Algorithm-2 dynamic program;
+3. size replica counts for a 100 queries/s target and build the deployment;
+4. compare memory consumption, memory utility and server count against the
+   model-wise baseline.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from repro import ElasticRecPlanner, ModelWisePlanner, cpu_only_cluster, rm1
+from repro.analysis import (
+    deployment_cost,
+    format_table,
+    memory_breakdown,
+    memory_utility,
+)
+
+TARGET_QPS = 100.0
+
+
+def main() -> None:
+    cluster = cpu_only_cluster()
+    workload = rm1()
+
+    planner = ElasticRecPlanner(cluster)
+    baseline_planner = ModelWisePlanner(cluster)
+
+    # Step 1-2: the pre-deployment pipeline (profiling + DP partitioning).
+    partitioning = planner.partition(workload)
+    print(f"Workload: {workload.name} ({workload.embedding.num_tables} tables of "
+          f"{workload.embedding.rows_per_table / 1e6:.0f}M rows)")
+    print(f"DP-chosen shards per table: {partitioning.num_shards}")
+    for index, estimate in enumerate(partitioning.shard_estimates):
+        print(f"  shard {index}: rows [{estimate.start_row:,}, {estimate.end_row:,}) "
+              f"coverage {estimate.coverage * 100:.1f}% "
+              f"expected gathers/item {estimate.expected_gathers:.1f}")
+
+    # Step 3: full deployment plans for the target QPS.
+    elastic_plan = planner.plan(workload, TARGET_QPS)
+    baseline_plan = baseline_planner.plan(workload, TARGET_QPS)
+
+    rows = []
+    for plan in (baseline_plan, elastic_plan):
+        breakdown = memory_breakdown(plan)
+        cost = deployment_cost(plan)
+        rows.append(
+            {
+                "strategy": plan.strategy,
+                "replicas": plan.total_replicas,
+                "memory_gb": breakdown.total_gb,
+                "servers": cost.num_servers,
+            }
+        )
+    print()
+    print(format_table(rows, title=f"Deployment comparison at {TARGET_QPS:.0f} QPS"))
+    reduction = baseline_plan.total_memory_gb / elastic_plan.total_memory_gb
+    print(f"\nmemory reduction: {reduction:.1f}x "
+          f"(paper reports 2.2x for RM1 on the CPU-only system)")
+
+    # Step 4: memory utility of the first table's shards (Figure 14 style).
+    print()
+    utility_rows = [
+        {
+            "shard": f"S{u.shard_index + 1}",
+            "rows_millions": u.rows / 1e6,
+            "utility_pct": u.utility_pct,
+            "replicas": u.replicas,
+        }
+        for u in memory_utility(elastic_plan)
+    ]
+    print(format_table(utility_rows, title="ElasticRec memory utility (table 0, first 1000 queries)"))
+
+
+if __name__ == "__main__":
+    main()

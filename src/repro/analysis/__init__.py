@@ -1,0 +1,33 @@
+"""Accounting and reporting over deployment plans.
+
+These are the measurement procedures behind the paper's evaluation metrics:
+
+* :mod:`repro.analysis.memory` — total allocated memory of a plan and its
+  breakdown (Figures 12, 13, 16, 20).
+* :mod:`repro.analysis.utility` — memory utility: the fraction of a shard's
+  embedding rows actually touched while serving a query stream
+  (Figures 14, 17).
+* :mod:`repro.analysis.cost` — server counts via bin-packing and relative
+  deployment cost (Figures 15, 18).
+* :mod:`repro.analysis.report` — plain-text table formatting shared by the
+  experiments and benchmarks.
+"""
+
+from repro.analysis.memory import MemoryBreakdown, memory_breakdown, memory_consumption_gb
+from repro.analysis.utility import ShardUtility, memory_utility, average_memory_utility
+from repro.analysis.cost import CostEstimate, deployment_cost, servers_required
+from repro.analysis.report import format_ratio, format_table
+
+__all__ = [
+    "MemoryBreakdown",
+    "memory_breakdown",
+    "memory_consumption_gb",
+    "ShardUtility",
+    "memory_utility",
+    "average_memory_utility",
+    "CostEstimate",
+    "servers_required",
+    "deployment_cost",
+    "format_table",
+    "format_ratio",
+]

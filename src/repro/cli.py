@@ -1,0 +1,152 @@
+"""Command-line interface: plan deployments and export manifests.
+
+Usage (also available as ``python -m repro``):
+
+``python -m repro plan RM1 --system cpu --target-qps 100``
+    Run the ElasticRec planner (and the model-wise baseline for comparison)
+    on a Table II workload and print the resulting deployments, memory and
+    server counts.
+
+``python -m repro manifests RM1 --system cpu --target-qps 100``
+    Emit Kubernetes Deployment / HorizontalPodAutoscaler manifests for the
+    ElasticRec plan, as the paper's deployment module would.
+
+``python -m repro experiments fig13 fig15``
+    Shortcut for ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.cost import servers_required
+from repro.analysis.memory import memory_breakdown
+from repro.analysis.report import format_table
+from repro.cluster.manifests import render_manifests
+from repro.core.baseline import ModelWisePlanner
+from repro.core.planner import ElasticRecPlanner
+from repro.hardware.specs import ClusterSpec, cpu_gpu_cluster, cpu_only_cluster
+from repro.model.configs import DLRMConfig, workload_presets
+
+__all__ = ["main", "build_parser"]
+
+
+def _resolve_workload(name: str) -> DLRMConfig:
+    presets = workload_presets()
+    try:
+        return presets[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(presets))
+        raise SystemExit(f"unknown workload {name!r}; choose from {known}") from None
+
+
+def _resolve_cluster(system: str, num_nodes: int | None) -> ClusterSpec:
+    if system == "cpu":
+        cluster = cpu_only_cluster()
+    elif system == "cpu-gpu":
+        cluster = cpu_gpu_cluster()
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown system {system!r}")
+    if num_nodes is not None:
+        cluster = cluster.with_nodes(num_nodes)
+    return cluster
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ElasticRec reproduction: deployment planning and figure regeneration.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for command in ("plan", "manifests"):
+        sub = subparsers.add_parser(
+            command,
+            help="plan a deployment" if command == "plan" else "emit Kubernetes manifests",
+        )
+        sub.add_argument("workload", help="Table II workload name: RM1, RM2 or RM3")
+        sub.add_argument(
+            "--system", choices=("cpu", "cpu-gpu"), default="cpu", help="cluster type"
+        )
+        sub.add_argument("--target-qps", type=float, default=100.0, help="throughput target")
+        sub.add_argument("--num-nodes", type=int, default=None, help="override fleet size")
+        sub.add_argument(
+            "--num-shards", type=int, default=None, help="force a shard count per table"
+        )
+
+    experiments = subparsers.add_parser("experiments", help="regenerate paper figures")
+    experiments.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    experiments.add_argument("--list", action="store_true", help="list experiment ids")
+    return parser
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    workload = _resolve_workload(args.workload)
+    cluster = _resolve_cluster(args.system, args.num_nodes)
+    elastic = ElasticRecPlanner(cluster).plan(
+        workload, args.target_qps, num_shards=args.num_shards
+    )
+    baseline = ModelWisePlanner(cluster).plan(workload, args.target_qps)
+
+    rows = []
+    for deployment in elastic.deployments:
+        rows.append(
+            {
+                "deployment": deployment.name,
+                "role": deployment.role,
+                "replicas": deployment.replicas,
+                "per_replica_gb": deployment.per_replica_memory_bytes / 1e9,
+                "per_replica_qps": deployment.per_replica_qps,
+                "cores": deployment.cores,
+                "gpus": deployment.gpus,
+            }
+        )
+    print(format_table(rows, title=f"ElasticRec deployments for {workload.name} "
+                                   f"({args.target_qps:.0f} QPS on {cluster.name})"))
+    print()
+    comparison = []
+    for plan in (baseline, elastic):
+        breakdown = memory_breakdown(plan)
+        comparison.append(
+            {
+                "strategy": plan.strategy,
+                "memory_gb": breakdown.total_gb,
+                "replicas": plan.total_replicas,
+                "servers": servers_required(plan),
+            }
+        )
+    print(format_table(comparison, title="Comparison against the model-wise baseline"))
+    reduction = baseline.total_memory_gb / elastic.total_memory_gb
+    print(f"\nmemory reduction: {reduction:.1f}x")
+    return 0
+
+
+def _command_manifests(args: argparse.Namespace) -> int:
+    workload = _resolve_workload(args.workload)
+    cluster = _resolve_cluster(args.system, args.num_nodes)
+    plan = ElasticRecPlanner(cluster).plan(
+        workload, args.target_qps, num_shards=args.num_shards
+    )
+    sys.stdout.write(render_manifests(plan))
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    argv = list(args.ids)
+    if args.list:
+        argv.append("--list")
+    return experiments_main(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "plan":
+        return _command_plan(args)
+    if args.command == "manifests":
+        return _command_manifests(args)
+    return _command_experiments(args)

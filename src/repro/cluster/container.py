@@ -1,0 +1,101 @@
+"""Container specifications and replica lifecycle.
+
+A container replica goes through the states ``PENDING`` (awaiting placement)
+→ ``STARTING`` (placed, loading its model parameters) → ``RUNNING`` (serving)
+→ ``TERMINATED``.  The starting phase is where ElasticRec's fine-grained
+shards gain their responsiveness advantage (Section VI-D): a model-wise
+replica must load the entire embedding tables before it can serve, whereas a
+shard replica loads only its slice.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cluster.resources import ResourceRequest
+
+__all__ = ["ContainerState", "ContainerSpec", "Container"]
+
+_container_ids = itertools.count()
+
+
+class ContainerState(enum.Enum):
+    """Lifecycle states of a container replica."""
+
+    PENDING = "pending"
+    STARTING = "starting"
+    RUNNING = "running"
+    TERMINATED = "terminated"
+
+
+@dataclass(frozen=True)
+class ContainerSpec:
+    """The immutable description of a container image plus its resource request."""
+
+    name: str
+    role: str
+    resources: ResourceRequest
+    startup_s: float
+    per_replica_qps: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a container spec needs a name")
+        if self.startup_s < 0:
+            raise ValueError("startup_s must be non-negative")
+        if self.per_replica_qps <= 0:
+            raise ValueError("per_replica_qps must be positive")
+
+
+@dataclass
+class Container:
+    """One replica of a container spec."""
+
+    spec: ContainerSpec
+    state: ContainerState = ContainerState.PENDING
+    node_name: str | None = None
+    created_at: float = 0.0
+    ready_at: float | None = None
+    terminated_at: float | None = None
+    container_id: int = field(default_factory=lambda: next(_container_ids))
+
+    @property
+    def name(self) -> str:
+        """Unique replica name."""
+        return f"{self.spec.name}-{self.container_id}"
+
+    @property
+    def is_ready(self) -> bool:
+        """Whether the replica is serving traffic."""
+        return self.state is ContainerState.RUNNING
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the replica currently holds resources (starting or running)."""
+        return self.state in (ContainerState.STARTING, ContainerState.RUNNING)
+
+    def mark_scheduled(self, node_name: str, now: float) -> None:
+        """Record placement on a node and begin the startup phase."""
+        if self.state is not ContainerState.PENDING:
+            raise RuntimeError(f"container {self.name} is not pending")
+        self.state = ContainerState.STARTING
+        self.node_name = node_name
+        self.created_at = now
+        self.ready_at = now + self.spec.startup_s
+
+    def maybe_become_ready(self, now: float) -> bool:
+        """Transition to RUNNING once the startup period has elapsed."""
+        if self.state is ContainerState.STARTING and self.ready_at is not None:
+            if now >= self.ready_at:
+                self.state = ContainerState.RUNNING
+                return True
+        return False
+
+    def terminate(self, now: float) -> None:
+        """Stop the replica and release it from its node at the caller's behest."""
+        if self.state is ContainerState.TERMINATED:
+            return
+        self.state = ContainerState.TERMINATED
+        self.terminated_at = now

@@ -1,0 +1,43 @@
+"""Replica selection policies (the Linkerd stand-in).
+
+The paper uses Linkerd to route queries to shard replicas.  Two policies are
+provided: plain round-robin and least-outstanding-requests (Linkerd's default
+EWMA-like behaviour approximated by picking the replica with the fewest
+in-flight requests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["RoundRobinBalancer", "LeastOutstandingBalancer"]
+
+ReplicaT = TypeVar("ReplicaT")
+
+
+class RoundRobinBalancer:
+    """Cycles through the ready replicas of each deployment."""
+
+    def __init__(self) -> None:
+        self._cursors: dict[str, int] = {}
+
+    def pick(self, deployment_name: str, replicas: Sequence[ReplicaT]) -> ReplicaT:
+        """Select the next replica for the deployment."""
+        if not replicas:
+            raise ValueError(f"deployment {deployment_name!r} has no ready replicas")
+        cursor = self._cursors.get(deployment_name, 0) % len(replicas)
+        self._cursors[deployment_name] = cursor + 1
+        return replicas[cursor]
+
+
+class LeastOutstandingBalancer:
+    """Selects the replica with the fewest outstanding (queued) requests."""
+
+    def __init__(self, outstanding: Callable[[ReplicaT], float]) -> None:
+        self._outstanding = outstanding
+
+    def pick(self, deployment_name: str, replicas: Sequence[ReplicaT]) -> ReplicaT:
+        """Select the least-loaded ready replica for the deployment."""
+        if not replicas:
+            raise ValueError(f"deployment {deployment_name!r} has no ready replicas")
+        return min(replicas, key=self._outstanding)

@@ -1,0 +1,185 @@
+"""Kubernetes manifest generation for deployment plans.
+
+The paper's *deployment module* (Figure 7) "generates containers for each of
+the model shard types and configures the deployment policy".  This module
+renders a :class:`~repro.core.plan.DeploymentPlan` into Kubernetes-style
+``Deployment`` and ``HorizontalPodAutoscaler`` manifests so the plan can be
+inspected (or, in a real cluster, applied) in the form Kubernetes consumes.
+
+The YAML emitter is intentionally minimal — plain mappings, sequences and
+scalars — to avoid a dependency on PyYAML; the structure mirrors
+``apps/v1 Deployment`` and ``autoscaling/v2 HorizontalPodAutoscaler`` objects
+with the custom per-shard metrics the paper drives HPA with (per-replica QPS
+for sparse shards, p95 latency for dense shards).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.plan import DeploymentPlan, ShardDeployment
+
+__all__ = [
+    "deployment_manifest",
+    "hpa_manifest",
+    "plan_manifests",
+    "render_manifests",
+    "to_yaml",
+]
+
+_INDENT = "  "
+
+
+def _sanitize(name: str) -> str:
+    """Kubernetes object names: lowercase alphanumerics and dashes."""
+    cleaned = "".join(c if c.isalnum() or c == "-" else "-" for c in name.lower())
+    return cleaned.strip("-")
+
+
+def _scalar(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value)
+    needs_quotes = text == "" or any(c in text for c in ":#{}[],&*?|-<>=!%@`") or text != text.strip()
+    if needs_quotes:
+        escaped = text.replace('"', '\\"')
+        return f'"{escaped}"'
+    return text
+
+
+def to_yaml(data: Any, indent: int = 0) -> str:
+    """Render nested dicts/lists/scalars as YAML (minimal, dependency-free)."""
+    prefix = _INDENT * indent
+    if isinstance(data, dict):
+        if not data:
+            return f"{prefix}{{}}"
+        lines = []
+        for key, value in data.items():
+            if isinstance(value, (dict, list)) and value:
+                lines.append(f"{prefix}{key}:")
+                lines.append(to_yaml(value, indent + 1))
+            else:
+                rendered = to_yaml(value, 0) if not isinstance(value, (dict, list)) else "{}"
+                lines.append(f"{prefix}{key}: {rendered.strip()}")
+        return "\n".join(lines)
+    if isinstance(data, list):
+        if not data:
+            return f"{prefix}[]"
+        lines = []
+        for item in data:
+            if isinstance(item, (dict, list)) and item:
+                body = to_yaml(item, indent + 1)
+                first, _, rest = body.lstrip().partition("\n")
+                lines.append(f"{prefix}- {first}")
+                if rest:
+                    lines.append(rest)
+            else:
+                lines.append(f"{prefix}- {_scalar(item)}")
+        return "\n".join(lines)
+    return f"{prefix}{_scalar(data)}"
+
+
+def deployment_manifest(plan: DeploymentPlan, shard: ShardDeployment) -> dict[str, Any]:
+    """An ``apps/v1 Deployment`` object for one shard type."""
+    name = _sanitize(shard.name)
+    labels = {
+        "app": _sanitize(plan.workload.name),
+        "elasticrec.dev/role": shard.role,
+        "elasticrec.dev/strategy": plan.strategy,
+    }
+    memory_mi = int(round(shard.per_replica_memory_bytes / (1024 * 1024)))
+    resources: dict[str, Any] = {
+        "requests": {"cpu": str(shard.cores), "memory": f"{memory_mi}Mi"},
+        "limits": {"cpu": str(shard.cores), "memory": f"{memory_mi}Mi"},
+    }
+    if shard.gpus:
+        resources["requests"]["nvidia.com/gpu"] = str(shard.gpus)
+        resources["limits"]["nvidia.com/gpu"] = str(shard.gpus)
+    container: dict[str, Any] = {
+        "name": name,
+        "image": f"elasticrec/{shard.role}-shard:latest",
+        "ports": [{"containerPort": 50051, "name": "grpc"}],
+        "resources": resources,
+        "readinessProbe": {
+            "grpc": {"port": 50051},
+            "initialDelaySeconds": int(round(shard.startup_s)),
+        },
+    }
+    if shard.embedding_shard is not None:
+        container["env"] = [
+            {"name": "TABLE_ID", "value": str(shard.embedding_shard.table_id)},
+            {"name": "SHARD_START_ROW", "value": str(shard.embedding_shard.start_row)},
+            {"name": "SHARD_END_ROW", "value": str(shard.embedding_shard.end_row)},
+        ]
+    return {
+        "apiVersion": "apps/v1",
+        "kind": "Deployment",
+        "metadata": {"name": name, "labels": labels},
+        "spec": {
+            "replicas": shard.replicas,
+            "selector": {"matchLabels": {"app": labels["app"], "shard": name}},
+            "template": {
+                "metadata": {"labels": {"app": labels["app"], "shard": name}},
+                "spec": {"containers": [container]},
+            },
+        },
+    }
+
+
+def hpa_manifest(plan: DeploymentPlan, shard: ShardDeployment) -> dict[str, Any] | None:
+    """An ``autoscaling/v2 HorizontalPodAutoscaler`` for one shard type (if any)."""
+    if shard.hpa is None:
+        return None
+    name = _sanitize(shard.name)
+    if shard.hpa.is_throughput_target:
+        metric = {
+            "type": "Pods",
+            "pods": {
+                "metric": {"name": "queries_per_second"},
+                "target": {
+                    "type": "AverageValue",
+                    "averageValue": f"{shard.hpa.target_value:.1f}",
+                },
+            },
+        }
+    else:
+        metric = {
+            "type": "Pods",
+            "pods": {
+                "metric": {"name": "p95_latency_seconds"},
+                "target": {
+                    "type": "AverageValue",
+                    "averageValue": f"{shard.hpa.target_value:.3f}",
+                },
+            },
+        }
+    return {
+        "apiVersion": "autoscaling/v2",
+        "kind": "HorizontalPodAutoscaler",
+        "metadata": {"name": name},
+        "spec": {
+            "scaleTargetRef": {"apiVersion": "apps/v1", "kind": "Deployment", "name": name},
+            "minReplicas": 1,
+            "maxReplicas": max(shard.replicas * 4, 8),
+            "metrics": [metric],
+        },
+    }
+
+
+def plan_manifests(plan: DeploymentPlan) -> list[dict[str, Any]]:
+    """All Deployment and HPA objects of a plan, in apply order."""
+    manifests: list[dict[str, Any]] = []
+    for shard in plan.deployments:
+        manifests.append(deployment_manifest(plan, shard))
+        hpa = hpa_manifest(plan, shard)
+        if hpa is not None:
+            manifests.append(hpa)
+    return manifests
+
+
+def render_manifests(plan: DeploymentPlan) -> str:
+    """The plan as a multi-document YAML string (``---``-separated)."""
+    documents = [to_yaml(manifest) for manifest in plan_manifests(plan)]
+    return "\n---\n".join(documents) + "\n"

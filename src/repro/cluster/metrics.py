@@ -1,0 +1,99 @@
+"""A minimal Prometheus-like metric registry.
+
+The paper uses a Prometheus metrics server to collect CPU usage, memory
+consumption, tail latency and QPS (Section V-B).  The registry here stores
+timestamped samples per metric name and supports the windowed aggregations
+the autoscaler and the experiments need: rates, means and percentiles over a
+trailing window.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MetricSample", "MetricsRegistry"]
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One observation of a metric."""
+
+    timestamp: float
+    value: float
+
+
+class MetricsRegistry:
+    """Stores samples per metric name; query helpers operate on trailing windows."""
+
+    def __init__(self) -> None:
+        self._samples: dict[str, list[MetricSample]] = {}
+
+    def record(self, name: str, value: float, timestamp: float) -> None:
+        """Append one sample (timestamps must be non-decreasing per metric)."""
+        samples = self._samples.setdefault(name, [])
+        if samples and timestamp < samples[-1].timestamp:
+            raise ValueError(
+                f"samples for {name!r} must be recorded in time order "
+                f"({timestamp} < {samples[-1].timestamp})"
+            )
+        samples.append(MetricSample(timestamp=timestamp, value=value))
+
+    def names(self) -> list[str]:
+        """All metric names with at least one sample."""
+        return sorted(self._samples)
+
+    def samples(self, name: str) -> list[MetricSample]:
+        """All samples of one metric (empty list if unknown)."""
+        return list(self._samples.get(name, []))
+
+    def _window(self, name: str, now: float, window_s: float) -> list[MetricSample]:
+        """Samples in the half-open trailing window ``(now - window_s, now]``."""
+        samples = self._samples.get(name, [])
+        if not samples:
+            return []
+        cutoff = now - window_s
+        timestamps = [s.timestamp for s in samples]
+        start = bisect.bisect_right(timestamps, cutoff)
+        end = bisect.bisect_right(timestamps, now)
+        return samples[start:end]
+
+    def count(self, name: str, now: float, window_s: float) -> int:
+        """Number of samples in the trailing window."""
+        return len(self._window(name, now, window_s))
+
+    def rate(self, name: str, now: float, window_s: float) -> float:
+        """Samples per second over the trailing window (event-counting metrics)."""
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        return self.count(name, now, window_s) / window_s
+
+    def mean(self, name: str, now: float, window_s: float) -> float | None:
+        """Average sample value over the trailing window."""
+        window = self._window(name, now, window_s)
+        if not window:
+            return None
+        return float(np.mean([s.value for s in window]))
+
+    def sum(self, name: str, now: float, window_s: float) -> float:
+        """Sum of sample values over the trailing window."""
+        window = self._window(name, now, window_s)
+        return float(np.sum([s.value for s in window])) if window else 0.0
+
+    def percentile(
+        self, name: str, percentile: float, now: float, window_s: float
+    ) -> float | None:
+        """Percentile of sample values over the trailing window."""
+        if not 0 < percentile <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        window = self._window(name, now, window_s)
+        if not window:
+            return None
+        return float(np.percentile([s.value for s in window], percentile))
+
+    def latest(self, name: str) -> float | None:
+        """Most recent sample value."""
+        samples = self._samples.get(name)
+        return samples[-1].value if samples else None

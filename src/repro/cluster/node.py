@@ -1,0 +1,82 @@
+"""Compute nodes: capacity accounting and container placement."""
+
+from __future__ import annotations
+
+from repro.cluster.container import Container
+from repro.cluster.resources import ResourceCapacity, ResourceRequest
+from repro.hardware.specs import CPUNodeSpec
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One schedulable node of the cluster."""
+
+    def __init__(self, name: str, spec: CPUNodeSpec) -> None:
+        if not name:
+            raise ValueError("a node needs a name")
+        self._name = name
+        self._spec = spec
+        self._capacity = ResourceCapacity(
+            cores=float(spec.cores),
+            memory_bytes=spec.dram_gb * 1e9,
+            gpus=spec.gpus_per_node,
+        )
+        self._containers: dict[str, Container] = {}
+
+    @property
+    def name(self) -> str:
+        """Node name."""
+        return self._name
+
+    @property
+    def spec(self) -> CPUNodeSpec:
+        """Hardware specification."""
+        return self._spec
+
+    @property
+    def free(self) -> ResourceCapacity:
+        """Remaining allocatable capacity."""
+        return self._capacity
+
+    @property
+    def containers(self) -> list[Container]:
+        """Containers currently placed on this node."""
+        return list(self._containers.values())
+
+    @property
+    def allocated_memory_bytes(self) -> float:
+        """Memory currently reserved by placed containers."""
+        return sum(c.spec.resources.memory_bytes for c in self._containers.values())
+
+    @property
+    def allocated_cores(self) -> float:
+        """Cores currently reserved by placed containers."""
+        return sum(c.spec.resources.cores for c in self._containers.values())
+
+    def can_fit(self, request: ResourceRequest) -> bool:
+        """Whether a request fits in the remaining capacity."""
+        return self._capacity.fits(request)
+
+    def place(self, container: Container, now: float) -> None:
+        """Reserve resources for a container and start it."""
+        request = container.spec.resources
+        if not self.can_fit(request):
+            raise ValueError(f"container {container.name} does not fit on node {self._name}")
+        self._capacity.allocate(request)
+        self._containers[container.name] = container
+        container.mark_scheduled(self._name, now)
+
+    def evict(self, container: Container, now: float) -> None:
+        """Terminate a container and release its resources."""
+        if container.name not in self._containers:
+            raise KeyError(f"container {container.name} is not on node {self._name}")
+        del self._containers[container.name]
+        self._capacity.release(container.spec.resources)
+        container.terminate(now)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Node({self._name!r}, free_cores={self._capacity.cores:.0f}, "
+            f"free_memory_gb={self._capacity.memory_bytes / 1e9:.0f})"
+        )

@@ -1,0 +1,78 @@
+"""Resource requests and node capacities (cores, memory, GPUs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ResourceRequest", "ResourceCapacity"]
+
+
+@dataclass(frozen=True)
+class ResourceRequest:
+    """Resources one container replica requests from the scheduler."""
+
+    cores: float
+    memory_bytes: float
+    gpus: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if self.gpus < 0:
+            raise ValueError("gpus must be non-negative")
+
+    @property
+    def memory_gb(self) -> float:
+        """Requested memory in GB."""
+        return self.memory_bytes / 1e9
+
+    def scaled(self, count: int) -> "ResourceRequest":
+        """The aggregate request of ``count`` identical replicas."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        return ResourceRequest(
+            cores=self.cores * count,
+            memory_bytes=self.memory_bytes * count,
+            gpus=self.gpus * count,
+        )
+
+
+@dataclass
+class ResourceCapacity:
+    """Mutable free-capacity tracker of one node."""
+
+    cores: float
+    memory_bytes: float
+    gpus: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cores < 0 or self.memory_bytes < 0 or self.gpus < 0:
+            raise ValueError("capacities must be non-negative")
+
+    def fits(self, request: ResourceRequest) -> bool:
+        """Whether the request fits in the remaining capacity."""
+        return (
+            request.cores <= self.cores + 1e-9
+            and request.memory_bytes <= self.memory_bytes + 1e-6
+            and request.gpus <= self.gpus
+        )
+
+    def allocate(self, request: ResourceRequest) -> None:
+        """Reserve the request's resources; raises if they do not fit."""
+        if not self.fits(request):
+            raise ValueError("resource request does not fit in the remaining capacity")
+        self.cores -= request.cores
+        self.memory_bytes -= request.memory_bytes
+        self.gpus -= request.gpus
+
+    def release(self, request: ResourceRequest) -> None:
+        """Return previously allocated resources."""
+        self.cores += request.cores
+        self.memory_bytes += request.memory_bytes
+        self.gpus += request.gpus
+
+    def copy(self) -> "ResourceCapacity":
+        """Independent copy of the current free capacity."""
+        return ResourceCapacity(self.cores, self.memory_bytes, self.gpus)

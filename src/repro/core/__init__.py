@@ -1,0 +1,70 @@
+"""ElasticRec's contribution: utility-based sharding and elastic deployment planning.
+
+The modules in this subpackage implement Section IV of the paper:
+
+* :mod:`repro.core.preprocessing` — sorting an embedding table by access
+  frequency and exposing its access CDF (Figure 8).
+* :mod:`repro.core.qps_model` — the profiling-based regression model
+  ``QPS(x)`` used by Algorithm 1 (built from the Figure 9 gather sweep).
+* :mod:`repro.core.cost_model` — Algorithm 1: the deployment (memory) cost of
+  a candidate embedding shard.
+* :mod:`repro.core.partitioning` — Algorithm 2: the dynamic-programming table
+  partitioner, plus exact and brute-force references used for validation.
+* :mod:`repro.core.bucketization` — remapping index/offset arrays onto the
+  partitioned shards (Figure 11).
+* :mod:`repro.core.sharding` — shard descriptions and the per-model
+  :class:`~repro.core.sharding.ShardingPlan`.
+* :mod:`repro.core.hpa_policy` — per-shard autoscaling targets (Section IV-D).
+* :mod:`repro.core.planner` — the end-to-end ElasticRec deployment planner.
+* :mod:`repro.core.baseline` / :mod:`repro.core.gpu_cache` — the model-wise
+  baseline and the model-wise + GPU embedding-cache baseline (Section VI-E).
+"""
+
+from repro.core.preprocessing import SortedTable, preprocess_table, sort_by_hotness
+from repro.core.qps_model import QPSRegressionModel
+from repro.core.cost_model import DeploymentCostModel
+from repro.core.partitioning import (
+    PartitioningResult,
+    brute_force_partition,
+    partition_table,
+    partition_table_exact,
+)
+from repro.core.alternative_partitioners import (
+    no_partitioning,
+    threshold_partitioning,
+    uniform_partitioning,
+)
+from repro.core.bucketization import BucketizedLookup, Bucketizer
+from repro.core.sharding import DenseShardSpec, EmbeddingShardSpec, ShardingPlan
+from repro.core.hpa_policy import HPATarget, build_hpa_target
+from repro.core.plan import DeploymentPlan, ShardDeployment
+from repro.core.planner import ElasticRecPlanner
+from repro.core.baseline import ModelWisePlanner
+from repro.core.gpu_cache import CachedModelWisePlanner
+
+__all__ = [
+    "SortedTable",
+    "preprocess_table",
+    "sort_by_hotness",
+    "QPSRegressionModel",
+    "DeploymentCostModel",
+    "PartitioningResult",
+    "partition_table",
+    "partition_table_exact",
+    "brute_force_partition",
+    "no_partitioning",
+    "uniform_partitioning",
+    "threshold_partitioning",
+    "Bucketizer",
+    "BucketizedLookup",
+    "DenseShardSpec",
+    "EmbeddingShardSpec",
+    "ShardingPlan",
+    "HPATarget",
+    "build_hpa_target",
+    "DeploymentPlan",
+    "ShardDeployment",
+    "ElasticRecPlanner",
+    "ModelWisePlanner",
+    "CachedModelWisePlanner",
+]

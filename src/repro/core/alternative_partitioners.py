@@ -1,0 +1,85 @@
+"""Alternative table-partitioning strategies used as ablation baselines.
+
+The paper's contribution is the utility-based DP partitioner (Algorithm 2).
+To quantify how much of ElasticRec's benefit comes from the *microservice
+decomposition itself* versus from the *quality of the partitioning plan*,
+this module provides simpler strategies that plug into the same planner:
+
+* :func:`no_partitioning` — one shard per table (microservices, but the whole
+  table is still the replication unit);
+* :func:`uniform_partitioning` — equal-row shards, oblivious to hotness (the
+  row-wise sharding of prior distributed-inference work such as Lui et al.);
+* :func:`threshold_partitioning` — a hot/cold split at a fixed hot fraction
+  (a caching-style heuristic: everything in the "top X%" is hot).
+
+Each returns the same :class:`~repro.core.partitioning.PartitioningResult`
+shape as Algorithm 2, so all downstream accounting is identical, and the
+``fixNN``-style ablation experiment compares their deployed memory directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.cost_model import DeploymentCostModel
+from repro.core.partitioning import PartitioningResult
+
+__all__ = [
+    "no_partitioning",
+    "uniform_partitioning",
+    "threshold_partitioning",
+    "STRATEGIES",
+]
+
+
+def _result_from_boundaries(
+    cost_model: DeploymentCostModel, boundaries: list[int]
+) -> PartitioningResult:
+    estimates = tuple(
+        cost_model.estimate(start, end)
+        for start, end in zip(boundaries[:-1], boundaries[1:])
+    )
+    return PartitioningResult(
+        boundaries=tuple(boundaries),
+        total_cost_bytes=float(sum(e.memory_bytes for e in estimates)),
+        shard_estimates=estimates,
+    )
+
+
+def no_partitioning(cost_model: DeploymentCostModel) -> PartitioningResult:
+    """Keep the whole table as a single shard."""
+    rows = cost_model.table.rows
+    return _result_from_boundaries(cost_model, [0, rows])
+
+
+def uniform_partitioning(
+    cost_model: DeploymentCostModel, num_shards: int = 4
+) -> PartitioningResult:
+    """Split the table into ``num_shards`` equal-row shards, ignoring hotness."""
+    rows = cost_model.table.rows
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    num_shards = min(num_shards, rows)
+    boundaries = [round(i * rows / num_shards) for i in range(num_shards + 1)]
+    boundaries = sorted(set(boundaries))
+    boundaries[0], boundaries[-1] = 0, rows
+    return _result_from_boundaries(cost_model, boundaries)
+
+
+def threshold_partitioning(
+    cost_model: DeploymentCostModel, hot_fraction: float = 0.1
+) -> PartitioningResult:
+    """Split into a hot shard (the hottest ``hot_fraction`` of rows) and a cold shard."""
+    if not 0.0 < hot_fraction < 1.0:
+        raise ValueError("hot_fraction must be in (0, 1)")
+    rows = cost_model.table.rows
+    cut = min(max(1, math.ceil(hot_fraction * rows)), rows - 1)
+    return _result_from_boundaries(cost_model, [0, cut, rows])
+
+
+#: Name -> callable registry used by the ablation experiment and the CLI.
+STRATEGIES = {
+    "none": no_partitioning,
+    "uniform": uniform_partitioning,
+    "threshold": threshold_partitioning,
+}

@@ -1,0 +1,82 @@
+"""The model-wise (monolithic) baseline serving architecture (Section II-B).
+
+Every replica is one container holding the entire model — dense layers plus
+every embedding table — and Kubernetes scales whole replicas.  A replica's
+throughput is bounded by its slower layer (Figure 4), so reaching a target
+QPS requires ``ceil(target / bottleneck_qps)`` replicas, each of which
+duplicates the full embedding tables in memory.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.hpa_policy import build_hpa_target
+from repro.core.plan import DeploymentPlan, ROLE_MONOLITHIC, ShardDeployment
+from repro.hardware.perf_model import PerfModel
+from repro.hardware.specs import ClusterSpec
+from repro.model.analytics import ModelAnalytics
+from repro.model.configs import DLRMConfig
+
+__all__ = ["ModelWisePlanner"]
+
+
+class ModelWisePlanner:
+    """Plans the baseline model-wise deployment for DLRM workloads."""
+
+    #: Strategy tag recorded in produced plans.
+    strategy = "model-wise"
+
+    def __init__(self, cluster: ClusterSpec) -> None:
+        self._cluster = cluster
+        self._perf_model = PerfModel(cluster)
+
+    @property
+    def cluster(self) -> ClusterSpec:
+        """The target cluster."""
+        return self._cluster
+
+    @property
+    def perf_model(self) -> PerfModel:
+        """The shared performance model."""
+        return self._perf_model
+
+    def replica_qps(self, config: DLRMConfig) -> float:
+        """Throughput of one monolithic replica (bounded by its slower layer)."""
+        return self._perf_model.model_wise_qps(config)
+
+    def replica_memory_bytes(self, config: DLRMConfig) -> float:
+        """Memory one replica allocates: the whole model plus the container minimum."""
+        analytics = ModelAnalytics(config)
+        return analytics.model_bytes() + self._cluster.container_policy.min_mem_alloc_gb * 1e9
+
+    def plan(self, config: DLRMConfig, target_qps: float) -> DeploymentPlan:
+        """Produce the model-wise deployment plan for a target QPS."""
+        if target_qps <= 0:
+            raise ValueError("target_qps must be positive")
+        policy = self._cluster.container_policy
+        headroom = self._cluster.utilization_headroom
+        per_replica_qps = self.replica_qps(config)
+        replicas = max(1, math.ceil(target_qps / (per_replica_qps * headroom)))
+        memory_bytes = self.replica_memory_bytes(config)
+        deployment = ShardDeployment(
+            name=f"{config.name}-model-wise",
+            role=ROLE_MONOLITHIC,
+            replicas=replicas,
+            per_replica_memory_bytes=memory_bytes,
+            cores=policy.model_wise_cores,
+            gpus=policy.model_wise_gpus if self._cluster.is_gpu_system else 0,
+            per_replica_qps=per_replica_qps,
+            startup_s=policy.startup_seconds(memory_bytes / 1e9),
+            hpa=build_hpa_target(
+                "monolithic", shard_max_qps=per_replica_qps * policy.hpa_target_fraction
+            ),
+        )
+        return DeploymentPlan(
+            name=f"{config.name}-{self.strategy}",
+            strategy=self.strategy,
+            workload=config,
+            cluster=self._cluster,
+            target_qps=target_qps,
+            deployments=(deployment,),
+        )

@@ -1,0 +1,140 @@
+"""Algorithm 1: deployment-cost (memory-consumption) estimation.
+
+The cost of deploying an embedding shard holding the sorted rows
+``[start_row, end_row)`` is::
+
+    COST(k, j)   = REPLICAS(k, j) * (CAPACITY(k, j) + min_mem_alloc)
+    REPLICAS(k,j)= target_traffic / QPS(n_s)
+    n_s          = (CDF(j) - CDF(k)) * n_t
+
+where ``n_t`` is the table's pooling factor, the CDF comes from the
+hot-sorted access distribution and ``QPS(x)`` is the profiling-based
+regression model.  ``target_traffic`` is an arbitrary constant shared by all
+candidate partitionings (the paper uses 1000 queries/s); it scales every
+plan's cost identically and therefore does not change which plan is optimal.
+
+Row ranges are half-open ``[start_row, end_row)`` throughout this package
+(0-based), which maps onto the paper's inclusive ``[k, j]`` 1-based notation
+with ``CAPACITY = (j - k + 1) * row_bytes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.preprocessing import SortedTable
+from repro.core.qps_model import QPSRegressionModel
+
+__all__ = ["ShardCostEstimate", "DeploymentCostModel"]
+
+#: Target traffic constant used by the DP (Section IV-B: "we utilized 1000").
+DEFAULT_DP_TARGET_TRAFFIC = 1000.0
+
+
+@dataclass(frozen=True)
+class ShardCostEstimate:
+    """All intermediate quantities of one COST(k, j) evaluation."""
+
+    start_row: int
+    end_row: int
+    coverage: float
+    expected_gathers: float
+    estimated_qps: float
+    num_replicas: float
+    capacity_bytes: float
+    memory_bytes: float
+
+    @property
+    def rows(self) -> int:
+        """Rows held by the candidate shard."""
+        return self.end_row - self.start_row
+
+
+class DeploymentCostModel:
+    """Evaluates Algorithm 1 for candidate shards of one sorted table."""
+
+    def __init__(
+        self,
+        table: SortedTable,
+        qps_model: QPSRegressionModel,
+        target_traffic: float = DEFAULT_DP_TARGET_TRAFFIC,
+        min_mem_alloc_bytes: float = 0.5e9,
+    ) -> None:
+        if target_traffic <= 0:
+            raise ValueError("target_traffic must be positive")
+        if min_mem_alloc_bytes < 0:
+            raise ValueError("min_mem_alloc_bytes must be non-negative")
+        self._table = table
+        self._qps_model = qps_model
+        self._target_traffic = float(target_traffic)
+        self._min_mem_alloc_bytes = float(min_mem_alloc_bytes)
+
+    @property
+    def table(self) -> SortedTable:
+        """The sorted table being partitioned."""
+        return self._table
+
+    @property
+    def qps_model(self) -> QPSRegressionModel:
+        """The profiling-based QPS regression."""
+        return self._qps_model
+
+    @property
+    def target_traffic(self) -> float:
+        """The DP's constant traffic target."""
+        return self._target_traffic
+
+    @property
+    def min_mem_alloc_bytes(self) -> float:
+        """Per-container minimally required memory (Algorithm 1, line 3)."""
+        return self._min_mem_alloc_bytes
+
+    def _validate_range(self, start_row: int, end_row: int) -> None:
+        if not 0 <= start_row < end_row <= self._table.rows:
+            raise ValueError(
+                f"invalid shard range [{start_row}, {end_row}) for a table with "
+                f"{self._table.rows} rows"
+            )
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def capacity_bytes(self, start_row: int, end_row: int) -> float:
+        """CAPACITY(k, j): bytes of embedding vectors stored by the shard."""
+        self._validate_range(start_row, end_row)
+        return float(self._table.spec.slice_bytes(start_row, end_row))
+
+    def expected_gathers(self, start_row: int, end_row: int) -> float:
+        """``n_s``: expected vectors gathered from the shard per ranked item."""
+        self._validate_range(start_row, end_row)
+        return self._table.expected_gathers(start_row, end_row)
+
+    def replicas(self, start_row: int, end_row: int) -> float:
+        """REPLICAS(k, j): replicas needed to sustain the DP traffic target."""
+        gathers = self.expected_gathers(start_row, end_row)
+        qps = self._qps_model.predict_qps(gathers)
+        return self._target_traffic / qps
+
+    def cost(self, start_row: int, end_row: int) -> float:
+        """COST(k, j): estimated memory consumption of deploying the shard."""
+        return self.estimate(start_row, end_row).memory_bytes
+
+    def estimate(self, start_row: int, end_row: int) -> ShardCostEstimate:
+        """Full breakdown of one COST(k, j) evaluation."""
+        self._validate_range(start_row, end_row)
+        coverage = self._table.distribution.coverage_range(start_row, end_row)
+        gathers = coverage * self._table.pooling
+        qps = self._qps_model.predict_qps(gathers)
+        replicas = self._target_traffic / qps
+        capacity = self.capacity_bytes(start_row, end_row)
+        shard_size = capacity + self._min_mem_alloc_bytes
+        return ShardCostEstimate(
+            start_row=start_row,
+            end_row=end_row,
+            coverage=coverage,
+            expected_gathers=gathers,
+            estimated_qps=qps,
+            num_replicas=replicas,
+            capacity_bytes=capacity,
+            memory_bytes=replicas * shard_size,
+        )

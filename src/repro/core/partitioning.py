@@ -1,0 +1,274 @@
+"""Algorithm 2: dynamic-programming embedding-table partitioning.
+
+``Mem[num_shards][x]`` is the lowest estimated memory cost of partitioning the
+``x`` hottest rows of the (hot-sorted) table into ``num_shards`` shards, where
+each shard is a contiguous, non-overlapping range of sorted rows.  The
+recursion of Algorithm 2 is::
+
+    Mem[1][j]  = COST(0, j)
+    Mem[s][j]  = min over i  ( Mem[s-1][i] + COST(i, j) )
+
+and the final plan is the one minimising ``Mem[s][N]`` over all shard counts
+``s <= S_max``.
+
+Scalability: evaluated at per-row granularity the recursion is quadratic in
+the number of rows, which is infeasible for the paper's 20M-row tables (the
+paper's reported 18 s implies a coarser search).  :func:`partition_table`
+therefore restricts shard boundaries to ``granularity`` equally spaced
+candidate positions (default 512), which keeps the search space dense enough
+that the found plan's cost is indistinguishable from the exact optimum for
+smooth access CDFs.  :func:`partition_table_exact` runs the same DP at
+per-row granularity and :func:`brute_force_partition` enumerates every plan;
+both are used by the test suite to validate the bucketed DP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.cost_model import DeploymentCostModel, ShardCostEstimate
+
+__all__ = [
+    "PartitioningResult",
+    "partition_table",
+    "partition_table_exact",
+    "brute_force_partition",
+    "candidate_boundaries",
+]
+
+DEFAULT_GRANULARITY = 512
+DEFAULT_MAX_SHARDS = 16
+
+
+@dataclass(frozen=True)
+class PartitioningResult:
+    """The outcome of partitioning one embedding table."""
+
+    boundaries: tuple[int, ...]
+    total_cost_bytes: float
+    shard_estimates: tuple[ShardCostEstimate, ...]
+
+    def __post_init__(self) -> None:
+        bounds = tuple(int(b) for b in self.boundaries)
+        object.__setattr__(self, "boundaries", bounds)
+        if len(bounds) < 2 or bounds[0] != 0:
+            raise ValueError("boundaries must start at 0 and contain at least one shard")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("boundaries must be strictly increasing")
+        if len(self.shard_estimates) != self.num_shards:
+            raise ValueError("one cost estimate per shard is required")
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards the table was split into."""
+        return len(self.boundaries) - 1
+
+    @property
+    def num_rows(self) -> int:
+        """Rows covered by the plan (the whole table)."""
+        return self.boundaries[-1]
+
+    def shard_ranges(self) -> list[tuple[int, int]]:
+        """Half-open sorted-row ranges, hottest shard first."""
+        return list(zip(self.boundaries[:-1], self.boundaries[1:]))
+
+    def shard_rows(self) -> list[int]:
+        """Row counts per shard, hottest shard first."""
+        return [end - start for start, end in self.shard_ranges()]
+
+    @property
+    def total_cost_gb(self) -> float:
+        """Estimated deployment memory of the plan in GB."""
+        return self.total_cost_bytes / 1e9
+
+
+def candidate_boundaries(num_rows: int, granularity: int) -> np.ndarray:
+    """Candidate shard-boundary positions (always includes 0 and ``num_rows``)."""
+    if num_rows <= 0:
+        raise ValueError("num_rows must be positive")
+    if granularity <= 0:
+        raise ValueError("granularity must be positive")
+    if num_rows <= granularity:
+        return np.arange(num_rows + 1, dtype=np.int64)
+    bounds = np.linspace(0, num_rows, granularity + 1)
+    return np.unique(np.round(bounds).astype(np.int64))
+
+
+def _cost_matrix(cost_model: DeploymentCostModel, boundaries: np.ndarray) -> np.ndarray:
+    """COST(boundary[i], boundary[j]) for every i < j, vectorised.
+
+    Coverage values are evaluated once per boundary; the cost of every
+    candidate shard then follows from Algorithm 1 with simple array math.
+    """
+    table = cost_model.table
+    qps_model = cost_model.qps_model
+    num_bounds = boundaries.size
+    cdf = np.array([table.distribution.coverage(int(b)) for b in boundaries])
+    row_bytes = table.spec.row_bytes
+    costs = np.full((num_bounds, num_bounds), np.inf)
+    for i in range(num_bounds - 1):
+        ends = boundaries[i + 1 :]
+        coverage = cdf[i + 1 :] - cdf[i]
+        gathers = coverage * table.pooling
+        latency = qps_model.intercept_s + qps_model.slope_s_per_gather * gathers
+        replicas = cost_model.target_traffic * latency
+        capacity = (ends - boundaries[i]).astype(np.float64) * row_bytes
+        costs[i, i + 1 :] = replicas * (capacity + cost_model.min_mem_alloc_bytes)
+    return costs
+
+
+def _run_dp(
+    costs: np.ndarray,
+    max_shards: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Tabulate ``Mem[s][j]`` and the arg-min predecessors over boundary indices."""
+    num_bounds = costs.shape[0]
+    mem = np.full((max_shards + 1, num_bounds), np.inf)
+    parent = np.full((max_shards + 1, num_bounds), -1, dtype=np.int64)
+    mem[1, 1:] = costs[0, 1:]
+    parent[1, 1:] = 0
+    for shards in range(2, max_shards + 1):
+        previous = mem[shards - 1]
+        # candidate[i, j] = Mem[s-1][i] + COST(i, j)
+        candidate = previous[:, None] + costs
+        best_prev = np.argmin(candidate, axis=0)
+        best_cost = candidate[best_prev, np.arange(num_bounds)]
+        mem[shards] = best_cost
+        parent[shards] = best_prev
+        # A plan with s shards needs at least s boundary intervals.
+        mem[shards, :shards] = np.inf
+        parent[shards, :shards] = -1
+    return mem, parent
+
+
+def _reconstruct(parent: np.ndarray, num_shards: int, last_index: int) -> list[int]:
+    """Walk the predecessor table back to the boundary-index sequence."""
+    indices = [last_index]
+    shards = num_shards
+    index = last_index
+    while shards >= 1:
+        prev = int(parent[shards, index])
+        if prev < 0:
+            raise RuntimeError("dynamic-programming table reconstruction failed")
+        indices.append(prev)
+        index = prev
+        shards -= 1
+    return list(reversed(indices))
+
+
+def partition_table(
+    cost_model: DeploymentCostModel,
+    max_shards: int = DEFAULT_MAX_SHARDS,
+    granularity: int = DEFAULT_GRANULARITY,
+    num_shards: int | None = None,
+) -> PartitioningResult:
+    """Find the memory-minimising partitioning plan of a sorted table.
+
+    Parameters
+    ----------
+    cost_model:
+        Algorithm 1 evaluator for the table being partitioned.
+    max_shards:
+        ``S_max``: the largest shard count explored.
+    granularity:
+        Number of candidate boundary buckets (see module docstring).
+    num_shards:
+        When given, return the best plan with *exactly* this many shards
+        (used by the Figure 12(d) sweep); otherwise the shard count is chosen
+        by the DP.
+    """
+    if max_shards <= 0:
+        raise ValueError("max_shards must be positive")
+    table_rows = cost_model.table.rows
+    boundaries = candidate_boundaries(table_rows, granularity)
+    max_feasible = boundaries.size - 1
+    if num_shards is not None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if num_shards > max_feasible:
+            raise ValueError(
+                f"cannot split {table_rows} rows into {num_shards} shards at this granularity"
+            )
+        max_shards = num_shards
+    max_shards = min(max_shards, max_feasible)
+
+    costs = _cost_matrix(cost_model, boundaries)
+    mem, parent = _run_dp(costs, max_shards)
+    last_index = boundaries.size - 1
+
+    if num_shards is not None:
+        chosen_shards = num_shards
+    else:
+        final_costs = mem[1 : max_shards + 1, last_index]
+        chosen_shards = int(np.argmin(final_costs)) + 1
+    total_cost = float(mem[chosen_shards, last_index])
+    if not np.isfinite(total_cost):
+        raise RuntimeError("no feasible partitioning plan was found")
+
+    boundary_indices = _reconstruct(parent, chosen_shards, last_index)
+    plan_boundaries = tuple(int(boundaries[i]) for i in boundary_indices)
+    estimates = tuple(
+        cost_model.estimate(start, end)
+        for start, end in zip(plan_boundaries[:-1], plan_boundaries[1:])
+    )
+    return PartitioningResult(
+        boundaries=plan_boundaries,
+        total_cost_bytes=float(sum(e.memory_bytes for e in estimates)),
+        shard_estimates=estimates,
+    )
+
+
+def partition_table_exact(
+    cost_model: DeploymentCostModel,
+    max_shards: int = DEFAULT_MAX_SHARDS,
+    num_shards: int | None = None,
+) -> PartitioningResult:
+    """Per-row-granularity DP (only practical for small tables; used in tests)."""
+    rows = cost_model.table.rows
+    return partition_table(
+        cost_model, max_shards=max_shards, granularity=rows, num_shards=num_shards
+    )
+
+
+def brute_force_partition(
+    cost_model: DeploymentCostModel,
+    max_shards: int,
+    num_shards: int | None = None,
+) -> PartitioningResult:
+    """Exhaustive search over every contiguous partitioning (tiny tables only).
+
+    Used as the ground-truth oracle in the test suite; the search space grows
+    combinatorially, so tables beyond a few dozen rows are rejected.
+    """
+    rows = cost_model.table.rows
+    if rows > 64:
+        raise ValueError("brute-force partitioning is limited to tables of at most 64 rows")
+    if max_shards <= 0:
+        raise ValueError("max_shards must be positive")
+    shard_counts = [num_shards] if num_shards is not None else list(range(1, max_shards + 1))
+    best: tuple[float, tuple[int, ...]] | None = None
+    interior = list(range(1, rows))
+    for count in shard_counts:
+        if count > rows or count <= 0:
+            continue
+        for cuts in combinations(interior, count - 1):
+            bounds = (0,) + cuts + (rows,)
+            cost = sum(
+                cost_model.cost(start, end) for start, end in zip(bounds[:-1], bounds[1:])
+            )
+            if best is None or cost < best[0]:
+                best = (cost, bounds)
+    if best is None:
+        raise RuntimeError("no feasible partitioning plan was found")
+    cost, bounds = best
+    estimates = tuple(
+        cost_model.estimate(start, end) for start, end in zip(bounds[:-1], bounds[1:])
+    )
+    return PartitioningResult(
+        boundaries=bounds,
+        total_cost_bytes=float(cost),
+        shard_estimates=estimates,
+    )

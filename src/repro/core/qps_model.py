@@ -1,0 +1,102 @@
+"""Profiling-based QPS regression model (Algorithm 1's ``QPS(x)``).
+
+The paper profiles embedding gather operations over a sweep of gather counts
+(Figure 9), stores the measurements in a lookup table and fits a regression
+model that estimates the QPS an embedding shard sustains as a function of the
+expected number of vectors it gathers per item (``n_s``).
+
+Because a shard's per-query latency is, to first order, affine in the number
+of gathers (a fixed overhead plus a per-vector cost), the regression is
+performed on *latency* — ``latency(x) = a + b * x`` by least squares — and
+``QPS(x) = 1 / latency(x)``.  The model interpolates smoothly between the
+profiled points and extrapolates safely (latency is clamped to be positive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.hardware.perf_model import PerfModel
+from repro.hardware.profiler import DEFAULT_GATHER_SWEEP, GatherProfiler, ProfilePoint
+
+__all__ = ["QPSRegressionModel"]
+
+_MIN_LATENCY_S = 1e-6
+
+
+@dataclass(frozen=True)
+class QPSRegressionModel:
+    """``QPS(x)``: estimated shard throughput as a function of gathers per item."""
+
+    intercept_s: float
+    slope_s_per_gather: float
+
+    def __post_init__(self) -> None:
+        if self.intercept_s <= 0:
+            raise ValueError("the latency intercept must be positive")
+        if self.slope_s_per_gather < 0:
+            raise ValueError("the latency slope must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(cls, points: Iterable[ProfilePoint]) -> "QPSRegressionModel":
+        """Least-squares fit of latency vs gather count over profiled points."""
+        points = list(points)
+        if len(points) < 2:
+            raise ValueError("at least two profile points are required to fit")
+        x = np.array([p.num_gathers for p in points], dtype=np.float64)
+        y = np.array([p.latency_s for p in points], dtype=np.float64)
+        if np.any(y <= 0):
+            raise ValueError("profiled latencies must be positive")
+        slope, intercept = np.polyfit(x, y, deg=1)
+        intercept = max(float(intercept), _MIN_LATENCY_S)
+        slope = max(float(slope), 0.0)
+        return cls(intercept_s=intercept, slope_s_per_gather=slope)
+
+    @classmethod
+    def from_profile(
+        cls,
+        perf_model: PerfModel,
+        embedding_dim: int,
+        batch_size: int = 32,
+        gather_counts: Sequence[float] = DEFAULT_GATHER_SWEEP,
+        dtype_bytes: int = 4,
+        cores: int | None = None,
+    ) -> "QPSRegressionModel":
+        """Run the one-time gather sweep and fit the regression in one step.
+
+        ``cores`` profiles under the core budget of the shard container the
+        regression will be used to size (the planner passes the sparse-shard
+        core request so the cost model and the deployed shards agree).
+        """
+        profiler = GatherProfiler(perf_model, batch_size=batch_size)
+        points = profiler.profile(
+            embedding_dim, gather_counts, dtype_bytes=dtype_bytes, cores=cores
+        )
+        return cls.fit(points)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict_latency(self, gathers_per_item: float) -> float:
+        """Estimated per-query latency of a shard gathering ``x`` vectors per item."""
+        if gathers_per_item < 0:
+            raise ValueError("gathers_per_item must be non-negative")
+        latency = self.intercept_s + self.slope_s_per_gather * gathers_per_item
+        return max(latency, _MIN_LATENCY_S)
+
+    def predict_qps(self, gathers_per_item: float) -> float:
+        """Algorithm 1's ``QPS(x)``."""
+        return 1.0 / self.predict_latency(gathers_per_item)
+
+    def residuals(self, points: Iterable[ProfilePoint]) -> np.ndarray:
+        """Relative latency prediction errors over a set of profile points."""
+        points = list(points)
+        predicted = np.array([self.predict_latency(p.num_gathers) for p in points])
+        measured = np.array([p.latency_s for p in points])
+        return (predicted - measured) / measured

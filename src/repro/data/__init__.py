@@ -1,0 +1,51 @@
+"""Embedding access distributions, synthetic datasets and query generation.
+
+The paper characterises embedding-table accesses with a power-law ("skewed")
+distribution and a locality metric ``P``: the fraction of all accesses covered
+by the hottest 10% of embedding vectors (Section V-C).  This subpackage
+provides:
+
+* :class:`~repro.data.distributions.ZipfDistribution` and
+  :class:`~repro.data.distributions.EmpiricalDistribution` — access-frequency
+  models over a hot-sorted embedding table, including analytic coverage /
+  expected-unique computations that work at paper scale (tens of millions of
+  rows) without materialising per-row arrays.
+* :mod:`repro.data.datasets` — synthetic stand-ins for the Amazon Books,
+  Criteo and MovieLens traces of Figure 6.
+* :class:`~repro.data.query_gen.QueryGenerator` — produces the index/offset
+  arrays that DLRM embedding bags (and ElasticRec's bucketization) consume.
+"""
+
+from repro.data.distributions import (
+    AccessDistribution,
+    EmpiricalDistribution,
+    UniformDistribution,
+    ZipfDistribution,
+    locality_of_probabilities,
+    solve_alpha_for_locality,
+)
+from repro.data.datasets import (
+    SyntheticDataset,
+    amazon_books,
+    criteo,
+    dataset_presets,
+    movielens,
+)
+from repro.data.query_gen import Query, QueryGenerator, SparseLookup
+
+__all__ = [
+    "AccessDistribution",
+    "ZipfDistribution",
+    "EmpiricalDistribution",
+    "UniformDistribution",
+    "locality_of_probabilities",
+    "solve_alpha_for_locality",
+    "SyntheticDataset",
+    "amazon_books",
+    "criteo",
+    "movielens",
+    "dataset_presets",
+    "Query",
+    "QueryGenerator",
+    "SparseLookup",
+]

@@ -1,0 +1,15 @@
+"""Experiment reproductions: one module per figure of the paper's evaluation.
+
+Every module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.base.ExperimentResult` whose rows regenerate the
+corresponding figure's series.  Default parameters match the paper (Table II
+workloads, 100 QPS on the CPU-only cluster, 200 QPS on the CPU-GPU cluster);
+smaller settings can be passed for quick runs and are used by the test suite.
+
+Run everything from the command line with ``python -m repro.experiments``.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment", "run_all"]

@@ -1,0 +1,40 @@
+"""Command-line entry point: ``python -m repro.experiments [ids...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runner import EXPERIMENTS, run_all
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiments (all by default) and print their reports."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the ElasticRec paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids to run (default: all). Known: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list known experiment ids and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+    ids = args.experiments or None
+    results = run_all(ids)
+    for result in results.values():
+        print(result.report())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

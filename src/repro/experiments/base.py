@@ -1,0 +1,43 @@
+"""Shared result container for experiment reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.report import format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerating one paper figure, plus headline summary values."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict[str, Any]]
+    summary: dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def to_table(self, columns: list[str] | None = None) -> str:
+        """Render the rows as an aligned plain-text table."""
+        return format_table(self.rows, columns=columns, title=f"{self.experiment_id}: {self.title}")
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column across all rows."""
+        if not self.rows:
+            return []
+        if name not in self.rows[0]:
+            raise KeyError(f"no column named {name!r} in experiment {self.experiment_id}")
+        return [row.get(name) for row in self.rows]
+
+    def report(self) -> str:
+        """Table plus summary and notes, ready for printing."""
+        parts = [self.to_table()]
+        if self.summary:
+            summary_text = ", ".join(f"{k}={v:.3g}" for k, v in self.summary.items())
+            parts.append(f"summary: {summary_text}")
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)

@@ -1,0 +1,75 @@
+"""Shared helpers for the experiment modules.
+
+Planning a paper-scale workload takes a noticeable fraction of a second, and
+several experiments (memory, utility, servers, headline aggregates) need the
+same plans, so the planning helpers are memoised on their (hashable) workload
+and cluster specifications.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.baseline import ModelWisePlanner
+from repro.core.gpu_cache import CachedModelWisePlanner
+from repro.core.plan import DeploymentPlan
+from repro.core.planner import ElasticRecPlanner
+from repro.hardware.specs import ClusterSpec, cpu_gpu_cluster, cpu_only_cluster
+from repro.model.configs import DLRMConfig, rm1, rm2, rm3
+
+__all__ = [
+    "CPU_ONLY_TARGET_QPS",
+    "CPU_GPU_TARGET_QPS",
+    "paper_workloads",
+    "cluster_for_system",
+    "plan_elasticrec",
+    "plan_model_wise",
+    "plan_cached_model_wise",
+]
+
+#: Target throughput of the CPU-only experiments (Figures 13-15).
+CPU_ONLY_TARGET_QPS = 100.0
+
+#: Target throughput of the CPU-GPU experiments (Figures 16-18, 20).
+CPU_GPU_TARGET_QPS = 200.0
+
+
+def paper_workloads() -> list[DLRMConfig]:
+    """RM1, RM2 and RM3 (Table II)."""
+    return [rm1(), rm2(), rm3()]
+
+
+def cluster_for_system(system: str) -> ClusterSpec:
+    """The paper cluster preset for ``"cpu"`` or ``"cpu-gpu"``."""
+    if system == "cpu":
+        return cpu_only_cluster()
+    if system == "cpu-gpu":
+        return cpu_gpu_cluster()
+    raise ValueError(f"unknown system {system!r}; use 'cpu' or 'cpu-gpu'")
+
+
+@lru_cache(maxsize=None)
+def plan_elasticrec(
+    config: DLRMConfig,
+    cluster: ClusterSpec,
+    target_qps: float,
+    num_shards: int | None = None,
+) -> DeploymentPlan:
+    """Plan an ElasticRec deployment (memoised)."""
+    return ElasticRecPlanner(cluster).plan(config, target_qps, num_shards=num_shards)
+
+
+@lru_cache(maxsize=None)
+def plan_model_wise(
+    config: DLRMConfig, cluster: ClusterSpec, target_qps: float
+) -> DeploymentPlan:
+    """Plan the model-wise baseline deployment (memoised)."""
+    return ModelWisePlanner(cluster).plan(config, target_qps)
+
+
+@lru_cache(maxsize=None)
+def plan_cached_model_wise(
+    config: DLRMConfig, cluster: ClusterSpec, target_qps: float
+) -> DeploymentPlan:
+    """Plan the model-wise + GPU embedding cache baseline deployment (memoised)."""
+    return CachedModelWisePlanner(cluster).plan(config, target_qps)

@@ -1,0 +1,59 @@
+"""Figure 9: QPS of embedding gather operations vs the number of vectors gathered.
+
+A 20M-entry table is profiled over a sweep of per-item gather counts for
+embedding dimensions 32, 128 and 512; larger dimensions move more bytes per
+gather and therefore sustain lower QPS.  The same profile feeds the
+``QPS(x)`` regression model used by Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.qps_model import QPSRegressionModel
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import cluster_for_system
+from repro.hardware.perf_model import PerfModel
+from repro.hardware.profiler import GatherProfiler
+
+__all__ = ["run"]
+
+DEFAULT_GATHERS: tuple[int, ...] = (1, 10, 20, 40, 60, 80, 100)
+DEFAULT_DIMS: tuple[int, ...] = (32, 128, 512)
+
+
+def run(
+    gather_counts: Sequence[int] = DEFAULT_GATHERS,
+    embedding_dims: Sequence[int] = DEFAULT_DIMS,
+    batch_size: int = 32,
+) -> ExperimentResult:
+    """Regenerate the Figure 9 sweep and report the fitted regression quality."""
+    perf = PerfModel(cluster_for_system("cpu"))
+    profiler = GatherProfiler(perf, batch_size=batch_size)
+    rows = []
+    summary: dict[str, float] = {}
+    for dim in embedding_dims:
+        points = profiler.profile(dim, gather_counts)
+        regression = QPSRegressionModel.fit(points)
+        max_error = float(max(abs(e) for e in regression.residuals(points)))
+        summary[f"dim{dim}_regression_max_rel_error"] = max_error
+        for point in points:
+            rows.append(
+                {
+                    "embedding_dim": dim,
+                    "num_vectors_gathered": point.num_gathers,
+                    "qps": point.qps,
+                    "predicted_qps": regression.predict_qps(point.num_gathers),
+                }
+            )
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="Embedding gather QPS vs number of vectors gathered (dims 32/128/512)",
+        rows=rows,
+        summary=summary,
+        notes=(
+            "QPS falls as the gather count grows and larger embedding dimensions are "
+            "uniformly slower; the fitted regression (Algorithm 1's QPS(x)) tracks the "
+            "profile closely."
+        ),
+    )

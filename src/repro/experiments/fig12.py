@@ -1,0 +1,187 @@
+"""Figure 12: microbenchmark sweeps of memory consumption (Table I).
+
+Four sweeps built on the RM1-derived microbenchmark, all at a 100 queries/s
+target on the CPU-only system:
+
+* **(a)** MLP size (Light / Medium / Heavy) — model-wise memory grows quickly
+  because extra dense compute forces whole-model replication, ElasticRec only
+  adds cheap dense shards.
+* **(b)** embedding-table locality (P = 10 / 50 / 90%) — ElasticRec exploits
+  higher locality, the baseline cannot.
+* **(c)** number of embedding tables (1 / 4 / 10 / 16).
+* **(d)** number of shards per table forced to 1 / 2 / 4 / 8 / 16 for
+  ElasticRec, showing the diminishing returns the DP partitioner balances.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import (
+    CPU_ONLY_TARGET_QPS,
+    cluster_for_system,
+    plan_elasticrec,
+    plan_model_wise,
+)
+from repro.model.configs import (
+    LOCALITY_PRESETS,
+    MICROBENCHMARK_MLP_PRESETS,
+    MICROBENCHMARK_SHARD_COUNTS,
+    MICROBENCHMARK_TABLE_COUNTS,
+    microbenchmark,
+)
+
+__all__ = ["run", "run_mlp_size", "run_locality", "run_num_tables", "run_num_shards"]
+
+
+def _memory_pair(config, cluster, target_qps) -> tuple[float, float]:
+    elastic = plan_elasticrec(config, cluster, target_qps)
+    baseline = plan_model_wise(config, cluster, target_qps)
+    return elastic.total_memory_gb, baseline.total_memory_gb
+
+
+def run_mlp_size(target_qps: float = CPU_ONLY_TARGET_QPS) -> ExperimentResult:
+    """Figure 12(a): memory consumption vs dense MLP size."""
+    cluster = cluster_for_system("cpu")
+    rows = []
+    for size in MICROBENCHMARK_MLP_PRESETS:
+        config = microbenchmark(mlp_size=size)
+        elastic_gb, baseline_gb = _memory_pair(config, cluster, target_qps)
+        rows.append(
+            {
+                "mlp_size": size,
+                "model_wise_gb": baseline_gb,
+                "elasticrec_gb": elastic_gb,
+                "reduction": baseline_gb / elastic_gb,
+            }
+        )
+    growth = {
+        "model_wise_growth": rows[-1]["model_wise_gb"] / rows[0]["model_wise_gb"],
+        "elasticrec_growth": rows[-1]["elasticrec_gb"] / rows[0]["elasticrec_gb"],
+    }
+    return ExperimentResult(
+        experiment_id="fig12a",
+        title="Memory consumption vs MLP size (Light/Medium/Heavy)",
+        rows=rows,
+        summary=growth,
+        notes=(
+            "Model-wise memory rises quickly as the MLP gets heavier (whole-model "
+            "replication); ElasticRec's increase is modest because only dense shards "
+            "are added."
+        ),
+    )
+
+
+def run_locality(target_qps: float = CPU_ONLY_TARGET_QPS) -> ExperimentResult:
+    """Figure 12(b): memory consumption vs embedding-table locality."""
+    cluster = cluster_for_system("cpu")
+    rows = []
+    for name in LOCALITY_PRESETS:
+        config = microbenchmark(locality=name)
+        elastic_gb, baseline_gb = _memory_pair(config, cluster, target_qps)
+        rows.append(
+            {
+                "locality": name,
+                "locality_P": LOCALITY_PRESETS[name],
+                "model_wise_gb": baseline_gb,
+                "elasticrec_gb": elastic_gb,
+                "reduction": baseline_gb / elastic_gb,
+            }
+        )
+    summary = {
+        "reduction_at_high_locality": rows[-1]["reduction"],
+        "model_wise_spread": max(r["model_wise_gb"] for r in rows)
+        / min(r["model_wise_gb"] for r in rows),
+    }
+    return ExperimentResult(
+        experiment_id="fig12b",
+        title="Memory consumption vs embedding access locality (P = 10/50/90%)",
+        rows=rows,
+        summary=summary,
+        notes=(
+            "ElasticRec's savings grow with locality (the paper reports 2.2x at High); "
+            "the baseline's memory is essentially flat because it cannot exploit skew."
+        ),
+    )
+
+
+def run_num_tables(target_qps: float = CPU_ONLY_TARGET_QPS) -> ExperimentResult:
+    """Figure 12(c): memory consumption vs the number of embedding tables."""
+    cluster = cluster_for_system("cpu")
+    rows = []
+    for num_tables in MICROBENCHMARK_TABLE_COUNTS:
+        config = microbenchmark(num_tables=num_tables)
+        elastic_gb, baseline_gb = _memory_pair(config, cluster, target_qps)
+        rows.append(
+            {
+                "num_tables": num_tables,
+                "model_wise_gb": baseline_gb,
+                "elasticrec_gb": elastic_gb,
+                "reduction": baseline_gb / elastic_gb,
+            }
+        )
+    summary = {"reduction_at_16_tables": rows[-1]["reduction"]}
+    return ExperimentResult(
+        experiment_id="fig12c",
+        title="Memory consumption vs number of embedding tables",
+        rows=rows,
+        summary=summary,
+        notes="The gap between model-wise and ElasticRec widens as tables are added.",
+    )
+
+
+def run_num_shards(target_qps: float = CPU_ONLY_TARGET_QPS) -> ExperimentResult:
+    """Figure 12(d): ElasticRec memory vs a manually forced shard count."""
+    cluster = cluster_for_system("cpu")
+    config = microbenchmark()
+    rows = []
+    for num_shards in MICROBENCHMARK_SHARD_COUNTS:
+        plan = plan_elasticrec(config, cluster, target_qps, num_shards=num_shards)
+        rows.append(
+            {
+                "num_shards": num_shards,
+                "elasticrec_gb": plan.total_memory_gb,
+                "total_replicas": plan.total_replicas,
+            }
+        )
+    auto_plan = plan_elasticrec(config, cluster, target_qps)
+    chosen = auto_plan.sharding.num_embedding_shards // config.embedding.num_tables
+    best_forced = min(rows, key=lambda r: r["elasticrec_gb"])
+    summary = {
+        "dp_chosen_shards": float(chosen),
+        "dp_chosen_gb": auto_plan.total_memory_gb,
+        "best_forced_shards": float(best_forced["num_shards"]),
+        "best_forced_gb": best_forced["elasticrec_gb"],
+    }
+    return ExperimentResult(
+        experiment_id="fig12d",
+        title="Memory consumption vs number of shards per table (forced)",
+        rows=rows,
+        summary=summary,
+        notes=(
+            "Memory drops as shards are added, then plateaus or rises once per-container "
+            "minimum allocations dominate; the DP-chosen shard count sits at that knee."
+        ),
+    )
+
+
+def run(target_qps: float = CPU_ONLY_TARGET_QPS) -> ExperimentResult:
+    """All four Figure 12 panels concatenated."""
+    parts = [
+        run_mlp_size(target_qps),
+        run_locality(target_qps),
+        run_num_tables(target_qps),
+        run_num_shards(target_qps),
+    ]
+    rows = []
+    summary: dict[str, float] = {}
+    for part in parts:
+        for row in part.rows:
+            rows.append({"panel": part.experiment_id, **row})
+        summary.update({f"{part.experiment_id}_{k}": v for k, v in part.summary.items()})
+    return ExperimentResult(
+        experiment_id="fig12",
+        title="Microbenchmark memory-consumption sweeps (Table I)",
+        rows=rows,
+        summary=summary,
+        notes="Panels a-d correspond to the four sub-figures of Figure 12.",
+    )

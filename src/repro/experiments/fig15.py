@@ -1,0 +1,65 @@
+"""Figure 15: CPU server nodes required to reach the 100 QPS target.
+
+The paper reports 1.67x, 1.67x and 2.0x fewer servers with ElasticRec for
+RM1/RM2/RM3 (an average deployment-cost reduction of about 1.7x), at the
+price of about 31 ms of extra average latency from cross-shard RPCs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.cost import servers_required
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import (
+    CPU_ONLY_TARGET_QPS,
+    cluster_for_system,
+    paper_workloads,
+    plan_elasticrec,
+    plan_model_wise,
+)
+from repro.hardware.perf_model import PerfModel
+
+__all__ = ["run"]
+
+PAPER_SERVER_REDUCTIONS = {"RM1": 1.67, "RM2": 1.67, "RM3": 2.0}
+
+
+def run(target_qps: float = CPU_ONLY_TARGET_QPS, system: str = "cpu") -> ExperimentResult:
+    """Regenerate Figure 15 (or Figure 18 when ``system='cpu-gpu'``)."""
+    cluster = cluster_for_system(system)
+    perf = PerfModel(cluster)
+    rows = []
+    for config in paper_workloads():
+        elastic = plan_elasticrec(config, cluster, target_qps)
+        baseline = plan_model_wise(config, cluster, target_qps)
+        elastic_servers = servers_required(elastic)
+        baseline_servers = servers_required(baseline)
+        rows.append(
+            {
+                "model": config.name,
+                "model_wise_servers": baseline_servers,
+                "elasticrec_servers": elastic_servers,
+                "reduction": baseline_servers / elastic_servers,
+                "rpc_overhead_ms": perf.rpc_overhead_s() * 1000.0,
+            }
+        )
+    reductions = [r["reduction"] for r in rows]
+    summary = {
+        "geomean_reduction": float(np.exp(np.mean(np.log(reductions)))),
+        "paper_average_reduction": 1.7 if system == "cpu" else 1.4,
+    }
+    return ExperimentResult(
+        experiment_id="fig15" if system == "cpu" else "fig18",
+        title=(
+            f"{'CPU' if system == 'cpu' else 'CPU-GPU'} servers required to meet the "
+            f"{target_qps:.0f} QPS target"
+        ),
+        rows=rows,
+        summary=summary,
+        notes=(
+            "ElasticRec reaches the same throughput with fewer servers because replicas "
+            "are right-sized per shard; the added cross-shard RPC latency stays well "
+            "within the 400 ms SLA."
+        ),
+    )

@@ -1,0 +1,18 @@
+"""Figure 17: CPU-GPU memory utility and per-shard replica counts.
+
+The CPU-GPU counterpart of Figure 14 (200 queries/s target); the paper
+reports an average 8x memory-utility improvement.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import CPU_GPU_TARGET_QPS
+from repro.experiments.fig14 import run as _run_utility
+
+__all__ = ["run"]
+
+
+def run(target_qps: float = CPU_GPU_TARGET_QPS, num_queries: int = 1000) -> ExperimentResult:
+    """Regenerate Figure 17."""
+    return _run_utility(target_qps=target_qps, num_queries=num_queries, system="cpu-gpu")

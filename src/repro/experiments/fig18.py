@@ -1,0 +1,24 @@
+"""Figure 18: CPU-GPU server nodes required to reach the 200 QPS target.
+
+The CPU-GPU counterpart of Figure 15; the paper reports 1.4x, 1.6x and 1.2x
+fewer servers for RM1/RM2/RM3 with about 60 ms of added average latency from
+cross-shard RPCs.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import CPU_GPU_TARGET_QPS
+from repro.experiments.fig15 import run as _run_servers
+
+__all__ = ["run"]
+
+PAPER_SERVER_REDUCTIONS = {"RM1": 1.4, "RM2": 1.6, "RM3": 1.2}
+
+
+def run(target_qps: float = CPU_GPU_TARGET_QPS) -> ExperimentResult:
+    """Regenerate Figure 18."""
+    result = _run_servers(target_qps=target_qps, system="cpu-gpu")
+    for row in result.rows:
+        row["paper_reduction"] = PAPER_SERVER_REDUCTIONS[row["model"]]
+    return result

@@ -1,0 +1,61 @@
+"""Experiment registry and command-line runner."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    ablation,
+    fig03,
+    fig05,
+    fig06,
+    fig09,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    fig20,
+    headline,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+#: Every reproducible artefact of the paper's evaluation, keyed by experiment id.
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "fig3": fig03.run,
+    "fig5": fig05.run,
+    "fig6": fig06.run,
+    "fig9": fig09.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+    "fig16": fig16.run,
+    "fig17": fig17.run,
+    "fig18": fig18.run,
+    "fig19": fig19.run,
+    "fig20": fig20.run,
+    "headline": headline.run,
+    "ablation": ablation.run,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"fig13"``)."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known ids: {known}") from None
+    return runner()
+
+
+def run_all(experiment_ids: list[str] | None = None) -> dict[str, ExperimentResult]:
+    """Run several experiments (all of them by default) and return their results."""
+    ids = experiment_ids if experiment_ids is not None else list(EXPERIMENTS)
+    return {experiment_id: run_experiment(experiment_id) for experiment_id in ids}

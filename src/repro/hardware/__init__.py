@@ -1,0 +1,44 @@
+"""Hardware specifications and the calibrated serving performance model.
+
+The paper evaluates on two testbeds (Section V-A): a CPU-only cluster of
+dual-socket Xeon Gold 6242 nodes and a GKE CPU-GPU cluster of n1-standard-32
+nodes with NVIDIA T4 GPUs.  Neither is available here, so this subpackage
+provides node/cluster specifications plus a roofline-style performance model
+(:class:`~repro.hardware.perf_model.PerfModel`) calibrated so that the
+dense-vs-sparse throughput relationships of Figures 5 and 9 have the paper's
+shape.  Every ElasticRec planning decision consumes the model only through
+profiled QPS/latency numbers, exactly as the real system consumes measured
+profiles.
+"""
+
+from repro.hardware.specs import (
+    ClusterSpec,
+    ContainerPolicy,
+    CPUNodeSpec,
+    GPUSpec,
+    PerfCalibration,
+    cpu_gpu_cluster,
+    cpu_only_cluster,
+    gke_n1_standard_32,
+    nvidia_t4,
+    xeon_gold_6242,
+)
+from repro.hardware.perf_model import PerfModel
+from repro.hardware.profiler import GatherProfiler, LayerProfiler, ProfilePoint
+
+__all__ = [
+    "CPUNodeSpec",
+    "GPUSpec",
+    "ClusterSpec",
+    "ContainerPolicy",
+    "PerfCalibration",
+    "xeon_gold_6242",
+    "gke_n1_standard_32",
+    "nvidia_t4",
+    "cpu_only_cluster",
+    "cpu_gpu_cluster",
+    "PerfModel",
+    "GatherProfiler",
+    "LayerProfiler",
+    "ProfilePoint",
+]

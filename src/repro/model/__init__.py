@@ -1,0 +1,49 @@
+"""DLRM model substrate.
+
+The paper serves DLRM-style recommendation models (Figure 1): a bottom MLP
+over continuous features, per-table embedding bag lookups over categorical
+features, a pairwise feature-interaction stage and a top MLP producing the
+click probability.  The paper uses PyTorch/libtorch; this subpackage provides
+a functionally equivalent numpy implementation together with analytic FLOP,
+parameter and memory-traffic counters, plus the workload configurations of
+Tables I and II (RM1/RM2/RM3 and the microbenchmark sweep).
+"""
+
+from repro.model.configs import (
+    LOCALITY_PRESETS,
+    MICROBENCHMARK_MLP_PRESETS,
+    DLRMConfig,
+    EmbeddingConfig,
+    MLPConfig,
+    microbenchmark,
+    rm1,
+    rm2,
+    rm3,
+    workload_presets,
+)
+from repro.model.mlp import MLP
+from repro.model.embedding import EmbeddingBag, EmbeddingTable, EmbeddingTableSpec
+from repro.model.interaction import FeatureInteraction
+from repro.model.dlrm import DLRM
+from repro.model.analytics import LayerBreakdown, ModelAnalytics
+
+__all__ = [
+    "DLRMConfig",
+    "EmbeddingConfig",
+    "MLPConfig",
+    "microbenchmark",
+    "rm1",
+    "rm2",
+    "rm3",
+    "workload_presets",
+    "MICROBENCHMARK_MLP_PRESETS",
+    "LOCALITY_PRESETS",
+    "MLP",
+    "EmbeddingTable",
+    "EmbeddingTableSpec",
+    "EmbeddingBag",
+    "FeatureInteraction",
+    "DLRM",
+    "ModelAnalytics",
+    "LayerBreakdown",
+]

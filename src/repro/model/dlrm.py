@@ -1,0 +1,135 @@
+"""Functional (numpy) DLRM model.
+
+The serving architecture treats the model as two logical halves — the dense
+DNN part (bottom MLP, feature interaction, top MLP) and the sparse embedding
+part (per-table gather + pool).  :class:`DLRM` exposes those halves both
+separately (``run_bottom_mlp`` / ``pool_embeddings`` / ``run_top``) so that
+shard-level execution in examples mirrors the microservice decomposition, and
+as a single ``forward`` for monolithic (model-wise) execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.query_gen import Query
+from repro.model.configs import DLRMConfig
+from repro.model.embedding import EmbeddingBag, EmbeddingTable, EmbeddingTableSpec
+from repro.model.interaction import FeatureInteraction
+from repro.model.mlp import MLP
+
+__all__ = ["DLRM"]
+
+
+class DLRM:
+    """A runnable DLRM instance built from a :class:`~repro.model.configs.DLRMConfig`.
+
+    ``rows_override`` shrinks every embedding table to a manageable size; the
+    paper-scale 20M-row tables would occupy gigabytes per table and are never
+    needed for functional correctness.
+    """
+
+    def __init__(
+        self,
+        config: DLRMConfig,
+        rows_override: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        self._config = config
+        rows = config.embedding.rows_per_table if rows_override is None else int(rows_override)
+        if rows <= 0:
+            raise ValueError(f"rows_override must be positive, got {rows_override}")
+        self._rows = rows
+        rng = np.random.default_rng(seed)
+        self._bottom_mlp = MLP(config.bottom_mlp, input_dim=config.num_dense_features, rng=rng)
+        self._interaction = FeatureInteraction(
+            num_tables=config.embedding.num_tables,
+            embedding_dim=config.embedding.embedding_dim,
+        )
+        self._top_mlp = MLP(
+            config.top_mlp,
+            input_dim=self._interaction.output_dim,
+            rng=rng,
+            sigmoid_output=True,
+        )
+        self._tables: list[EmbeddingTable] = []
+        self._bags: list[EmbeddingBag] = []
+        for table_id in range(config.embedding.num_tables):
+            spec = EmbeddingTableSpec(
+                table_id=table_id,
+                rows=rows,
+                dim=config.embedding.embedding_dim,
+                dtype_bytes=config.embedding.dtype_bytes,
+            )
+            table = EmbeddingTable(spec, rng=rng)
+            self._tables.append(table)
+            self._bags.append(EmbeddingBag(table))
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> DLRMConfig:
+        """The workload configuration this model was built from."""
+        return self._config
+
+    @property
+    def rows_per_table(self) -> int:
+        """Materialised rows per table (possibly overridden)."""
+        return self._rows
+
+    @property
+    def tables(self) -> list[EmbeddingTable]:
+        """The materialised embedding tables."""
+        return list(self._tables)
+
+    @property
+    def bottom_mlp(self) -> MLP:
+        """The bottom (dense-feature) MLP."""
+        return self._bottom_mlp
+
+    @property
+    def top_mlp(self) -> MLP:
+        """The top (post-interaction) MLP."""
+        return self._top_mlp
+
+    @property
+    def interaction(self) -> FeatureInteraction:
+        """The feature-interaction stage."""
+        return self._interaction
+
+    # ------------------------------------------------------------------
+    # Shard-style execution (mirrors the microservice decomposition)
+    # ------------------------------------------------------------------
+    def run_bottom_mlp(self, dense_input: np.ndarray) -> np.ndarray:
+        """Dense-shard work before embeddings arrive."""
+        return self._bottom_mlp(dense_input)
+
+    def pool_embeddings(self, query: Query) -> list[np.ndarray]:
+        """Sparse-shard work: gather and pool embeddings for every table."""
+        if query.num_tables != self._config.embedding.num_tables:
+            raise ValueError(
+                f"query touches {query.num_tables} tables, model has "
+                f"{self._config.embedding.num_tables}"
+            )
+        pooled = []
+        for lookup in query.sparse_lookups:
+            bag = self._bags[lookup.table_id]
+            pooled.append(bag(lookup.indices, lookup.offsets))
+        return pooled
+
+    def run_top(self, dense_vector: np.ndarray, pooled_embeddings: list[np.ndarray]) -> np.ndarray:
+        """Dense-shard work after embeddings return: interaction plus top MLP."""
+        interacted = self._interaction(dense_vector, pooled_embeddings)
+        return self._top_mlp(interacted)
+
+    # ------------------------------------------------------------------
+    # Monolithic execution
+    # ------------------------------------------------------------------
+    def forward(self, query: Query) -> np.ndarray:
+        """End-to-end inference: returns per-item click probabilities ``(batch, 1)``."""
+        dense_vector = self.run_bottom_mlp(query.dense_input)
+        pooled = self.pool_embeddings(query)
+        return self.run_top(dense_vector, pooled)
+
+    __call__ = forward

@@ -1,0 +1,83 @@
+"""Pairwise dot-product feature interaction (the DLRM interaction stage)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FeatureInteraction"]
+
+
+class FeatureInteraction:
+    """Combines the dense feature vector with the pooled embedding vectors.
+
+    Following DLRM, all feature vectors (one dense vector from the bottom MLP
+    plus one pooled vector per embedding table) are stacked, every distinct
+    pair's dot product is computed, and the resulting interaction terms are
+    concatenated with the dense vector to form the top-MLP input.
+    """
+
+    def __init__(self, num_tables: int, embedding_dim: int) -> None:
+        if num_tables <= 0:
+            raise ValueError(f"num_tables must be positive, got {num_tables}")
+        if embedding_dim <= 0:
+            raise ValueError(f"embedding_dim must be positive, got {embedding_dim}")
+        self._num_tables = int(num_tables)
+        self._embedding_dim = int(embedding_dim)
+
+    @property
+    def num_feature_vectors(self) -> int:
+        """Number of vectors entering the interaction (tables + dense)."""
+        return self._num_tables + 1
+
+    @property
+    def num_pairs(self) -> int:
+        """Distinct unordered pairs of feature vectors."""
+        n = self.num_feature_vectors
+        return n * (n - 1) // 2
+
+    @property
+    def output_dim(self) -> int:
+        """Width of the produced top-MLP input."""
+        return self._embedding_dim + self.num_pairs
+
+    def flops_per_sample(self) -> int:
+        """FLOPs of the pairwise dot products for one sample."""
+        return 2 * self._embedding_dim * self.num_pairs
+
+    def forward(self, dense_vector: np.ndarray, pooled_embeddings: list[np.ndarray]) -> np.ndarray:
+        """Compute the interaction output.
+
+        Parameters
+        ----------
+        dense_vector:
+            ``(batch, embedding_dim)`` output of the bottom MLP.
+        pooled_embeddings:
+            One ``(batch, embedding_dim)`` array per embedding table.
+        """
+        dense_vector = np.asarray(dense_vector, dtype=np.float64)
+        if dense_vector.ndim != 2 or dense_vector.shape[1] != self._embedding_dim:
+            raise ValueError(
+                f"dense_vector must have shape (batch, {self._embedding_dim}), "
+                f"got {dense_vector.shape}"
+            )
+        if len(pooled_embeddings) != self._num_tables:
+            raise ValueError(
+                f"expected {self._num_tables} pooled embeddings, got {len(pooled_embeddings)}"
+            )
+        batch = dense_vector.shape[0]
+        vectors = [dense_vector]
+        for table_index, pooled in enumerate(pooled_embeddings):
+            pooled = np.asarray(pooled, dtype=np.float64)
+            if pooled.shape != (batch, self._embedding_dim):
+                raise ValueError(
+                    f"pooled embedding {table_index} has shape {pooled.shape}, "
+                    f"expected {(batch, self._embedding_dim)}"
+                )
+            vectors.append(pooled)
+        stacked = np.stack(vectors, axis=1)  # (batch, vectors, dim)
+        gram = np.einsum("bvd,bwd->bvw", stacked, stacked)
+        rows, cols = np.triu_indices(self.num_feature_vectors, k=1)
+        interactions = gram[:, rows, cols]
+        return np.concatenate([dense_vector, interactions], axis=1)
+
+    __call__ = forward

@@ -1,0 +1,87 @@
+"""Numpy multi-layer perceptron used by the dense shards of DLRM."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.configs import MLPConfig
+
+__all__ = ["MLP"]
+
+
+class MLP:
+    """A fully-connected ReLU network with an optional sigmoid output.
+
+    Weights are initialised deterministically from the supplied generator so
+    examples and tests are reproducible.  The class is intentionally
+    inference-only: the serving architecture never trains.
+    """
+
+    def __init__(
+        self,
+        config: MLPConfig,
+        input_dim: int,
+        rng: np.random.Generator | None = None,
+        sigmoid_output: bool = False,
+    ) -> None:
+        if input_dim <= 0:
+            raise ValueError(f"input_dim must be positive, got {input_dim}")
+        self._config = config
+        self._input_dim = int(input_dim)
+        self._sigmoid_output = bool(sigmoid_output)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        dims = config.dims_with_input(input_dim)
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(dims[:-1], dims[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self._weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+    @property
+    def config(self) -> MLPConfig:
+        """Layer-width configuration."""
+        return self._config
+
+    @property
+    def input_dim(self) -> int:
+        """Width of the expected input."""
+        return self._input_dim
+
+    @property
+    def output_dim(self) -> int:
+        """Width of the produced output."""
+        return self._config.output_dim
+
+    @property
+    def num_parameters(self) -> int:
+        """Weights plus biases."""
+        return self._config.num_parameters(self._input_dim)
+
+    @property
+    def parameter_bytes(self) -> int:
+        """Parameter footprint assuming fp32 storage."""
+        return self.num_parameters * 4
+
+    def flops_per_sample(self) -> int:
+        """Multiply-accumulate FLOPs for one input sample."""
+        return self._config.flops_per_sample(self._input_dim)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the MLP on a ``(batch, input_dim)`` input."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self._input_dim:
+            raise ValueError(
+                f"expected input of shape (batch, {self._input_dim}), got {x.shape}"
+            )
+        out = x
+        last = len(self._weights) - 1
+        for layer, (weight, bias) in enumerate(zip(self._weights, self._biases)):
+            out = out @ weight + bias
+            if layer < last:
+                out = np.maximum(out, 0.0)
+        if self._sigmoid_output:
+            out = 1.0 / (1.0 + np.exp(-out))
+        return out
+
+    __call__ = forward

@@ -1,0 +1,37 @@
+"""Discrete-event serving simulation.
+
+The paper's dynamic-traffic experiment (Section VI-D, Figure 19) drives the
+deployed system with fluctuating query traffic while Kubernetes HPA scales
+shard replicas in and out, and reports the achieved QPS, allocated memory and
+tail latency over time.  This subpackage provides that serving loop:
+
+* :mod:`repro.serving.traffic` — constant / step / Poisson traffic patterns,
+  including the paper's Figure 19 profile.
+* :mod:`repro.serving.replica_server` — per-replica FIFO queueing.
+* :mod:`repro.serving.rpc` — the cross-shard RPC latency model.
+* :mod:`repro.serving.latency` — latency bookkeeping and percentiles.
+* :mod:`repro.serving.simulator` — the end-to-end simulator combining a
+  deployment plan, a cluster, the autoscaler and a traffic pattern.
+* :mod:`repro.serving.stress` — stress testing a single replica to find its
+  ``QPS_max`` (used to derive the sparse shards' HPA targets).
+"""
+
+from repro.serving.traffic import TrafficPattern, TrafficPhase, paper_dynamic_pattern
+from repro.serving.replica_server import ReplicaServer
+from repro.serving.rpc import RPCModel
+from repro.serving.latency import LatencyTracker
+from repro.serving.simulator import ServingSimulator, SimulationResult
+from repro.serving.stress import StressTestResult, find_qps_max
+
+__all__ = [
+    "TrafficPattern",
+    "TrafficPhase",
+    "paper_dynamic_pattern",
+    "ReplicaServer",
+    "RPCModel",
+    "LatencyTracker",
+    "ServingSimulator",
+    "SimulationResult",
+    "find_qps_max",
+    "StressTestResult",
+]

@@ -1,0 +1,107 @@
+"""Latency bookkeeping: percentiles and windowed time series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatencyTracker", "LatencyWindowPoint"]
+
+
+@dataclass(frozen=True)
+class LatencyWindowPoint:
+    """Aggregated latency statistics of one time bucket."""
+
+    time_s: float
+    completions: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+
+
+class LatencyTracker:
+    """Collects (completion time, latency) samples and aggregates them."""
+
+    def __init__(self) -> None:
+        self._completion_times: list[float] = []
+        self._latencies: list[float] = []
+
+    def record(self, completion_time: float, latency_s: float) -> None:
+        """Record one completed query."""
+        if latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+        self._completion_times.append(completion_time)
+        self._latencies.append(latency_s)
+
+    @property
+    def num_samples(self) -> int:
+        """Number of recorded completions."""
+        return len(self._latencies)
+
+    @property
+    def completion_times(self) -> np.ndarray:
+        """Completion timestamps of every recorded query."""
+        return np.asarray(self._completion_times, dtype=np.float64)
+
+    @property
+    def latencies_s(self) -> np.ndarray:
+        """Latencies (seconds) of every recorded query."""
+        return np.asarray(self._latencies, dtype=np.float64)
+
+    def percentile(self, percentile: float) -> float:
+        """Overall latency percentile in seconds."""
+        if not self._latencies:
+            raise ValueError("no latency samples recorded")
+        return float(np.percentile(self._latencies, percentile))
+
+    def mean(self) -> float:
+        """Overall mean latency in seconds."""
+        if not self._latencies:
+            raise ValueError("no latency samples recorded")
+        return float(np.mean(self._latencies))
+
+    def sla_violation_fraction(self, sla_s: float) -> float:
+        """Fraction of completions whose latency exceeded the SLA."""
+        if sla_s <= 0:
+            raise ValueError("sla_s must be positive")
+        if not self._latencies:
+            return 0.0
+        latencies = np.asarray(self._latencies)
+        return float(np.mean(latencies > sla_s))
+
+    def windowed(self, duration_s: float, bucket_s: float = 60.0) -> list[LatencyWindowPoint]:
+        """Per-bucket percentiles over ``[0, duration_s)`` (empty buckets report zeros)."""
+        if bucket_s <= 0 or duration_s <= 0:
+            raise ValueError("duration_s and bucket_s must be positive")
+        times = np.asarray(self._completion_times)
+        latencies = np.asarray(self._latencies) * 1000.0
+        points = []
+        edges = np.arange(0.0, duration_s + bucket_s, bucket_s)
+        for start, end in zip(edges[:-1], edges[1:]):
+            mask = (times >= start) & (times < end)
+            bucket = latencies[mask]
+            if bucket.size:
+                points.append(
+                    LatencyWindowPoint(
+                        time_s=float(start),
+                        completions=int(bucket.size),
+                        p50_ms=float(np.percentile(bucket, 50)),
+                        p95_ms=float(np.percentile(bucket, 95)),
+                        p99_ms=float(np.percentile(bucket, 99)),
+                        mean_ms=float(bucket.mean()),
+                    )
+                )
+            else:
+                points.append(
+                    LatencyWindowPoint(
+                        time_s=float(start),
+                        completions=0,
+                        p50_ms=0.0,
+                        p95_ms=0.0,
+                        p99_ms=0.0,
+                        mean_ms=0.0,
+                    )
+                )
+        return points

@@ -1,0 +1,74 @@
+"""Per-replica FIFO queueing."""
+
+from __future__ import annotations
+
+__all__ = ["ReplicaServer"]
+
+
+class ReplicaServer:
+    """A single container replica modelled as a FIFO queue.
+
+    Each replica serves one query at a time (its service time already assumes
+    the query uses the whole container's resources, matching how per-replica
+    QPS is defined throughout the planner), so a replica is an M/D/1-style
+    queue: a query submitted at ``arrival`` completes at
+    ``max(arrival, busy_until, ready_at) + service_time``.
+    """
+
+    def __init__(self, name: str, ready_at: float = 0.0) -> None:
+        self._name = name
+        self._ready_at = float(ready_at)
+        self._busy_until = float(ready_at)
+        self._completed = 0
+        self._busy_time = 0.0
+
+    @property
+    def name(self) -> str:
+        """Replica name."""
+        return self._name
+
+    @property
+    def ready_at(self) -> float:
+        """Time at which the replica finished starting up."""
+        return self._ready_at
+
+    @property
+    def busy_until(self) -> float:
+        """Time at which the replica's queue drains."""
+        return self._busy_until
+
+    @property
+    def completed_queries(self) -> int:
+        """Queries served so far."""
+        return self._completed
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total service time accumulated (for utilization accounting)."""
+        return self._busy_time
+
+    def is_ready(self, now: float) -> bool:
+        """Whether the replica can accept traffic at ``now``."""
+        return now >= self._ready_at
+
+    def pending_work(self, now: float) -> float:
+        """Seconds of queued work ahead of a query submitted at ``now``."""
+        return max(0.0, self._busy_until - now)
+
+    def submit(self, arrival: float, service_time: float) -> float:
+        """Enqueue one query and return its completion time."""
+        if service_time <= 0:
+            raise ValueError("service_time must be positive")
+        start = max(arrival, self._busy_until, self._ready_at)
+        completion = start + service_time
+        self._busy_until = completion
+        self._completed += 1
+        self._busy_time += service_time
+        return completion
+
+    def utilization(self, now: float) -> float:
+        """Fraction of wall-clock time spent serving, up to ``now``."""
+        elapsed = now - self._ready_at
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self._busy_time / elapsed)

@@ -1,0 +1,61 @@
+"""Cross-shard RPC latency model (the gRPC stand-in).
+
+Model shard instances communicate over gRPC (Section IV-A).  The latency of
+one call is a fixed per-call overhead (serialisation, scheduling, network
+round trip) plus a size-dependent transfer term over the cluster's network.
+The calibrated per-query aggregate matches the overheads the paper reports:
+about 31 ms of added average latency on the CPU-only cluster and about 60 ms
+on the CPU-GPU cluster (Sections VI-B and VI-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RPCModel"]
+
+
+@dataclass(frozen=True)
+class RPCModel:
+    """Latency model for one RPC between model shards."""
+
+    network_gbps: float
+    per_call_overhead_s: float = 0.0015
+
+    def __post_init__(self) -> None:
+        if self.network_gbps <= 0:
+            raise ValueError("network_gbps must be positive")
+        if self.per_call_overhead_s < 0:
+            raise ValueError("per_call_overhead_s must be non-negative")
+
+    def call_latency(self, payload_bytes: float) -> float:
+        """Latency of one RPC carrying ``payload_bytes``."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        transfer_s = payload_bytes * 8.0 / (self.network_gbps * 1e9)
+        return self.per_call_overhead_s + transfer_s
+
+    def fanout_latency(self, payload_bytes_per_call: float, num_calls: int) -> float:
+        """Latency of a parallel fan-out of identical RPCs (max of the calls).
+
+        Calls are issued concurrently, so the fan-out completes with the last
+        call; with identical payloads that is simply one call's latency plus a
+        small per-call issue cost on the caller.
+        """
+        if num_calls < 0:
+            raise ValueError("num_calls must be non-negative")
+        if num_calls == 0:
+            return 0.0
+        issue_cost = 0.0001 * (num_calls - 1)
+        return self.call_latency(payload_bytes_per_call) + issue_cost
+
+    def query_overhead(
+        self,
+        num_shards_contacted: int,
+        request_bytes: float,
+        response_bytes: float,
+    ) -> float:
+        """Added per-query latency of the dense shard's embedding fan-out."""
+        outbound = self.fanout_latency(request_bytes, num_shards_contacted)
+        inbound = self.fanout_latency(response_bytes, num_shards_contacted)
+        return outbound + inbound

@@ -1,0 +1,89 @@
+"""Stress testing a shard replica to find its maximum sustainable QPS.
+
+Section IV-D: "ElasticRec measures the maximum QPS each sparse shard can
+sustain (QPS_max), stress-testing each one of them by gradually increasing
+input query traffic intensity and monitoring at which point the tail latency
+increases rapidly."  The same procedure is reproduced here against the
+replica queueing model: traffic intensity is ramped up and the largest rate
+whose p95 latency stays within a knee threshold (a multiple of the service
+time) is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.replica_server import ReplicaServer
+from repro.serving.traffic import TrafficPattern
+
+__all__ = ["StressTestResult", "find_qps_max"]
+
+
+@dataclass(frozen=True)
+class StressTestResult:
+    """Outcome of stress-testing one replica."""
+
+    qps_max: float
+    service_time_s: float
+    knee_latency_s: float
+    tested_rates: tuple[float, ...]
+    p95_latencies_s: tuple[float, ...]
+
+
+def _p95_latency_at_rate(
+    rate_qps: float,
+    service_time_s: float,
+    duration_s: float,
+    rng: np.random.Generator,
+) -> float:
+    replica = ReplicaServer("stress-replica")
+    pattern = TrafficPattern.constant(rate_qps, duration_s)
+    arrivals = pattern.arrivals(rng)
+    if arrivals.size == 0:
+        return service_time_s
+    latencies = np.empty(arrivals.size)
+    for index, arrival in enumerate(arrivals):
+        completion = replica.submit(float(arrival), service_time_s)
+        latencies[index] = completion - arrival
+    return float(np.percentile(latencies, 95))
+
+
+def find_qps_max(
+    service_time_s: float,
+    knee_factor: float = 3.0,
+    duration_s: float = 120.0,
+    num_steps: int = 12,
+    seed: int = 0,
+) -> StressTestResult:
+    """Ramp traffic against one replica and find the knee of its tail latency.
+
+    ``knee_factor`` defines "increases rapidly": the stress test reports the
+    largest tested rate whose p95 latency stays below
+    ``knee_factor * service_time_s``.
+    """
+    if service_time_s <= 0:
+        raise ValueError("service_time_s must be positive")
+    if knee_factor <= 1:
+        raise ValueError("knee_factor must exceed 1")
+    if num_steps < 2:
+        raise ValueError("num_steps must be at least 2")
+    rng = np.random.default_rng(seed)
+    ideal_qps = 1.0 / service_time_s
+    rates = np.linspace(0.3 * ideal_qps, 1.2 * ideal_qps, num_steps)
+    knee_latency = knee_factor * service_time_s
+    p95s = []
+    qps_max = rates[0]
+    for rate in rates:
+        p95 = _p95_latency_at_rate(float(rate), service_time_s, duration_s, rng)
+        p95s.append(p95)
+        if p95 <= knee_latency:
+            qps_max = float(rate)
+    return StressTestResult(
+        qps_max=qps_max,
+        service_time_s=service_time_s,
+        knee_latency_s=knee_latency,
+        tested_rates=tuple(float(r) for r in rates),
+        p95_latencies_s=tuple(p95s),
+    )

@@ -1,0 +1,137 @@
+"""Query traffic patterns and Poisson arrival generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TrafficPhase", "TrafficPattern", "paper_dynamic_pattern"]
+
+
+@dataclass(frozen=True)
+class TrafficPhase:
+    """A constant-rate segment of a traffic pattern."""
+
+    start_s: float
+    rate_qps: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError("start_s must be non-negative")
+        if self.rate_qps < 0:
+            raise ValueError("rate_qps must be non-negative")
+
+
+@dataclass(frozen=True)
+class TrafficPattern:
+    """A piecewise-constant target query rate over a finite duration."""
+
+    phases: tuple[TrafficPhase, ...]
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        phases = tuple(self.phases)
+        object.__setattr__(self, "phases", phases)
+        if not phases:
+            raise ValueError("a traffic pattern needs at least one phase")
+        if phases[0].start_s != 0:
+            raise ValueError("the first phase must start at time 0")
+        starts = [p.start_s for p in phases]
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise ValueError("phase start times must increase strictly")
+        if self.duration_s <= starts[-1]:
+            raise ValueError("duration_s must extend past the last phase start")
+
+    @classmethod
+    def constant(cls, rate_qps: float, duration_s: float) -> "TrafficPattern":
+        """A single-phase constant-rate pattern."""
+        return cls(phases=(TrafficPhase(0.0, rate_qps),), duration_s=duration_s)
+
+    @classmethod
+    def from_steps(
+        cls, steps: list[tuple[float, float]], duration_s: float
+    ) -> "TrafficPattern":
+        """Build from ``(start_s, rate_qps)`` pairs."""
+        return cls(
+            phases=tuple(TrafficPhase(start, rate) for start, rate in steps),
+            duration_s=duration_s,
+        )
+
+    def rate_at(self, time_s: float) -> float:
+        """Target query rate at an instant."""
+        if time_s < 0 or time_s > self.duration_s:
+            raise ValueError(f"time {time_s} outside the pattern duration")
+        rate = self.phases[0].rate_qps
+        for phase in self.phases:
+            if time_s >= phase.start_s:
+                rate = phase.rate_qps
+            else:
+                break
+        return rate
+
+    @property
+    def peak_rate(self) -> float:
+        """Highest target rate of the pattern."""
+        return max(p.rate_qps for p in self.phases)
+
+    def expected_queries(self) -> float:
+        """Expected number of queries over the whole pattern."""
+        total = 0.0
+        for index, phase in enumerate(self.phases):
+            end = (
+                self.phases[index + 1].start_s
+                if index + 1 < len(self.phases)
+                else self.duration_s
+            )
+            total += phase.rate_qps * (end - phase.start_s)
+        return total
+
+    def arrivals(self, rng: np.random.Generator) -> np.ndarray:
+        """Poisson arrival times over the pattern's duration (sorted)."""
+        arrivals = []
+        for index, phase in enumerate(self.phases):
+            end = (
+                self.phases[index + 1].start_s
+                if index + 1 < len(self.phases)
+                else self.duration_s
+            )
+            if phase.rate_qps <= 0:
+                continue
+            expected = phase.rate_qps * (end - phase.start_s)
+            count = rng.poisson(expected)
+            times = rng.uniform(phase.start_s, end, size=count)
+            arrivals.append(times)
+        if not arrivals:
+            return np.empty(0, dtype=np.float64)
+        return np.sort(np.concatenate(arrivals))
+
+
+def paper_dynamic_pattern(
+    base_qps: float = 50.0,
+    peak_qps: float = 250.0,
+    duration_s: float = 1800.0,
+) -> TrafficPattern:
+    """The Figure 19 traffic profile.
+
+    The input traffic is raised in five equal increments between minute 5 and
+    minute 20 and then reduced at minute 24; the experiment runs for 30
+    simulated minutes.  Shorter (or longer) ``duration_s`` values keep the
+    same shape by scaling every phase boundary proportionally.
+    """
+    if peak_qps <= base_qps:
+        raise ValueError("peak_qps must exceed base_qps")
+    increments = 5
+    step = (peak_qps - base_qps) / increments
+    time_scale = duration_s / 1800.0
+    ramp_start, ramp_end, drop_at = (
+        5 * 60.0 * time_scale,
+        20 * 60.0 * time_scale,
+        24 * 60.0 * time_scale,
+    )
+    phase_gap = (ramp_end - ramp_start) / (increments - 1)
+    steps: list[tuple[float, float]] = [(0.0, base_qps)]
+    for i in range(increments):
+        steps.append((ramp_start + i * phase_gap, base_qps + (i + 1) * step))
+    steps.append((drop_at, base_qps + step))
+    return TrafficPattern.from_steps(steps, duration_s=duration_s)

@@ -1,0 +1,89 @@
+"""Tests for memory-utility measurement (Figures 14/17)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.utility import (
+    average_memory_utility,
+    memory_utility,
+    trace_utility,
+)
+from repro.data.distributions import ZipfDistribution
+
+
+class TestMemoryUtility:
+    def test_model_wise_has_single_low_utility_shard(self, small_model_wise_plan):
+        utilities = memory_utility(small_model_wise_plan, num_queries=1000)
+        assert len(utilities) == 1
+        only = utilities[0]
+        assert only.rows == small_model_wise_plan.workload.embedding.rows_per_table
+        # The paper reports ~6% average utility for the baseline.
+        assert only.utility_pct < 20.0
+
+    def test_elastic_hot_shard_has_high_utility(self, small_elastic_plan):
+        utilities = memory_utility(small_elastic_plan, num_queries=1000)
+        assert utilities[0].shard_index == 0
+        assert utilities[0].utility_pct > 50.0
+
+    def test_utility_decreases_with_shard_coldness(self, small_elastic_plan):
+        utilities = memory_utility(small_elastic_plan, num_queries=1000)
+        values = [u.utility_pct for u in utilities]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_replica_counts_attached(self, small_elastic_plan):
+        utilities = memory_utility(small_elastic_plan)
+        deployments = small_elastic_plan.embedding_deployments_for_table(0)
+        assert [u.replicas for u in utilities] == [d.replicas for d in deployments]
+
+    def test_more_queries_means_more_coverage(self, small_elastic_plan):
+        few = memory_utility(small_elastic_plan, num_queries=10)
+        many = memory_utility(small_elastic_plan, num_queries=5000)
+        assert many[0].expected_touched_rows > few[0].expected_touched_rows
+
+    def test_elasticrec_average_utility_exceeds_baseline(
+        self, small_elastic_plan, small_model_wise_plan
+    ):
+        """The paper's 8.1x memory-utility headline, directionally."""
+        elastic = average_memory_utility(small_elastic_plan)
+        baseline = average_memory_utility(small_model_wise_plan)
+        assert elastic > 2.0 * baseline
+
+    def test_weighted_average_differs(self, small_elastic_plan):
+        unweighted = average_memory_utility(small_elastic_plan, weight_by_memory=False)
+        weighted = average_memory_utility(small_elastic_plan, weight_by_memory=True)
+        assert unweighted != pytest.approx(weighted)
+
+    def test_invalid_num_queries(self, small_elastic_plan):
+        with pytest.raises(ValueError):
+            memory_utility(small_elastic_plan, num_queries=0)
+
+
+class TestTraceUtility:
+    def test_exact_trace_utility(self):
+        trace = np.array([0, 0, 1, 5, 9])
+        utilities = trace_utility([(0, 2), (2, 10)], trace)
+        assert utilities[0] == pytest.approx(100.0)
+        assert utilities[1] == pytest.approx(2 / 8 * 100.0)
+
+    def test_analytic_matches_sampled_trace(self, rng):
+        """The closed-form expected-unique matches an actual sampled trace."""
+        rows = 5000
+        distribution = ZipfDistribution.from_locality(rows, 0.9)
+        draws = 20_000
+        ranges = [(0, 500), (500, rows)]
+        analytic = [
+            100.0 * distribution.expected_unique(draws, lo, hi) / (hi - lo)
+            for lo, hi in ranges
+        ]
+        sampled = np.mean(
+            [trace_utility(ranges, distribution.sample(draws, rng)) for _ in range(20)],
+            axis=0,
+        )
+        assert analytic[0] == pytest.approx(sampled[0], rel=0.05)
+        assert analytic[1] == pytest.approx(sampled[1], rel=0.1)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            trace_utility([(5, 5)], np.array([1]))

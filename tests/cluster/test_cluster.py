@@ -1,0 +1,90 @@
+"""Tests for the cluster facade and its reconciliation loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.container import ContainerSpec
+from repro.cluster.resources import ResourceRequest
+from repro.hardware.specs import cpu_only_cluster
+
+
+def small_spec(name="shard", cores=4, memory=1e9, startup=10.0, qps=20.0):
+    return ContainerSpec(
+        name=name,
+        role="embedding",
+        resources=ResourceRequest(cores=cores, memory_bytes=memory),
+        startup_s=startup,
+        per_replica_qps=qps,
+    )
+
+
+@pytest.fixture()
+def cluster():
+    return Cluster(cpu_only_cluster(num_nodes=2))
+
+
+class TestClusterBasics:
+    def test_nodes_built_from_spec(self, cluster):
+        assert len(cluster.nodes) == 2
+        assert cluster.allocated_memory_gb == 0.0
+        assert cluster.nodes_in_use() == 0
+
+    def test_create_and_lookup_deployment(self, cluster):
+        deployment = cluster.create_deployment(small_spec(), desired_replicas=2)
+        assert cluster.deployment("shard") is deployment
+        with pytest.raises(KeyError):
+            cluster.deployment("missing")
+        with pytest.raises(ValueError):
+            cluster.create_deployment(small_spec(), desired_replicas=1)
+
+    def test_from_plan_builds_all_deployments(self, small_elastic_plan):
+        cluster = Cluster.from_plan(small_elastic_plan)
+        assert len(cluster.deployments) == len(small_elastic_plan.deployments)
+        cluster.reconcile(0.0)
+        assert cluster.allocated_memory_gb > 0
+
+    def test_from_plan_initial_replicas_override(self, small_elastic_plan):
+        cluster = Cluster.from_plan(small_elastic_plan, initial_replicas=1)
+        cluster.reconcile(0.0)
+        for deployment in cluster.deployments:
+            assert len(deployment.active_replicas) <= 1
+
+
+class TestReconciliation:
+    def test_grows_to_desired(self, cluster):
+        deployment = cluster.create_deployment(small_spec(startup=5.0), desired_replicas=3)
+        cluster.reconcile(0.0)
+        assert len(deployment.active_replicas) == 3
+        assert all(not c.is_ready for c in deployment.active_replicas)
+        cluster.reconcile(5.0)
+        assert len(deployment.ready_replicas) == 3
+
+    def test_shrinks_when_desired_drops(self, cluster):
+        deployment = cluster.create_deployment(small_spec(startup=0.0), desired_replicas=4)
+        cluster.reconcile(0.0)
+        deployment.desired_replicas = 1
+        cluster.reconcile(10.0)
+        assert len(deployment.active_replicas) == 1
+        # Resources of evicted replicas are released back to the nodes.
+        assert cluster.allocated_memory_gb == pytest.approx(1.0)
+
+    def test_unschedulable_replicas_stay_pending(self, cluster):
+        spec = small_spec(name="huge", cores=60)
+        deployment = cluster.create_deployment(spec, desired_replicas=5)
+        cluster.reconcile(0.0)
+        # Only two 60-core containers fit on two 64-core nodes.
+        assert len(deployment.active_replicas) == 2
+        assert len(cluster.pending_containers) == 3
+
+    def test_nodes_in_use(self, cluster):
+        cluster.create_deployment(small_spec(cores=40), desired_replicas=2)
+        cluster.reconcile(0.0)
+        assert cluster.nodes_in_use() == 2
+
+    def test_memory_accounting_counts_starting_replicas(self, cluster):
+        cluster.create_deployment(small_spec(memory=2e9, startup=100.0), desired_replicas=2)
+        cluster.reconcile(0.0)
+        # Still starting (not ready) but memory is already allocated.
+        assert cluster.allocated_memory_gb == pytest.approx(4.0)

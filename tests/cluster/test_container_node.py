@@ -1,0 +1,99 @@
+"""Tests for container lifecycle and node placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.container import Container, ContainerSpec, ContainerState
+from repro.cluster.node import Node
+from repro.cluster.resources import ResourceRequest
+from repro.hardware.specs import xeon_gold_6242
+
+
+def make_spec(name="shard", cores=4, memory=1e9, gpus=0, startup=10.0):
+    return ContainerSpec(
+        name=name,
+        role="embedding",
+        resources=ResourceRequest(cores=cores, memory_bytes=memory, gpus=gpus),
+        startup_s=startup,
+        per_replica_qps=20.0,
+    )
+
+
+class TestContainerLifecycle:
+    def test_initial_state(self):
+        container = Container(spec=make_spec())
+        assert container.state is ContainerState.PENDING
+        assert not container.is_ready
+        assert not container.is_active
+
+    def test_schedule_then_ready(self):
+        container = Container(spec=make_spec(startup=5.0))
+        container.mark_scheduled("node-0", now=100.0)
+        assert container.state is ContainerState.STARTING
+        assert container.is_active
+        assert container.ready_at == pytest.approx(105.0)
+        assert not container.maybe_become_ready(103.0)
+        assert container.maybe_become_ready(105.0)
+        assert container.is_ready
+
+    def test_cannot_schedule_twice(self):
+        container = Container(spec=make_spec())
+        container.mark_scheduled("node-0", now=0.0)
+        with pytest.raises(RuntimeError):
+            container.mark_scheduled("node-1", now=1.0)
+
+    def test_terminate_is_idempotent(self):
+        container = Container(spec=make_spec())
+        container.terminate(now=1.0)
+        container.terminate(now=2.0)
+        assert container.state is ContainerState.TERMINATED
+        assert container.terminated_at == 1.0
+
+    def test_unique_names(self):
+        a, b = Container(spec=make_spec()), Container(spec=make_spec())
+        assert a.name != b.name
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            make_spec(startup=-1)
+        with pytest.raises(ValueError):
+            ContainerSpec(name="", role="dense", resources=ResourceRequest(1, 1), startup_s=0, per_replica_qps=1)
+
+
+class TestNode:
+    def test_place_and_evict(self):
+        node = Node("n0", xeon_gold_6242())
+        container = Container(spec=make_spec(cores=8, memory=10e9))
+        node.place(container, now=5.0)
+        assert container.node_name == "n0"
+        assert node.allocated_cores == 8
+        assert node.allocated_memory_bytes == pytest.approx(10e9)
+        assert len(node.containers) == 1
+        node.evict(container, now=9.0)
+        assert node.containers == []
+        assert node.allocated_cores == 0
+        assert container.state is ContainerState.TERMINATED
+
+    def test_capacity_enforced(self):
+        node = Node("n0", xeon_gold_6242())
+        huge = Container(spec=make_spec(cores=200))
+        assert not node.can_fit(huge.spec.resources)
+        with pytest.raises(ValueError):
+            node.place(huge, now=0.0)
+
+    def test_memory_capacity_enforced(self):
+        node = Node("n0", xeon_gold_6242())
+        first = Container(spec=make_spec(memory=300e9))
+        second = Container(spec=make_spec(memory=100e9))
+        node.place(first, now=0.0)
+        assert not node.can_fit(second.spec.resources)
+
+    def test_evict_unknown_container(self):
+        node = Node("n0", xeon_gold_6242())
+        with pytest.raises(KeyError):
+            node.evict(Container(spec=make_spec()), now=0.0)
+
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            Node("", xeon_gold_6242())

@@ -1,0 +1,105 @@
+"""Tests for Kubernetes manifest generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.manifests import (
+    deployment_manifest,
+    hpa_manifest,
+    plan_manifests,
+    render_manifests,
+    to_yaml,
+)
+
+
+class TestYamlEmitter:
+    def test_scalars_and_nesting(self):
+        data = {"a": 1, "b": {"c": "text", "d": [1, 2]}, "e": True}
+        text = to_yaml(data)
+        assert "a: 1" in text
+        assert "c: text" in text
+        assert "- 1" in text
+        assert "e: true" in text
+
+    def test_special_characters_quoted(self):
+        text = to_yaml({"name": "value: with colon"})
+        assert '"value: with colon"' in text
+
+    def test_empty_containers(self):
+        assert to_yaml({}) == "{}"
+        assert to_yaml([]) == "[]"
+
+    def test_list_of_dicts(self):
+        text = to_yaml([{"name": "x", "port": 1}, {"name": "y"}])
+        assert text.count("- name:") == 2
+
+
+class TestDeploymentManifest:
+    def test_dense_shard_manifest(self, small_elastic_plan):
+        shard = small_elastic_plan.dense_deployments[0]
+        manifest = deployment_manifest(small_elastic_plan, shard)
+        assert manifest["kind"] == "Deployment"
+        assert manifest["spec"]["replicas"] == shard.replicas
+        container = manifest["spec"]["template"]["spec"]["containers"][0]
+        assert container["resources"]["requests"]["cpu"] == str(shard.cores)
+        assert "nvidia.com/gpu" not in container["resources"]["requests"]
+
+    def test_embedding_shard_manifest_carries_row_range(self, small_elastic_plan):
+        shard = small_elastic_plan.embedding_deployments[0]
+        manifest = deployment_manifest(small_elastic_plan, shard)
+        env = {e["name"]: e["value"] for e in manifest["spec"]["template"]["spec"]["containers"][0]["env"]}
+        assert env["SHARD_START_ROW"] == str(shard.embedding_shard.start_row)
+        assert env["SHARD_END_ROW"] == str(shard.embedding_shard.end_row)
+
+    def test_gpu_request_rendered(self, gpu_cluster, small_config):
+        from repro.core.planner import ElasticRecPlanner
+
+        plan = ElasticRecPlanner(gpu_cluster).plan(small_config, 100)
+        manifest = deployment_manifest(plan, plan.dense_deployments[0])
+        requests = manifest["spec"]["template"]["spec"]["containers"][0]["resources"]["requests"]
+        assert requests["nvidia.com/gpu"] == "1"
+
+    def test_names_are_kubernetes_safe(self, small_elastic_plan):
+        for manifest in plan_manifests(small_elastic_plan):
+            name = manifest["metadata"]["name"]
+            assert name == name.lower()
+            assert all(c.isalnum() or c == "-" for c in name)
+
+
+class TestHPAManifest:
+    def test_sparse_shard_uses_qps_metric(self, small_elastic_plan):
+        shard = small_elastic_plan.embedding_deployments[0]
+        manifest = hpa_manifest(small_elastic_plan, shard)
+        metric = manifest["spec"]["metrics"][0]["pods"]["metric"]["name"]
+        assert metric == "queries_per_second"
+
+    def test_dense_shard_uses_latency_metric(self, small_elastic_plan):
+        shard = small_elastic_plan.dense_deployments[0]
+        manifest = hpa_manifest(small_elastic_plan, shard)
+        metric = manifest["spec"]["metrics"][0]["pods"]["metric"]["name"]
+        assert metric == "p95_latency_seconds"
+
+    def test_no_hpa_returns_none(self, small_elastic_plan):
+        from dataclasses import replace
+
+        shard = replace(small_elastic_plan.dense_deployments[0], hpa=None)
+        assert hpa_manifest(small_elastic_plan, shard) is None
+
+
+class TestRenderedPlan:
+    def test_one_deployment_and_hpa_per_shard(self, small_elastic_plan):
+        manifests = plan_manifests(small_elastic_plan)
+        kinds = [m["kind"] for m in manifests]
+        assert kinds.count("Deployment") == len(small_elastic_plan.deployments)
+        assert kinds.count("HorizontalPodAutoscaler") == len(small_elastic_plan.deployments)
+
+    def test_render_is_multi_document_yaml(self, small_elastic_plan):
+        text = render_manifests(small_elastic_plan)
+        assert text.count("\n---\n") == 2 * len(small_elastic_plan.deployments) - 1
+        assert "apiVersion: apps/v1" in text
+        assert "autoscaling/v2" in text
+
+    def test_model_wise_plan_renders_too(self, small_model_wise_plan):
+        manifests = plan_manifests(small_model_wise_plan)
+        assert len(manifests) == 2

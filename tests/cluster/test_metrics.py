@@ -1,0 +1,56 @@
+"""Tests for the metrics registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.metrics import MetricsRegistry
+
+
+class TestMetricsRegistry:
+    def test_record_and_query(self):
+        metrics = MetricsRegistry()
+        for t in range(10):
+            metrics.record("qps", float(t), timestamp=float(t))
+        assert metrics.names() == ["qps"]
+        assert len(metrics.samples("qps")) == 10
+        assert metrics.latest("qps") == 9.0
+
+    def test_window_selection(self):
+        metrics = MetricsRegistry()
+        for t in range(100):
+            metrics.record("m", 1.0, timestamp=float(t))
+        assert metrics.count("m", now=99.0, window_s=10.0) == 10
+        assert metrics.sum("m", now=99.0, window_s=10.0) == pytest.approx(10.0)
+        assert metrics.rate("m", now=99.0, window_s=10.0) == pytest.approx(1.0)
+
+    def test_mean_and_percentile(self):
+        metrics = MetricsRegistry()
+        for t, value in enumerate(range(1, 101)):
+            metrics.record("lat", float(value), timestamp=float(t))
+        assert metrics.mean("lat", now=100.0, window_s=1000.0) == pytest.approx(50.5)
+        assert metrics.percentile("lat", 95, now=100.0, window_s=1000.0) == pytest.approx(
+            95.05, rel=0.01
+        )
+
+    def test_empty_queries(self):
+        metrics = MetricsRegistry()
+        assert metrics.mean("missing", now=0.0, window_s=10.0) is None
+        assert metrics.percentile("missing", 95, now=0.0, window_s=10.0) is None
+        assert metrics.sum("missing", now=0.0, window_s=10.0) == 0.0
+        assert metrics.latest("missing") is None
+        assert metrics.samples("missing") == []
+
+    def test_out_of_order_timestamps_rejected(self):
+        metrics = MetricsRegistry()
+        metrics.record("m", 1.0, timestamp=10.0)
+        with pytest.raises(ValueError):
+            metrics.record("m", 1.0, timestamp=5.0)
+
+    def test_invalid_arguments(self):
+        metrics = MetricsRegistry()
+        metrics.record("m", 1.0, timestamp=0.0)
+        with pytest.raises(ValueError):
+            metrics.rate("m", now=1.0, window_s=0.0)
+        with pytest.raises(ValueError):
+            metrics.percentile("m", 0.0, now=1.0, window_s=1.0)

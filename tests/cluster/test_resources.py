@@ -1,0 +1,78 @@
+"""Tests for resource requests and capacities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.resources import ResourceCapacity, ResourceRequest
+
+
+class TestResourceRequest:
+    def test_properties(self):
+        request = ResourceRequest(cores=4, memory_bytes=2e9, gpus=1)
+        assert request.memory_gb == pytest.approx(2.0)
+
+    def test_scaled(self):
+        request = ResourceRequest(cores=2, memory_bytes=1e9)
+        scaled = request.scaled(3)
+        assert scaled.cores == 6
+        assert scaled.memory_bytes == pytest.approx(3e9)
+        with pytest.raises(ValueError):
+            request.scaled(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResourceRequest(cores=0, memory_bytes=1)
+        with pytest.raises(ValueError):
+            ResourceRequest(cores=1, memory_bytes=0)
+        with pytest.raises(ValueError):
+            ResourceRequest(cores=1, memory_bytes=1, gpus=-1)
+
+
+class TestResourceCapacity:
+    def test_fits_and_allocate(self):
+        capacity = ResourceCapacity(cores=8, memory_bytes=10e9, gpus=1)
+        request = ResourceRequest(cores=4, memory_bytes=5e9, gpus=1)
+        assert capacity.fits(request)
+        capacity.allocate(request)
+        assert not capacity.fits(request)
+        capacity.release(request)
+        assert capacity.fits(request)
+
+    def test_allocate_rejects_oversized(self):
+        capacity = ResourceCapacity(cores=2, memory_bytes=1e9)
+        with pytest.raises(ValueError):
+            capacity.allocate(ResourceRequest(cores=4, memory_bytes=1e8))
+
+    def test_gpu_dimension_checked(self):
+        capacity = ResourceCapacity(cores=8, memory_bytes=1e9, gpus=0)
+        assert not capacity.fits(ResourceRequest(cores=1, memory_bytes=1e8, gpus=1))
+
+    def test_copy_is_independent(self):
+        capacity = ResourceCapacity(cores=8, memory_bytes=1e9)
+        copy = capacity.copy()
+        copy.allocate(ResourceRequest(cores=8, memory_bytes=1e9))
+        assert capacity.cores == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResourceCapacity(cores=-1, memory_bytes=1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    cores=st.floats(min_value=1, max_value=128),
+    memory=st.floats(min_value=1e6, max_value=1e12),
+    gpus=st.integers(min_value=0, max_value=4),
+)
+def test_allocate_release_roundtrip(cores, memory, gpus):
+    """Property: allocating then releasing restores the original capacity."""
+    capacity = ResourceCapacity(cores=128, memory_bytes=1e12, gpus=4)
+    request = ResourceRequest(cores=cores, memory_bytes=memory, gpus=gpus)
+    capacity.allocate(request)
+    capacity.release(request)
+    assert capacity.cores == pytest.approx(128)
+    assert capacity.memory_bytes == pytest.approx(1e12)
+    assert capacity.gpus == 4

@@ -1,0 +1,93 @@
+"""Tests for the bin-packing scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.container import Container, ContainerSpec
+from repro.cluster.node import Node
+from repro.cluster.resources import ResourceRequest
+from repro.cluster.scheduler import BinPackingScheduler, nodes_required
+from repro.hardware.specs import gke_n1_standard_32, xeon_gold_6242
+
+
+def make_container(cores=4, memory=1e9, gpus=0, name="c"):
+    spec = ContainerSpec(
+        name=name,
+        role="embedding",
+        resources=ResourceRequest(cores=cores, memory_bytes=memory, gpus=gpus),
+        startup_s=1.0,
+        per_replica_qps=10.0,
+    )
+    return Container(spec=spec)
+
+
+class TestBinPackingScheduler:
+    def test_places_on_feasible_node(self):
+        nodes = [Node(f"n{i}", xeon_gold_6242()) for i in range(2)]
+        scheduler = BinPackingScheduler(nodes)
+        container = make_container(cores=8)
+        assert scheduler.try_schedule(container, now=0.0)
+        assert container.node_name in {"n0", "n1"}
+
+    def test_returns_false_when_full(self):
+        nodes = [Node("n0", xeon_gold_6242())]
+        scheduler = BinPackingScheduler(nodes)
+        assert scheduler.try_schedule(make_container(cores=60), 0.0)
+        assert not scheduler.try_schedule(make_container(cores=60), 0.0)
+
+    def test_schedule_all_places_largest_first(self):
+        nodes = [Node("n0", xeon_gold_6242())]
+        scheduler = BinPackingScheduler(nodes)
+        small = make_container(memory=100e9, name="small")
+        big = make_container(memory=350e9, name="big")
+        unplaced = scheduler.schedule_all([small, big], now=0.0)
+        # The big container must have been placed (it was considered first);
+        # the small one no longer fits.
+        assert unplaced == [small]
+        assert big.node_name == "n0"
+
+    def test_best_fit_prefers_tighter_node(self):
+        empty = Node("empty", xeon_gold_6242())
+        busy = Node("busy", xeon_gold_6242())
+        busy.place(make_container(memory=300e9, cores=2), now=0.0)
+        scheduler = BinPackingScheduler([empty, busy])
+        container = make_container(memory=50e9)
+        scheduler.try_schedule(container, now=0.0)
+        assert container.node_name == "busy"
+
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            BinPackingScheduler([])
+
+
+class TestNodesRequired:
+    def test_empty(self):
+        assert nodes_required([], xeon_gold_6242()) == 0
+
+    def test_core_bound_packing(self):
+        requests = [ResourceRequest(cores=48, memory_bytes=1e9)] * 4
+        # 64-core nodes hold one 48-core request each.
+        assert nodes_required(requests, xeon_gold_6242()) == 4
+
+    def test_memory_bound_packing(self):
+        requests = [ResourceRequest(cores=1, memory_bytes=200e9)] * 4
+        # 384 GB nodes hold one 200 GB request each.
+        assert nodes_required(requests, xeon_gold_6242()) == 4
+
+    def test_gpu_bound_packing(self):
+        requests = [ResourceRequest(cores=1, memory_bytes=1e9, gpus=1)] * 3
+        assert nodes_required(requests, gke_n1_standard_32()) == 3
+
+    def test_mixed_packing_is_reasonably_tight(self):
+        requests = [ResourceRequest(cores=16, memory_bytes=50e9)] * 8
+        # 8 * 16 cores = 128 cores -> 2 nodes by cores; memory also fits.
+        assert nodes_required(requests, xeon_gold_6242()) == 2
+
+    def test_oversized_request_rejected(self):
+        with pytest.raises(ValueError):
+            nodes_required([ResourceRequest(cores=100, memory_bytes=1e9)], xeon_gold_6242())
+        with pytest.raises(ValueError):
+            nodes_required([ResourceRequest(cores=1, memory_bytes=1e13)], xeon_gold_6242())
+        with pytest.raises(ValueError):
+            nodes_required([ResourceRequest(cores=1, memory_bytes=1e9, gpus=1)], xeon_gold_6242())

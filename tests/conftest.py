@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite.
+
+Paper-scale workloads (20M-row tables, 10-32 tables) are exercised by a few
+dedicated integration tests; everything else uses the small configurations
+defined here so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import ModelWisePlanner
+from repro.core.planner import ElasticRecPlanner
+from repro.hardware.specs import cpu_gpu_cluster, cpu_only_cluster
+from repro.model.configs import DLRMConfig, EmbeddingConfig, MLPConfig, microbenchmark
+
+
+@pytest.fixture(scope="session")
+def cpu_cluster():
+    """The paper's CPU-only cluster preset."""
+    return cpu_only_cluster()
+
+
+@pytest.fixture(scope="session")
+def gpu_cluster():
+    """The paper's CPU-GPU cluster preset."""
+    return cpu_gpu_cluster()
+
+
+@pytest.fixture(scope="session")
+def small_config() -> DLRMConfig:
+    """A Table I microbenchmark reduced to two tables (planner-level tests)."""
+    return microbenchmark(num_tables=2)
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> DLRMConfig:
+    """A fully materialisable DLRM used by functional-model tests."""
+    return DLRMConfig(
+        name="tiny",
+        bottom_mlp=MLPConfig((16, 8)),
+        top_mlp=MLPConfig((16, 1)),
+        embedding=EmbeddingConfig(
+            num_tables=3,
+            rows_per_table=500,
+            embedding_dim=8,
+            pooling=6,
+            locality=0.8,
+        ),
+        num_dense_features=4,
+        batch_size=4,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_elastic_plan(cpu_cluster, small_config):
+    """An ElasticRec plan for the small config at 100 QPS (expensive; share it)."""
+    return ElasticRecPlanner(cpu_cluster).plan(small_config, target_qps=100.0)
+
+
+@pytest.fixture(scope="session")
+def small_model_wise_plan(cpu_cluster, small_config):
+    """The matching model-wise plan for the small config at 100 QPS."""
+    return ModelWisePlanner(cpu_cluster).plan(small_config, target_qps=100.0)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,100 @@
+"""Tests for the ablation partitioning strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.alternative_partitioners import (
+    STRATEGIES,
+    no_partitioning,
+    threshold_partitioning,
+    uniform_partitioning,
+)
+from repro.core.cost_model import DeploymentCostModel
+from repro.core.partitioning import partition_table
+from repro.core.preprocessing import SortedTable
+from repro.core.qps_model import QPSRegressionModel
+from repro.data.distributions import ZipfDistribution
+from repro.model.embedding import EmbeddingTableSpec
+
+ROWS = 100_000
+
+
+@pytest.fixture(scope="module")
+def cost_model():
+    table = SortedTable(
+        spec=EmbeddingTableSpec(table_id=0, rows=ROWS, dim=32),
+        distribution=ZipfDistribution.from_locality(ROWS, 0.9),
+        pooling=100,
+    )
+    qps_model = QPSRegressionModel(intercept_s=0.007, slope_s_per_gather=0.00025)
+    return DeploymentCostModel(table, qps_model, min_mem_alloc_bytes=1e6)
+
+
+class TestStrategies:
+    def test_registry(self):
+        assert set(STRATEGIES) == {"none", "uniform", "threshold"}
+
+    def test_no_partitioning(self, cost_model):
+        result = no_partitioning(cost_model)
+        assert result.num_shards == 1
+        assert result.boundaries == (0, ROWS)
+
+    def test_uniform_partitioning(self, cost_model):
+        result = uniform_partitioning(cost_model, num_shards=4)
+        assert result.num_shards == 4
+        rows = result.shard_rows()
+        assert max(rows) - min(rows) <= 1
+
+    def test_uniform_caps_at_row_count(self, cost_model):
+        tiny_table = SortedTable(
+            spec=EmbeddingTableSpec(table_id=0, rows=3, dim=4),
+            distribution=ZipfDistribution(3, 1.0),
+            pooling=2,
+        )
+        tiny = DeploymentCostModel(tiny_table, cost_model.qps_model)
+        assert uniform_partitioning(tiny, num_shards=10).num_shards == 3
+
+    def test_threshold_partitioning(self, cost_model):
+        result = threshold_partitioning(cost_model, hot_fraction=0.1)
+        assert result.num_shards == 2
+        assert result.boundaries[1] == ROWS // 10
+
+    def test_validation(self, cost_model):
+        with pytest.raises(ValueError):
+            uniform_partitioning(cost_model, num_shards=0)
+        with pytest.raises(ValueError):
+            threshold_partitioning(cost_model, hot_fraction=1.0)
+
+    def test_costs_are_consistent_with_cost_model(self, cost_model):
+        for strategy in (no_partitioning, uniform_partitioning, threshold_partitioning):
+            result = strategy(cost_model)
+            recomputed = sum(cost_model.cost(a, b) for a, b in result.shard_ranges())
+            assert result.total_cost_bytes == pytest.approx(recomputed)
+
+
+class TestDPDominance:
+    def test_dp_never_costs_more_than_any_baseline_strategy(self, cost_model):
+        """The Algorithm-2 plan must dominate every ablation strategy on DP cost."""
+        dp = partition_table(cost_model, granularity=256)
+        for strategy in (no_partitioning, uniform_partitioning, threshold_partitioning):
+            assert dp.total_cost_bytes <= strategy(cost_model).total_cost_bytes * (1 + 1e-9)
+
+
+class TestPlannerIntegration:
+    def test_planner_accepts_external_partitioning(self, cpu_cluster, small_config):
+        from repro.core.planner import ElasticRecPlanner
+
+        planner = ElasticRecPlanner(cpu_cluster)
+        cost_model = planner.cost_model_for_table(small_config)
+        plan = planner.plan(
+            small_config, 100, partitioning=threshold_partitioning(cost_model)
+        )
+        assert plan.sharding.shards_per_table() == {0: 2, 1: 2}
+
+    def test_planner_rejects_mismatched_partitioning(self, cpu_cluster, small_config, cost_model):
+        from repro.core.planner import ElasticRecPlanner
+
+        planner = ElasticRecPlanner(cpu_cluster)
+        with pytest.raises(ValueError):
+            planner.plan(small_config, 100, partitioning=no_partitioning(cost_model))

@@ -1,0 +1,121 @@
+"""Tests for Algorithm 1 (deployment cost estimation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost_model import DeploymentCostModel
+from repro.core.preprocessing import SortedTable
+from repro.core.qps_model import QPSRegressionModel
+from repro.data.distributions import UniformDistribution, ZipfDistribution
+from repro.model.embedding import EmbeddingTableSpec
+
+ROWS = 10_000
+ROW_BYTES = 32 * 4
+
+
+@pytest.fixture(scope="module")
+def qps_model():
+    # Latency = 10 ms + 0.2 ms per gathered vector per item.
+    return QPSRegressionModel(intercept_s=0.010, slope_s_per_gather=0.0002)
+
+
+@pytest.fixture(scope="module")
+def skewed_table():
+    return SortedTable(
+        spec=EmbeddingTableSpec(table_id=0, rows=ROWS, dim=32),
+        distribution=ZipfDistribution.from_locality(ROWS, 0.9),
+        pooling=100,
+    )
+
+
+@pytest.fixture(scope="module")
+def cost_model(skewed_table, qps_model):
+    return DeploymentCostModel(
+        skewed_table, qps_model, target_traffic=1000.0, min_mem_alloc_bytes=1e6
+    )
+
+
+class TestCapacityAndGathers:
+    def test_capacity_matches_row_bytes(self, cost_model):
+        assert cost_model.capacity_bytes(0, 100) == 100 * ROW_BYTES
+
+    def test_expected_gathers_full_table(self, cost_model):
+        assert cost_model.expected_gathers(0, ROWS) == pytest.approx(100.0)
+
+    def test_hot_prefix_gets_most_gathers(self, cost_model):
+        hot = cost_model.expected_gathers(0, ROWS // 10)
+        cold = cost_model.expected_gathers(ROWS // 10, ROWS)
+        assert hot == pytest.approx(90.0, abs=2.0)
+        assert hot + cold == pytest.approx(100.0)
+
+    def test_invalid_ranges_rejected(self, cost_model):
+        for start, end in ((-1, 10), (10, 10), (20, 10), (0, ROWS + 1)):
+            with pytest.raises(ValueError):
+                cost_model.cost(start, end)
+
+
+class TestReplicasAndCost:
+    def test_replicas_formula(self, cost_model, qps_model):
+        gathers = cost_model.expected_gathers(0, 500)
+        expected = 1000.0 / qps_model.predict_qps(gathers)
+        assert cost_model.replicas(0, 500) == pytest.approx(expected)
+
+    def test_hot_shards_need_more_replicas(self, cost_model):
+        assert cost_model.replicas(0, 1000) > cost_model.replicas(9000, ROWS)
+
+    def test_cost_is_replicas_times_shard_size(self, cost_model):
+        estimate = cost_model.estimate(0, 2000)
+        expected = estimate.num_replicas * (estimate.capacity_bytes + 1e6)
+        assert estimate.memory_bytes == pytest.approx(expected)
+        assert cost_model.cost(0, 2000) == pytest.approx(expected)
+
+    def test_cost_scales_linearly_with_target_traffic(self, skewed_table, qps_model):
+        low = DeploymentCostModel(skewed_table, qps_model, target_traffic=100.0)
+        high = DeploymentCostModel(skewed_table, qps_model, target_traffic=1000.0)
+        assert high.cost(0, 1000) == pytest.approx(10.0 * low.cost(0, 1000))
+
+    def test_uniform_table_cost_is_range_symmetric(self, qps_model):
+        table = SortedTable(
+            spec=EmbeddingTableSpec(table_id=0, rows=1000, dim=32),
+            distribution=UniformDistribution(1000),
+            pooling=10,
+        )
+        model = DeploymentCostModel(table, qps_model, min_mem_alloc_bytes=0.0)
+        assert model.cost(0, 100) == pytest.approx(model.cost(500, 600))
+
+    def test_estimate_fields(self, cost_model):
+        estimate = cost_model.estimate(100, 400)
+        assert estimate.rows == 300
+        assert estimate.start_row == 100 and estimate.end_row == 400
+        assert 0 < estimate.coverage < 1
+        assert estimate.estimated_qps > 0
+
+    def test_validation(self, skewed_table, qps_model):
+        with pytest.raises(ValueError):
+            DeploymentCostModel(skewed_table, qps_model, target_traffic=0.0)
+        with pytest.raises(ValueError):
+            DeploymentCostModel(skewed_table, qps_model, min_mem_alloc_bytes=-1.0)
+
+
+class TestSplittingIntuition:
+    def test_splitting_hot_from_cold_is_cheaper(self, cost_model):
+        """The core ElasticRec insight: separating hot and cold rows saves memory.
+
+        One shard covering the whole skewed table costs more than a small hot
+        shard (replicated, but tiny) plus a big cold shard (barely replicated).
+        """
+        whole = cost_model.cost(0, ROWS)
+        split = cost_model.cost(0, 500) + cost_model.cost(500, ROWS)
+        assert split < whole
+
+    def test_splitting_uniform_table_does_not_help(self, qps_model):
+        table = SortedTable(
+            spec=EmbeddingTableSpec(table_id=0, rows=1000, dim=32),
+            distribution=UniformDistribution(1000),
+            pooling=10,
+        )
+        model = DeploymentCostModel(table, qps_model, min_mem_alloc_bytes=5e6)
+        whole = model.cost(0, 1000)
+        split = model.cost(0, 500) + model.cost(500, 1000)
+        assert split >= whole

@@ -1,0 +1,206 @@
+"""Tests for Algorithm 2 (DP table partitioning)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_model import DeploymentCostModel
+from repro.core.partitioning import (
+    PartitioningResult,
+    brute_force_partition,
+    candidate_boundaries,
+    partition_table,
+    partition_table_exact,
+)
+from repro.core.preprocessing import SortedTable
+from repro.core.qps_model import QPSRegressionModel
+from repro.data.distributions import EmpiricalDistribution, UniformDistribution, ZipfDistribution
+from repro.model.embedding import EmbeddingTableSpec
+
+QPS_MODEL = QPSRegressionModel(intercept_s=0.010, slope_s_per_gather=0.0002)
+
+
+def make_cost_model(
+    rows: int,
+    locality: float = 0.9,
+    pooling: int = 100,
+    min_mem_bytes: float = 1e5,
+    counts: np.ndarray | None = None,
+) -> DeploymentCostModel:
+    if counts is not None:
+        distribution = EmpiricalDistribution(counts)
+        rows = counts.size
+    elif locality is None:
+        distribution = UniformDistribution(rows)
+    else:
+        distribution = ZipfDistribution.from_locality(rows, locality)
+    table = SortedTable(
+        spec=EmbeddingTableSpec(table_id=0, rows=rows, dim=32),
+        distribution=distribution,
+        pooling=pooling,
+    )
+    return DeploymentCostModel(
+        table, QPS_MODEL, target_traffic=1000.0, min_mem_alloc_bytes=min_mem_bytes
+    )
+
+
+class TestCandidateBoundaries:
+    def test_small_table_uses_every_row(self):
+        bounds = candidate_boundaries(10, granularity=100)
+        assert bounds.tolist() == list(range(11))
+
+    def test_large_table_is_bucketed(self):
+        bounds = candidate_boundaries(1_000_000, granularity=100)
+        assert bounds[0] == 0 and bounds[-1] == 1_000_000
+        assert bounds.size == 101
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            candidate_boundaries(0, 10)
+        with pytest.raises(ValueError):
+            candidate_boundaries(10, 0)
+
+
+class TestPartitioningResult:
+    def test_shard_ranges_and_rows(self):
+        cost_model = make_cost_model(1000)
+        estimates = (
+            cost_model.estimate(0, 100),
+            cost_model.estimate(100, 1000),
+        )
+        result = PartitioningResult(
+            boundaries=(0, 100, 1000),
+            total_cost_bytes=sum(e.memory_bytes for e in estimates),
+            shard_estimates=estimates,
+        )
+        assert result.num_shards == 2
+        assert result.shard_ranges() == [(0, 100), (100, 1000)]
+        assert result.shard_rows() == [100, 900]
+        assert result.total_cost_gb == pytest.approx(result.total_cost_bytes / 1e9)
+
+    def test_validation(self):
+        cost_model = make_cost_model(10)
+        estimate = cost_model.estimate(0, 10)
+        with pytest.raises(ValueError):
+            PartitioningResult(boundaries=(0,), total_cost_bytes=1.0, shard_estimates=())
+        with pytest.raises(ValueError):
+            PartitioningResult(boundaries=(0, 5, 5), total_cost_bytes=1.0, shard_estimates=(estimate, estimate))
+        with pytest.raises(ValueError):
+            PartitioningResult(boundaries=(0, 10), total_cost_bytes=1.0, shard_estimates=())
+
+
+class TestDPCorrectness:
+    def test_matches_brute_force_on_small_tables(self):
+        counts = np.array([100, 60, 30, 10, 5, 4, 3, 2, 1, 1, 1, 1], dtype=float)
+        cost_model = make_cost_model(0, counts=counts, min_mem_bytes=500.0)
+        exact = partition_table_exact(cost_model, max_shards=4)
+        brute = brute_force_partition(cost_model, max_shards=4)
+        assert exact.total_cost_bytes == pytest.approx(brute.total_cost_bytes, rel=1e-9)
+        assert exact.boundaries == brute.boundaries
+
+    def test_forced_shard_count_matches_brute_force(self):
+        counts = np.geomspace(1000, 1, 10)
+        cost_model = make_cost_model(0, counts=counts, min_mem_bytes=200.0)
+        for num_shards in (1, 2, 3):
+            exact = partition_table_exact(cost_model, num_shards=num_shards)
+            brute = brute_force_partition(cost_model, max_shards=4, num_shards=num_shards)
+            assert exact.num_shards == num_shards
+            assert exact.total_cost_bytes == pytest.approx(brute.total_cost_bytes, rel=1e-9)
+
+    def test_total_cost_equals_sum_of_shard_costs(self):
+        cost_model = make_cost_model(5000)
+        result = partition_table(cost_model, granularity=64)
+        recomputed = sum(
+            cost_model.cost(start, end) for start, end in result.shard_ranges()
+        )
+        assert result.total_cost_bytes == pytest.approx(recomputed, rel=1e-9)
+
+    def test_boundaries_cover_whole_table(self):
+        cost_model = make_cost_model(12_345)
+        result = partition_table(cost_model, granularity=50)
+        assert result.boundaries[0] == 0
+        assert result.boundaries[-1] == 12_345
+
+    def test_optimal_cost_not_worse_than_single_shard(self):
+        cost_model = make_cost_model(50_000)
+        result = partition_table(cost_model, granularity=128)
+        single = cost_model.cost(0, 50_000)
+        assert result.total_cost_bytes <= single * (1 + 1e-9)
+
+    def test_skewed_tables_get_partitioned(self):
+        """With high locality the DP must split hot from cold rows."""
+        cost_model = make_cost_model(100_000, locality=0.95, min_mem_bytes=1e5)
+        result = partition_table(cost_model, granularity=200)
+        assert result.num_shards >= 2
+        # The hottest shard must be much smaller than the coldest.
+        rows = result.shard_rows()
+        assert rows[0] < rows[-1]
+
+    def test_uniform_table_stays_whole_with_large_min_mem(self):
+        cost_model = make_cost_model(10_000, locality=None, min_mem_bytes=5e7)
+        result = partition_table(cost_model, granularity=100)
+        assert result.num_shards == 1
+
+    def test_finer_granularity_is_no_worse(self):
+        cost_model = make_cost_model(20_000, locality=0.9)
+        coarse = partition_table(cost_model, granularity=16)
+        fine = partition_table(cost_model, granularity=256)
+        assert fine.total_cost_bytes <= coarse.total_cost_bytes * (1 + 1e-6)
+
+    def test_bucketed_dp_close_to_exact(self):
+        cost_model = make_cost_model(2_000, locality=0.9)
+        exact = partition_table_exact(cost_model, max_shards=6)
+        bucketed = partition_table(cost_model, max_shards=6, granularity=128)
+        assert bucketed.total_cost_bytes <= exact.total_cost_bytes * 1.05
+
+    def test_forced_num_shards_respected(self):
+        cost_model = make_cost_model(10_000)
+        for forced in (1, 2, 5):
+            result = partition_table(cost_model, granularity=64, num_shards=forced)
+            assert result.num_shards == forced
+
+    def test_validation(self):
+        cost_model = make_cost_model(100)
+        with pytest.raises(ValueError):
+            partition_table(cost_model, max_shards=0)
+        with pytest.raises(ValueError):
+            partition_table(cost_model, num_shards=0)
+        with pytest.raises(ValueError):
+            partition_table(cost_model, num_shards=1000, granularity=10)
+        with pytest.raises(ValueError):
+            brute_force_partition(make_cost_model(100), max_shards=2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    counts=st.lists(
+        st.floats(min_value=0.1, max_value=1e4), min_size=3, max_size=12
+    ),
+    max_shards=st.integers(min_value=1, max_value=4),
+    min_mem=st.floats(min_value=0.0, max_value=1e5),
+)
+def test_exact_dp_is_optimal_against_brute_force(counts, max_shards, min_mem):
+    """Property: the per-row DP always finds the brute-force optimum."""
+    cost_model = make_cost_model(0, counts=np.asarray(counts), min_mem_bytes=min_mem)
+    exact = partition_table_exact(cost_model, max_shards=max_shards)
+    brute = brute_force_partition(cost_model, max_shards=max_shards)
+    assert exact.total_cost_bytes == pytest.approx(brute.total_cost_bytes, rel=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.integers(min_value=100, max_value=20_000),
+    locality=st.floats(min_value=0.11, max_value=0.97),
+    granularity=st.integers(min_value=8, max_value=128),
+)
+def test_bucketed_dp_always_covers_table(rows, locality, granularity):
+    """Property: any bucketed plan is a valid, complete, ordered partition."""
+    cost_model = make_cost_model(rows, locality=locality)
+    result = partition_table(cost_model, granularity=granularity)
+    assert result.boundaries[0] == 0
+    assert result.boundaries[-1] == rows
+    assert all(b < c for b, c in zip(result.boundaries, result.boundaries[1:]))
+    assert sum(result.shard_rows()) == rows

@@ -1,0 +1,118 @@
+"""Tests for the end-to-end ElasticRec planner."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.plan import ROLE_DENSE, ROLE_EMBEDDING
+from repro.core.planner import ElasticRecPlanner
+from repro.hardware.perf_model import PerfModel
+from repro.model.configs import microbenchmark
+
+
+class TestPlanStructure:
+    def test_one_dense_plus_shards_per_table(self, small_elastic_plan, small_config):
+        plan = small_elastic_plan
+        assert len(plan.dense_deployments) == 1
+        shards_per_table = plan.sharding.shards_per_table()
+        assert len(plan.embedding_deployments) == sum(shards_per_table.values())
+        assert set(shards_per_table) == set(range(small_config.embedding.num_tables))
+
+    def test_all_tables_partitioned_identically(self, small_elastic_plan):
+        boundaries = small_elastic_plan.sharding.table_boundaries
+        assert all(b == boundaries[0] for b in boundaries)
+
+    def test_hpa_targets_assigned_by_role(self, small_elastic_plan):
+        for deployment in small_elastic_plan.deployments:
+            assert deployment.hpa is not None
+            if deployment.role == ROLE_DENSE:
+                assert deployment.hpa.metric == "p95_latency"
+            else:
+                assert deployment.hpa.metric == "qps"
+
+    def test_embedding_memory_includes_min_alloc(self, small_elastic_plan, cpu_cluster):
+        min_mem = cpu_cluster.container_policy.min_mem_alloc_gb * 1e9
+        for deployment in small_elastic_plan.embedding_deployments:
+            assert deployment.per_replica_memory_bytes == pytest.approx(
+                deployment.embedding_shard.capacity_bytes + min_mem
+            )
+
+    def test_startup_time_grows_with_shard_size(self, small_elastic_plan):
+        shards = small_elastic_plan.embedding_deployments_for_table(0)
+        assert shards[0].startup_s < shards[-1].startup_s
+
+
+class TestReplicaSizing:
+    def test_replica_counts_cover_target(self, small_elastic_plan, cpu_cluster):
+        headroom = cpu_cluster.utilization_headroom
+        for deployment in small_elastic_plan.deployments:
+            capacity = deployment.replicas * deployment.per_replica_qps * headroom
+            assert capacity >= small_elastic_plan.target_qps - 1e-6
+
+    def test_replica_counts_are_minimal(self, small_elastic_plan, cpu_cluster):
+        headroom = cpu_cluster.utilization_headroom
+        for deployment in small_elastic_plan.deployments:
+            if deployment.replicas > 1:
+                smaller = (deployment.replicas - 1) * deployment.per_replica_qps * headroom
+                assert smaller < small_elastic_plan.target_qps
+
+    def test_hotter_shards_get_more_replicas(self, small_elastic_plan):
+        """Figure 14: replica counts are proportional to shard hotness."""
+        shards = small_elastic_plan.embedding_deployments_for_table(0)
+        replicas = [d.replicas for d in shards]
+        assert replicas[0] == max(replicas)
+        assert replicas[0] > replicas[-1]
+
+    def test_higher_target_never_reduces_replicas(self, cpu_cluster, small_config):
+        planner = ElasticRecPlanner(cpu_cluster)
+        low = planner.plan(small_config, target_qps=50)
+        high = planner.plan(small_config, target_qps=200)
+        assert high.total_replicas > low.total_replicas
+        assert high.total_memory_gb > low.total_memory_gb
+
+    def test_dense_replicas_match_perf_model(self, small_elastic_plan, cpu_cluster, small_config):
+        perf = PerfModel(cpu_cluster)
+        dense = small_elastic_plan.dense_deployments[0]
+        expected = max(
+            1,
+            math.ceil(
+                small_elastic_plan.target_qps
+                / (perf.dense_qps(small_config) * cpu_cluster.utilization_headroom)
+            ),
+        )
+        assert dense.replicas == expected
+
+
+class TestPlannerOptions:
+    def test_forced_shard_count(self, cpu_cluster, small_config):
+        planner = ElasticRecPlanner(cpu_cluster)
+        plan = planner.plan(small_config, target_qps=100, num_shards=3)
+        assert plan.sharding.shards_per_table() == {0: 3, 1: 3}
+
+    def test_dp_choice_not_worse_than_forced(self, cpu_cluster, small_config):
+        """The DP-chosen shard count should beat (or match) forcing other counts."""
+        planner = ElasticRecPlanner(cpu_cluster)
+        chosen = planner.partition(small_config)
+        for forced in (1, 2, 8):
+            alternative = planner.partition(small_config, num_shards=forced)
+            assert chosen.total_cost_bytes <= alternative.total_cost_bytes * (1 + 1e-9)
+
+    def test_invalid_arguments(self, cpu_cluster, small_config):
+        with pytest.raises(ValueError):
+            ElasticRecPlanner(cpu_cluster, max_shards=0)
+        planner = ElasticRecPlanner(cpu_cluster)
+        with pytest.raises(ValueError):
+            planner.plan(small_config, target_qps=0)
+
+    def test_gpu_cluster_puts_dense_on_gpu(self, gpu_cluster, small_config):
+        plan = ElasticRecPlanner(gpu_cluster).plan(small_config, target_qps=100)
+        dense = plan.dense_deployments[0]
+        assert dense.gpus == 1
+        assert all(d.gpus == 0 for d in plan.embedding_deployments)
+
+    def test_gpu_dense_needs_fewer_replicas(self, cpu_cluster, gpu_cluster, small_config):
+        cpu_plan = ElasticRecPlanner(cpu_cluster).plan(small_config, target_qps=100)
+        gpu_plan = ElasticRecPlanner(gpu_cluster).plan(small_config, target_qps=100)
+        assert gpu_plan.dense_deployments[0].replicas <= cpu_plan.dense_deployments[0].replicas

@@ -1,0 +1,77 @@
+"""Tests for the QPS(x) regression model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.qps_model import QPSRegressionModel
+from repro.hardware.perf_model import PerfModel
+from repro.hardware.profiler import GatherProfiler, ProfilePoint
+from repro.hardware.specs import cpu_only_cluster
+
+
+@pytest.fixture(scope="module")
+def perf_model():
+    return PerfModel(cpu_only_cluster())
+
+
+class TestFitting:
+    def test_fit_recovers_affine_latency(self):
+        # Latency = 5 ms + 0.1 ms per gather.
+        points = [
+            ProfilePoint(num_gathers=x, qps=1.0 / (0.005 + 0.0001 * x), latency_s=0.005 + 0.0001 * x)
+            for x in (1, 10, 50, 100)
+        ]
+        model = QPSRegressionModel.fit(points)
+        assert model.intercept_s == pytest.approx(0.005, rel=1e-6)
+        assert model.slope_s_per_gather == pytest.approx(0.0001, rel=1e-6)
+
+    def test_fit_requires_two_points(self):
+        with pytest.raises(ValueError):
+            QPSRegressionModel.fit([ProfilePoint(1, 100.0, 0.01)])
+
+    def test_fit_rejects_nonpositive_latency(self):
+        points = [ProfilePoint(1, 1.0, 0.0), ProfilePoint(2, 1.0, 0.01)]
+        with pytest.raises(ValueError):
+            QPSRegressionModel.fit(points)
+
+    def test_from_profile_matches_manual_fit(self, perf_model):
+        profiler = GatherProfiler(perf_model, batch_size=32)
+        points = profiler.profile(32)
+        manual = QPSRegressionModel.fit(points)
+        automatic = QPSRegressionModel.from_profile(perf_model, embedding_dim=32)
+        assert automatic.intercept_s == pytest.approx(manual.intercept_s)
+        assert automatic.slope_s_per_gather == pytest.approx(manual.slope_s_per_gather)
+
+    def test_profile_fit_is_accurate(self, perf_model):
+        """The underlying latency model is affine, so the fit should be near-exact."""
+        model = QPSRegressionModel.from_profile(perf_model, embedding_dim=32)
+        points = GatherProfiler(perf_model).profile(32)
+        assert max(abs(e) for e in model.residuals(points)) < 1e-6
+
+
+class TestPrediction:
+    def test_qps_decreases_with_gathers(self, perf_model):
+        model = QPSRegressionModel.from_profile(perf_model, embedding_dim=32)
+        assert model.predict_qps(1) > model.predict_qps(64) > model.predict_qps(128)
+
+    def test_prediction_matches_perf_model(self, perf_model):
+        model = QPSRegressionModel.from_profile(perf_model, embedding_dim=32)
+        direct = perf_model.sparse_shard_qps(77.0, 32, 32)
+        assert model.predict_qps(77.0) == pytest.approx(direct, rel=1e-6)
+
+    def test_core_constrained_profile_predicts_lower_qps(self, perf_model):
+        full = QPSRegressionModel.from_profile(perf_model, embedding_dim=32)
+        constrained = QPSRegressionModel.from_profile(perf_model, embedding_dim=32, cores=1)
+        assert constrained.predict_qps(64) < full.predict_qps(64)
+
+    def test_negative_gathers_rejected(self, perf_model):
+        model = QPSRegressionModel.from_profile(perf_model, embedding_dim=32)
+        with pytest.raises(ValueError):
+            model.predict_qps(-1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            QPSRegressionModel(intercept_s=0.0, slope_s_per_gather=0.1)
+        with pytest.raises(ValueError):
+            QPSRegressionModel(intercept_s=0.01, slope_s_per_gather=-0.1)

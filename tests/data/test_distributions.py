@@ -1,0 +1,224 @@
+"""Tests for embedding access distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.distributions import (
+    EmpiricalDistribution,
+    UniformDistribution,
+    ZipfDistribution,
+    locality_of_probabilities,
+    solve_alpha_for_locality,
+)
+
+
+class TestZipfDistribution:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            ZipfDistribution(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfDistribution(10, -0.5)
+
+    def test_probabilities_sum_to_one(self):
+        dist = ZipfDistribution(1000, 1.1)
+        probs = dist.probabilities()
+        assert probs.shape == (1000,)
+        assert probs.sum() == pytest.approx(1.0, rel=1e-9)
+
+    def test_probabilities_sorted_descending(self):
+        probs = ZipfDistribution(500, 0.9).probabilities()
+        assert np.all(np.diff(probs) <= 1e-15)
+
+    def test_coverage_endpoints(self):
+        dist = ZipfDistribution(1000, 1.0)
+        assert dist.coverage(0) == 0.0
+        assert dist.coverage(1000) == 1.0
+        assert dist.coverage(2000) == 1.0
+
+    def test_coverage_matches_explicit_probabilities(self):
+        dist = ZipfDistribution(2000, 0.8)
+        probs = dist.probabilities()
+        for k in (1, 10, 500, 1999):
+            assert dist.coverage(k) == pytest.approx(probs[:k].sum(), rel=1e-6)
+
+    def test_coverage_range_is_difference(self):
+        dist = ZipfDistribution(10_000, 1.2)
+        assert dist.coverage_range(100, 500) == pytest.approx(
+            dist.coverage(500) - dist.coverage(100)
+        )
+
+    def test_coverage_accurate_beyond_exact_head(self):
+        # Tables larger than the exact head use the integral approximation.
+        large = ZipfDistribution(1 << 18, 0.9)
+        probs = large.probabilities()
+        k = (1 << 17) + 12345
+        assert large.coverage(k) == pytest.approx(probs[:k].sum(), rel=1e-3)
+
+    def test_alpha_zero_is_uniform(self):
+        dist = ZipfDistribution(100, 0.0)
+        assert dist.coverage(10) == pytest.approx(0.1, rel=1e-9)
+
+    def test_uniform_subclass(self):
+        dist = UniformDistribution(50)
+        assert dist.alpha == 0.0
+        assert dist.locality() == pytest.approx(0.1, rel=1e-6)
+
+    def test_locality_increases_with_alpha(self):
+        low = ZipfDistribution(100_000, 0.3).locality()
+        high = ZipfDistribution(100_000, 1.2).locality()
+        assert high > low
+
+    def test_from_locality_roundtrip(self):
+        for target in (0.5, 0.9, 0.94):
+            dist = ZipfDistribution.from_locality(200_000, target)
+            assert dist.locality() == pytest.approx(target, abs=0.01)
+
+    def test_sampling_respects_skew(self, rng):
+        dist = ZipfDistribution.from_locality(10_000, 0.9)
+        samples = dist.sample(50_000, rng)
+        assert samples.min() >= 0 and samples.max() < 10_000
+        hot = np.mean(samples < 1000)
+        assert hot == pytest.approx(0.9, abs=0.03)
+
+    def test_sampling_tail_ranks_reachable(self, rng):
+        dist = ZipfDistribution(1 << 18, 0.5)
+        samples = dist.sample(200_000, rng)
+        # Some samples must land beyond the exact head (tail inversion path).
+        assert np.any(samples >= (1 << 16))
+
+    def test_sample_empty(self, rng):
+        assert ZipfDistribution(100, 1.0).sample(0, rng).size == 0
+
+    def test_expected_unique_bounds(self):
+        dist = ZipfDistribution(5000, 1.0)
+        unique = dist.expected_unique(10_000)
+        assert 0 < unique <= 5000
+        assert dist.expected_unique(0) == 0.0
+
+    def test_expected_unique_matches_simulation(self, rng):
+        dist = ZipfDistribution.from_locality(2000, 0.8)
+        draws = 5000
+        expected = dist.expected_unique(draws)
+        observed = np.mean(
+            [np.unique(dist.sample(draws, rng)).size for _ in range(30)]
+        )
+        assert expected == pytest.approx(observed, rel=0.05)
+
+    def test_expected_unique_range_splits(self):
+        dist = ZipfDistribution(10_000, 1.1)
+        total = dist.expected_unique(30_000)
+        split = dist.expected_unique(30_000, 0, 4000) + dist.expected_unique(30_000, 4000, 10_000)
+        assert split == pytest.approx(total, rel=1e-9)
+
+    def test_invalid_range_rejected(self):
+        dist = ZipfDistribution(100, 1.0)
+        with pytest.raises(ValueError):
+            dist.coverage_range(50, 20)
+        with pytest.raises(ValueError):
+            dist.expected_unique(10, -1, 5)
+
+
+class TestEmpiricalDistribution:
+    def test_requires_valid_counts(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([])
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([0.0, 0.0])
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([1.0, -1.0])
+        with pytest.raises(ValueError):
+            EmpiricalDistribution(np.ones((2, 2)))
+
+    def test_counts_are_sorted_internally(self):
+        dist = EmpiricalDistribution([1.0, 10.0, 5.0])
+        probs = dist.probabilities()
+        assert probs[0] == pytest.approx(10 / 16)
+        assert np.all(np.diff(probs) <= 0)
+
+    def test_coverage_monotone_and_bounded(self):
+        dist = EmpiricalDistribution(np.arange(1, 101, dtype=float))
+        values = [dist.coverage(k) for k in range(101)]
+        assert values[0] == 0.0
+        assert values[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(values) >= 0)
+
+    def test_from_trace(self):
+        trace = np.array([0, 0, 0, 1, 1, 2])
+        dist = EmpiricalDistribution.from_trace(trace, num_items=4)
+        assert dist.num_items == 4
+        assert dist.coverage(1) == pytest.approx(0.5)
+
+    def test_from_trace_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution.from_trace(np.array([5]), num_items=3)
+        with pytest.raises(ValueError):
+            EmpiricalDistribution.from_trace(np.array([], dtype=int), num_items=3)
+
+    def test_sampling_matches_probabilities(self, rng):
+        dist = EmpiricalDistribution([8.0, 4.0, 2.0, 1.0, 1.0])
+        samples = dist.sample(40_000, rng)
+        observed = np.bincount(samples, minlength=5) / 40_000
+        assert observed[0] == pytest.approx(0.5, abs=0.02)
+
+    def test_expected_unique(self):
+        dist = EmpiricalDistribution(np.ones(10))
+        assert dist.expected_unique(10_000) == pytest.approx(10.0, abs=0.01)
+
+
+class TestLocalityHelpers:
+    def test_locality_of_probabilities(self):
+        probs = np.array([0.5, 0.3, 0.1, 0.05, 0.03, 0.01, 0.005, 0.003, 0.001, 0.001])
+        assert locality_of_probabilities(probs) == pytest.approx(0.5, rel=1e-6)
+
+    def test_locality_of_probabilities_validates(self):
+        with pytest.raises(ValueError):
+            locality_of_probabilities([])
+
+    def test_solve_alpha_uniform_cases(self):
+        assert solve_alpha_for_locality(1000, 0.1) == 0.0
+        assert solve_alpha_for_locality(1, 0.9) == 0.0
+
+    def test_solve_alpha_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            solve_alpha_for_locality(100, 1.5)
+        with pytest.raises(ValueError):
+            ZipfDistribution(100, 1.0).locality(top_fraction=0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_items=st.integers(min_value=2, max_value=5000),
+    alpha=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+)
+def test_zipf_coverage_is_monotone(num_items, alpha):
+    dist = ZipfDistribution(num_items, alpha)
+    ks = np.linspace(0, num_items, 11).astype(int)
+    coverage = [dist.coverage(int(k)) for k in ks]
+    assert all(b >= a - 1e-12 for a, b in zip(coverage, coverage[1:]))
+    assert coverage[-1] == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_items=st.integers(min_value=20, max_value=100_000),
+    locality=st.floats(min_value=0.15, max_value=0.99),
+)
+def test_solve_alpha_reaches_requested_locality(num_items, locality):
+    alpha = solve_alpha_for_locality(num_items, locality)
+    achieved = ZipfDistribution(num_items, alpha).locality()
+    # Tiny tables may be unable to hit extreme localities exactly.
+    assert achieved == pytest.approx(locality, abs=0.05) or alpha in (0.0, 8.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(counts=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200))
+def test_empirical_coverage_bounded(counts):
+    if sum(counts) <= 0:
+        counts[0] = 1.0
+    dist = EmpiricalDistribution(counts)
+    for k in (0, len(counts) // 2, len(counts)):
+        assert -1e-9 <= dist.coverage(k) <= 1.0 + 1e-9

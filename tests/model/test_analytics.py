@@ -1,0 +1,94 @@
+"""Tests for the analytic FLOP / memory counters (Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.analytics import LayerBreakdown, ModelAnalytics
+from repro.model.configs import rm1, rm2, rm3
+
+
+class TestLayerBreakdown:
+    def test_fractions(self):
+        breakdown = LayerBreakdown(dense=30.0, sparse=70.0)
+        assert breakdown.total == 100.0
+        assert breakdown.dense_fraction == pytest.approx(0.3)
+        assert breakdown.as_percentages() == (pytest.approx(30.0), pytest.approx(70.0))
+
+    def test_zero_total(self):
+        breakdown = LayerBreakdown(dense=0.0, sparse=0.0)
+        assert breakdown.dense_fraction == 0.0
+
+
+class TestModelAnalytics:
+    @pytest.fixture(scope="class", params=["RM1", "RM2", "RM3"])
+    def analytics(self, request):
+        configs = {"RM1": rm1(), "RM2": rm2(), "RM3": rm3()}
+        return ModelAnalytics(configs[request.param])
+
+    def test_flops_are_positive(self, analytics):
+        assert analytics.dense_flops_per_sample() > 0
+        assert analytics.sparse_flops_per_sample() > 0
+        assert analytics.dense_flops_per_query() == (
+            analytics.dense_flops_per_sample() * analytics.config.batch_size
+        )
+
+    def test_dense_dominates_flops(self, analytics):
+        """Figure 3(a): the dense layers account for the vast majority of FLOPs."""
+        breakdown = analytics.flops_breakdown()
+        assert breakdown.dense_fraction > 0.7
+
+    def test_sparse_dominates_memory(self, analytics):
+        """Figure 3(a): embedding tables dominate the memory footprint."""
+        breakdown = analytics.memory_breakdown()
+        assert breakdown.sparse_fraction > 0.99
+        # Dense parameters are well under 1% of the model (paper: 0.02-0.4%).
+        assert breakdown.as_percentages()[0] < 1.0
+
+    def test_model_bytes_consistency(self, analytics):
+        assert analytics.model_bytes() == (
+            analytics.dense_parameter_bytes() + analytics.sparse_parameter_bytes()
+        )
+
+    def test_embedding_utility_per_query_is_tiny(self, analytics):
+        """Section III-A: a query touches a vanishing fraction of table memory."""
+        assert analytics.embedding_utility_per_query() < 0.001
+
+    def test_summary_keys(self, analytics):
+        summary = analytics.summary()
+        assert set(summary) >= {
+            "dense_flops_per_sample",
+            "sparse_flops_per_sample",
+            "dense_memory_pct",
+            "sparse_memory_pct",
+            "embedding_bytes_read_per_query",
+        }
+
+
+class TestRelativeOrderings:
+    def test_rm3_is_most_compute_intensive(self):
+        flops = {
+            name: ModelAnalytics(cfg()).dense_flops_per_sample()
+            for name, cfg in (("RM1", rm1), ("RM2", rm2), ("RM3", rm3))
+        }
+        assert flops["RM3"] > flops["RM2"] > flops["RM1"]
+
+    def test_rm3_sparse_share_smallest(self):
+        """The paper reports sparse FLOP shares of 2%, 1% and 0.1% for RM1-3."""
+        shares = {
+            name: ModelAnalytics(cfg()).flops_breakdown().sparse_fraction
+            for name, cfg in (("RM1", rm1), ("RM2", rm2), ("RM3", rm3))
+        }
+        assert shares["RM3"] < shares["RM2"] < shares["RM1"]
+
+    def test_rm2_has_largest_embedding_footprint(self):
+        bytes_per_model = {
+            name: ModelAnalytics(cfg()).sparse_parameter_bytes()
+            for name, cfg in (("RM1", rm1), ("RM2", rm2), ("RM3", rm3))
+        }
+        assert bytes_per_model["RM2"] > bytes_per_model["RM1"] == bytes_per_model["RM3"]
+
+    def test_embedding_bytes_read_per_query(self):
+        analytics = ModelAnalytics(rm1())
+        expected = 32 * 10 * 128 * 32 * 4
+        assert analytics.embedding_bytes_read_per_query() == expected

@@ -1,0 +1,59 @@
+"""Tests for the functional DLRM model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.dlrm import DLRM
+
+
+class TestDLRM:
+    def test_forward_produces_probabilities(self, tiny_config):
+        model = DLRM(tiny_config, seed=0)
+        query = tiny_config.query_generator(seed=1).generate()
+        out = model(query)
+        assert out.shape == (tiny_config.batch_size, 1)
+        assert np.all(out > 0) and np.all(out < 1)
+
+    def test_forward_deterministic(self, tiny_config):
+        model_a = DLRM(tiny_config, seed=0)
+        model_b = DLRM(tiny_config, seed=0)
+        query = tiny_config.query_generator(seed=2).generate()
+        assert np.allclose(model_a(query), model_b(query))
+
+    def test_different_seeds_differ(self, tiny_config):
+        query = tiny_config.query_generator(seed=2).generate()
+        out_a = DLRM(tiny_config, seed=0)(query)
+        out_b = DLRM(tiny_config, seed=1)(query)
+        assert not np.allclose(out_a, out_b)
+
+    def test_split_execution_matches_forward(self, tiny_config):
+        model = DLRM(tiny_config, seed=0)
+        query = tiny_config.query_generator(seed=3).generate()
+        dense_vector = model.run_bottom_mlp(query.dense_input)
+        pooled = model.pool_embeddings(query)
+        assert np.allclose(model.run_top(dense_vector, pooled), model(query))
+
+    def test_rows_override(self, tiny_config):
+        model = DLRM(tiny_config, rows_override=50, seed=0)
+        assert model.rows_per_table == 50
+        assert all(t.spec.rows == 50 for t in model.tables)
+
+    def test_rows_override_validation(self, tiny_config):
+        with pytest.raises(ValueError):
+            DLRM(tiny_config, rows_override=0)
+
+    def test_query_table_count_checked(self, tiny_config):
+        model = DLRM(tiny_config, seed=0)
+        smaller = tiny_config.scaled_tables(1)
+        query = smaller.query_generator(seed=0).generate()
+        with pytest.raises(ValueError):
+            model.pool_embeddings(query)
+
+    def test_structure_exposed(self, tiny_config):
+        model = DLRM(tiny_config, seed=0)
+        assert model.config is tiny_config
+        assert model.bottom_mlp.output_dim == tiny_config.embedding.embedding_dim
+        assert model.top_mlp.output_dim == 1
+        assert model.interaction.num_pairs == tiny_config.num_interaction_pairs

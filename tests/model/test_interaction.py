@@ -1,0 +1,52 @@
+"""Tests for the feature-interaction stage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.interaction import FeatureInteraction
+
+
+class TestFeatureInteraction:
+    def test_output_dimension(self):
+        interaction = FeatureInteraction(num_tables=3, embedding_dim=8)
+        assert interaction.num_feature_vectors == 4
+        assert interaction.num_pairs == 6
+        assert interaction.output_dim == 8 + 6
+
+    def test_forward_shape(self, rng):
+        interaction = FeatureInteraction(num_tables=2, embedding_dim=4)
+        dense = rng.normal(size=(5, 4))
+        pooled = [rng.normal(size=(5, 4)) for _ in range(2)]
+        out = interaction(dense, pooled)
+        assert out.shape == (5, interaction.output_dim)
+
+    def test_interaction_terms_are_dot_products(self, rng):
+        interaction = FeatureInteraction(num_tables=1, embedding_dim=3)
+        dense = rng.normal(size=(2, 3))
+        emb = rng.normal(size=(2, 3))
+        out = interaction(dense, [emb])
+        # Output = [dense | dot(dense, emb)] per sample.
+        expected_dot = np.sum(dense * emb, axis=1)
+        assert np.allclose(out[:, :3], dense)
+        assert np.allclose(out[:, 3], expected_dot)
+
+    def test_flops_positive_and_scales_with_pairs(self):
+        small = FeatureInteraction(num_tables=2, embedding_dim=8)
+        large = FeatureInteraction(num_tables=10, embedding_dim=8)
+        assert large.flops_per_sample() > small.flops_per_sample() > 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            FeatureInteraction(num_tables=0, embedding_dim=4)
+        with pytest.raises(ValueError):
+            FeatureInteraction(num_tables=1, embedding_dim=0)
+        interaction = FeatureInteraction(num_tables=2, embedding_dim=4)
+        dense = rng.normal(size=(3, 4))
+        with pytest.raises(ValueError):
+            interaction(dense, [rng.normal(size=(3, 4))])  # missing one table
+        with pytest.raises(ValueError):
+            interaction(dense, [rng.normal(size=(3, 4)), rng.normal(size=(2, 4))])
+        with pytest.raises(ValueError):
+            interaction(rng.normal(size=(3, 5)), [rng.normal(size=(3, 4))] * 2)

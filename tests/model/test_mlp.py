@@ -1,0 +1,56 @@
+"""Tests for the numpy MLP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.configs import MLPConfig
+from repro.model.mlp import MLP
+
+
+class TestMLP:
+    def test_output_shape(self, rng):
+        mlp = MLP(MLPConfig((16, 8, 4)), input_dim=10, rng=rng)
+        out = mlp(np.ones((5, 10)))
+        assert out.shape == (5, 4)
+
+    def test_relu_nonnegativity_of_hidden_layers(self, rng):
+        # With a sigmoid output the result is in (0, 1).
+        mlp = MLP(MLPConfig((8, 1)), input_dim=4, rng=rng, sigmoid_output=True)
+        out = mlp(rng.normal(size=(20, 4)))
+        assert np.all(out > 0) and np.all(out < 1)
+
+    def test_deterministic_given_rng_seed(self):
+        a = MLP(MLPConfig((8, 2)), input_dim=4, rng=np.random.default_rng(3))
+        b = MLP(MLPConfig((8, 2)), input_dim=4, rng=np.random.default_rng(3))
+        x = np.random.default_rng(0).normal(size=(6, 4))
+        assert np.allclose(a(x), b(x))
+
+    def test_parameter_count_matches_config(self, rng):
+        config = MLPConfig((16, 8))
+        mlp = MLP(config, input_dim=12, rng=rng)
+        assert mlp.num_parameters == config.num_parameters(12)
+        assert mlp.parameter_bytes == 4 * mlp.num_parameters
+        assert mlp.flops_per_sample() == config.flops_per_sample(12)
+
+    def test_input_validation(self, rng):
+        mlp = MLP(MLPConfig((4,)), input_dim=3, rng=rng)
+        with pytest.raises(ValueError):
+            mlp(np.ones((2, 5)))
+        with pytest.raises(ValueError):
+            mlp(np.ones(3))
+        with pytest.raises(ValueError):
+            MLP(MLPConfig((4,)), input_dim=0, rng=rng)
+
+    def test_linear_final_layer_without_sigmoid(self, rng):
+        mlp = MLP(MLPConfig((4, 1)), input_dim=2, rng=rng, sigmoid_output=False)
+        out = mlp(rng.normal(size=(50, 2)))
+        # A linear output layer should produce negative values sometimes.
+        assert np.any(out < 0)
+
+    def test_properties(self, rng):
+        mlp = MLP(MLPConfig((4, 2)), input_dim=6, rng=rng)
+        assert mlp.input_dim == 6
+        assert mlp.output_dim == 2
+        assert mlp.config.layer_sizes == (4, 2)

@@ -1,0 +1,49 @@
+"""Tests for the per-replica FIFO queue model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.replica_server import ReplicaServer
+
+
+class TestReplicaServer:
+    def test_idle_server_serves_immediately(self):
+        server = ReplicaServer("r0")
+        completion = server.submit(arrival=10.0, service_time=0.5)
+        assert completion == pytest.approx(10.5)
+        assert server.completed_queries == 1
+        assert server.busy_seconds == pytest.approx(0.5)
+
+    def test_queueing_is_fifo(self):
+        server = ReplicaServer("r0")
+        first = server.submit(0.0, 1.0)
+        second = server.submit(0.1, 1.0)
+        third = server.submit(5.0, 1.0)
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(2.0)  # waits for the first
+        assert third == pytest.approx(6.0)  # server idle again by then
+
+    def test_not_ready_until_startup(self):
+        server = ReplicaServer("r0", ready_at=100.0)
+        assert not server.is_ready(50.0)
+        assert server.is_ready(100.0)
+        completion = server.submit(arrival=50.0, service_time=1.0)
+        assert completion == pytest.approx(101.0)
+
+    def test_pending_work(self):
+        server = ReplicaServer("r0")
+        server.submit(0.0, 2.0)
+        assert server.pending_work(1.0) == pytest.approx(1.0)
+        assert server.pending_work(5.0) == 0.0
+
+    def test_utilization(self):
+        server = ReplicaServer("r0")
+        server.submit(0.0, 2.0)
+        assert server.utilization(4.0) == pytest.approx(0.5)
+        assert server.utilization(0.0) == 0.0
+        assert ReplicaServer("idle").utilization(10.0) == 0.0
+
+    def test_service_time_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ReplicaServer("r0").submit(0.0, 0.0)

@@ -1,0 +1,94 @@
+"""Tests for the RPC model and latency tracking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.latency import LatencyTracker
+from repro.serving.rpc import RPCModel
+
+
+class TestRPCModel:
+    def test_call_latency_components(self):
+        rpc = RPCModel(network_gbps=10.0, per_call_overhead_s=0.001)
+        latency = rpc.call_latency(payload_bytes=1.25e6)  # 1 ms transfer at 10 Gbps
+        assert latency == pytest.approx(0.002)
+
+    def test_fanout_latency(self):
+        rpc = RPCModel(network_gbps=10.0, per_call_overhead_s=0.001)
+        assert rpc.fanout_latency(1000, 0) == 0.0
+        one = rpc.fanout_latency(1000, 1)
+        many = rpc.fanout_latency(1000, 40)
+        assert many > one
+
+    def test_query_overhead_in_paper_range(self):
+        """The paper reports ~31 ms of added latency for ~40 shards on 10 Gbps."""
+        rpc = RPCModel(network_gbps=10.0)
+        overhead = rpc.query_overhead(
+            num_shards_contacted=40, request_bytes=20_000, response_bytes=32 * 32 * 4
+        )
+        assert 0.005 < overhead < 0.08
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RPCModel(network_gbps=0)
+        rpc = RPCModel(network_gbps=10)
+        with pytest.raises(ValueError):
+            rpc.call_latency(-1)
+        with pytest.raises(ValueError):
+            rpc.fanout_latency(10, -1)
+
+
+class TestLatencyTracker:
+    def test_percentiles_and_mean(self):
+        tracker = LatencyTracker()
+        for value in np.linspace(0.01, 1.0, 100):
+            tracker.record(completion_time=float(value * 10), latency_s=float(value))
+        assert tracker.num_samples == 100
+        assert tracker.mean() == pytest.approx(0.505, rel=0.01)
+        assert tracker.percentile(50) == pytest.approx(0.505, rel=0.05)
+        assert tracker.percentile(95) > tracker.percentile(50)
+
+    def test_sla_violation_fraction(self):
+        tracker = LatencyTracker()
+        for latency in (0.1, 0.2, 0.5, 0.6):
+            tracker.record(0.0, latency)
+        assert tracker.sla_violation_fraction(0.4) == pytest.approx(0.5)
+        assert LatencyTracker().sla_violation_fraction(0.4) == 0.0
+
+    def test_windowed_buckets(self):
+        tracker = LatencyTracker()
+        tracker.record(completion_time=5.0, latency_s=0.1)
+        tracker.record(completion_time=65.0, latency_s=0.3)
+        points = tracker.windowed(duration_s=120.0, bucket_s=60.0)
+        assert len(points) == 2
+        assert points[0].completions == 1
+        assert points[0].p95_ms == pytest.approx(100.0)
+        assert points[1].mean_ms == pytest.approx(300.0)
+
+    def test_empty_bucket_reports_zeros(self):
+        tracker = LatencyTracker()
+        tracker.record(completion_time=5.0, latency_s=0.1)
+        points = tracker.windowed(duration_s=180.0, bucket_s=60.0)
+        assert points[2].completions == 0
+        assert points[2].p95_ms == 0.0
+
+    def test_accessors(self):
+        tracker = LatencyTracker()
+        tracker.record(1.0, 0.2)
+        assert tracker.completion_times.tolist() == [1.0]
+        assert tracker.latencies_s.tolist() == [0.2]
+
+    def test_validation(self):
+        tracker = LatencyTracker()
+        with pytest.raises(ValueError):
+            tracker.record(0.0, -1.0)
+        with pytest.raises(ValueError):
+            tracker.percentile(95)
+        with pytest.raises(ValueError):
+            tracker.mean()
+        with pytest.raises(ValueError):
+            tracker.sla_violation_fraction(0.0)
+        with pytest.raises(ValueError):
+            tracker.windowed(0.0)

@@ -1,0 +1,39 @@
+"""Tests for replica stress testing (QPS_max discovery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.stress import find_qps_max
+
+
+class TestFindQPSMax:
+    def test_qps_max_below_saturation(self):
+        result = find_qps_max(service_time_s=0.05, duration_s=60.0)
+        ideal = 1.0 / 0.05
+        assert 0.3 * ideal <= result.qps_max <= ideal
+
+    def test_latency_knee_is_monotone_in_rate(self):
+        result = find_qps_max(service_time_s=0.05, duration_s=60.0, num_steps=8)
+        p95 = list(result.p95_latencies_s)
+        # Tail latency at the highest tested rate must exceed the lowest one's.
+        assert p95[-1] > p95[0]
+        assert result.knee_latency_s == pytest.approx(3 * 0.05)
+
+    def test_faster_service_supports_higher_qps(self):
+        slow = find_qps_max(service_time_s=0.1, duration_s=40.0)
+        fast = find_qps_max(service_time_s=0.02, duration_s=40.0)
+        assert fast.qps_max > slow.qps_max
+
+    def test_deterministic_for_seed(self):
+        a = find_qps_max(0.05, duration_s=30.0, seed=3)
+        b = find_qps_max(0.05, duration_s=30.0, seed=3)
+        assert a.qps_max == b.qps_max
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_qps_max(0.0)
+        with pytest.raises(ValueError):
+            find_qps_max(0.05, knee_factor=1.0)
+        with pytest.raises(ValueError):
+            find_qps_max(0.05, num_steps=1)

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_arguments(self):
+        args = build_parser().parse_args(
+            ["plan", "RM1", "--system", "cpu-gpu", "--target-qps", "150", "--num-shards", "3"]
+        )
+        assert args.command == "plan"
+        assert args.workload == "RM1"
+        assert args.system == "cpu-gpu"
+        assert args.target_qps == 150.0
+        assert args.num_shards == 3
+
+    def test_experiments_list_flag(self):
+        args = build_parser().parse_args(["experiments", "--list"])
+        assert args.list is True
+
+
+class TestCommands:
+    def test_plan_command_output(self, capsys):
+        assert main(["plan", "RM1", "--target-qps", "50", "--num-shards", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "ElasticRec deployments for RM1" in output
+        assert "model-wise" in output
+        assert "memory reduction" in output
+
+    def test_manifests_command_output(self, capsys):
+        assert main(["manifests", "RM1", "--target-qps", "50", "--num-shards", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "kind: Deployment" in output
+        assert "kind: HorizontalPodAutoscaler" in output
+        assert "queries_per_second" in output
+
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig13" in output and "ablation" in output
+
+    def test_experiments_single_run(self, capsys):
+        assert main(["experiments", "fig5"]) == 0
+        output = capsys.readouterr().out
+        assert "fig5" in output
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "RM9"])
