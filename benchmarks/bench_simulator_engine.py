@@ -1,0 +1,96 @@
+"""Benchmark the discrete-event serving engine.
+
+Two checks:
+
+* throughput — the engine must sustain a Figure-19-style dynamic-traffic run
+  with more than 100k queries (the scale the seed's per-query loop choked
+  on), reported through pytest-benchmark timing;
+* fidelity — a least-work engine run must reproduce the *seed* simulator's
+  ``summary()`` for the same seed within float tolerance (the golden values
+  below were captured from the pre-engine simulator at the commit that
+  introduced the engine).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.planner import ElasticRecPlanner
+from repro.hardware.specs import cpu_only_cluster
+from repro.model.configs import rm1
+from repro.serving.engine import ServingEngine
+from repro.serving.traffic import paper_dynamic_pattern
+
+# summary() of the pre-engine (seed) simulator for the reduced Figure 19
+# ElasticRec run below with seed 0.
+SEED_FIG19_SUMMARY = {
+    "peak_memory_gb": 46.345177292,
+    "mean_latency_ms": 135.4715781346074,
+    "p95_latency_ms": 167.1631524292041,
+    "sla_violation_fraction": 0.025399790423253906,
+    "total_queries": 43898.0,
+}
+
+
+def _reduced_plan():
+    cluster = cpu_only_cluster(num_nodes=8)
+    workload = rm1().scaled_tables(4).with_name("RM1-reduced")
+    return ElasticRecPlanner(cluster).plan(workload, 18.0)
+
+
+def test_bench_engine_100k_query_run(benchmark):
+    """A Figure-19-shaped run upscaled past 100k queries."""
+    pattern = paper_dynamic_pattern(base_qps=60.0, peak_qps=220.0, duration_s=900.0)
+    assert pattern.expected_queries() > 100_000
+
+    def run():
+        engine = ServingEngine(_reduced_plan(), seed=0)
+        return engine.run(pattern)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert result.tracker.num_samples > 100_000
+    benchmark.extra_info["queries"] = result.tracker.num_samples
+    benchmark.extra_info["queries_per_wall_second"] = round(
+        result.tracker.num_samples / benchmark.stats.stats.mean
+    )
+
+
+def test_bench_engine_matches_seed_simulator(benchmark):
+    """Least-work engine == seed simulator summary, same seed."""
+    pattern = paper_dynamic_pattern(base_qps=18.0, peak_qps=90.0, duration_s=900.0)
+
+    def run():
+        engine = ServingEngine(_reduced_plan(), routing="least-work", seed=0)
+        return engine.run(pattern)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    summary = result.summary()
+    assert set(summary) == set(SEED_FIG19_SUMMARY)
+    for key, expected in SEED_FIG19_SUMMARY.items():
+        assert summary[key] == pytest.approx(expected, rel=1e-9), key
+        benchmark.extra_info[key] = round(float(summary[key]), 4)
+
+
+def test_bench_routing_policies_same_arrivals(benchmark):
+    """Relative cost of the routing policies on one identical run."""
+    pattern = paper_dynamic_pattern(base_qps=18.0, peak_qps=90.0, duration_s=900.0)
+    timings = {}
+
+    def run_all():
+        import time
+
+        for routing in ("least-work", "round-robin", "power-of-two"):
+            start = time.perf_counter()
+            engine = ServingEngine(_reduced_plan(), routing=routing, seed=0)
+            result = engine.run(pattern)
+            timings[routing] = time.perf_counter() - start
+            assert result.tracker.num_samples == SEED_FIG19_SUMMARY["total_queries"]
+        return timings
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1, warmup_rounds=0)
+    for routing, seconds in timings.items():
+        benchmark.extra_info[f"{routing}_s"] = round(seconds, 3)
+    slowest = max(timings.values())
+    fastest = min(timings.values())
+    assert np.isfinite(slowest) and fastest > 0

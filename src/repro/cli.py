@@ -11,6 +11,10 @@ Usage (also available as ``python -m repro``):
     Emit Kubernetes Deployment / HorizontalPodAutoscaler manifests for the
     ElasticRec plan, as the paper's deployment module would.
 
+``python -m repro simulate RM1 --scenario flash-crowd --routing power-of-two``
+    Serve a planned deployment under a named traffic scenario with a chosen
+    replica-routing policy and print the run's headline aggregates.
+
 ``python -m repro experiments fig13 fig15``
     Shortcut for ``python -m repro.experiments``.
 """
@@ -28,6 +32,9 @@ from repro.core.baseline import ModelWisePlanner
 from repro.core.planner import ElasticRecPlanner
 from repro.hardware.specs import ClusterSpec, cpu_gpu_cluster, cpu_only_cluster
 from repro.model.configs import DLRMConfig, workload_presets
+from repro.serving.engine import ServingEngine
+from repro.serving.routing import routing_policy_names
+from repro.serving.scenarios import build_scenario, scenario_names
 
 __all__ = ["main", "build_parser"]
 
@@ -75,6 +82,42 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--num-shards", type=int, default=None, help="force a shard count per table"
         )
+
+    simulate = subparsers.add_parser(
+        "simulate", help="serve a planned deployment under a traffic scenario"
+    )
+    simulate.add_argument("workload", help="Table II workload name: RM1, RM2 or RM3")
+    simulate.add_argument(
+        "--system", choices=("cpu", "cpu-gpu"), default="cpu", help="cluster type"
+    )
+    simulate.add_argument("--num-nodes", type=int, default=None, help="override fleet size")
+    simulate.add_argument(
+        "--num-shards", type=int, default=None, help="force a shard count per table"
+    )
+    simulate.add_argument(
+        "--scenario",
+        choices=scenario_names(),
+        default="paper",
+        help="traffic scenario (default: the paper's Figure 19 profile)",
+    )
+    simulate.add_argument(
+        "--routing",
+        choices=routing_policy_names(),
+        default="least-work",
+        help="replica routing policy",
+    )
+    simulate.add_argument(
+        "--strategy",
+        choices=("elasticrec", "model-wise", "both"),
+        default="elasticrec",
+        help="deployment strategy to simulate",
+    )
+    simulate.add_argument("--base-qps", type=float, default=18.0, help="baseline query rate")
+    simulate.add_argument("--peak-qps", type=float, default=90.0, help="peak query rate")
+    simulate.add_argument(
+        "--duration-s", type=float, default=900.0, help="simulated duration in seconds"
+    )
+    simulate.add_argument("--seed", type=int, default=0, help="random seed")
 
     experiments = subparsers.add_parser("experiments", help="regenerate paper figures")
     experiments.add_argument("ids", nargs="*", help="experiment ids (default: all)")
@@ -133,6 +176,53 @@ def _command_manifests(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_simulate(args: argparse.Namespace) -> int:
+    workload = _resolve_workload(args.workload)
+    cluster = _resolve_cluster(args.system, args.num_nodes)
+    try:
+        pattern = build_scenario(
+            args.scenario, args.base_qps, args.peak_qps, args.duration_s, seed=args.seed
+        )
+    except ValueError as error:
+        raise SystemExit(f"cannot build scenario {args.scenario!r}: {error}") from None
+    planners = {
+        "elasticrec": lambda: ElasticRecPlanner(cluster).plan(
+            workload, args.base_qps, num_shards=args.num_shards
+        ),
+        "model-wise": lambda: ModelWisePlanner(cluster).plan(workload, args.base_qps),
+    }
+    strategies = list(planners) if args.strategy == "both" else [args.strategy]
+    rows = []
+    for strategy in strategies:
+        engine = ServingEngine(
+            planners[strategy](), routing=args.routing, seed=args.seed
+        )
+        result = engine.run(pattern)
+        summary = result.summary()
+        rows.append(
+            {
+                "strategy": strategy,
+                "routing": result.routing,
+                "peak_memory_gb": summary["peak_memory_gb"],
+                "mean_latency_ms": summary["mean_latency_ms"],
+                "p95_latency_ms": summary["p95_latency_ms"],
+                "sla_violations_pct": 100.0 * summary["sla_violation_fraction"],
+                "queries": summary["total_queries"],
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=(
+                f"{workload.name} under {args.scenario!r} traffic "
+                f"({args.base_qps:.0f}-{args.peak_qps:.0f} QPS, "
+                f"{args.duration_s:.0f}s on {cluster.name})"
+            ),
+        )
+    )
+    return 0
+
+
 def _command_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
@@ -149,4 +239,6 @@ def main(argv: list[str] | None = None) -> int:
         return _command_plan(args)
     if args.command == "manifests":
         return _command_manifests(args)
+    if args.command == "simulate":
+        return _command_simulate(args)
     return _command_experiments(args)

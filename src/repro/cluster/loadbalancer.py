@@ -1,16 +1,26 @@
-"""Replica selection policies (the Linkerd stand-in).
+"""Generic replica-selection primitives (the Linkerd stand-in).
 
-The paper uses Linkerd to route queries to shard replicas.  Two policies are
-provided: plain round-robin and least-outstanding-requests (Linkerd's default
-EWMA-like behaviour approximated by picking the replica with the fewest
-in-flight requests).
+The paper uses Linkerd to route queries to shard replicas.  This module holds
+the *generic* selection mechanics — they work on any replica type given a key
+function — and :mod:`repro.serving.routing` builds the simulator-facing
+routing policies on top of them.  Three primitives are provided:
+
+* :class:`RoundRobinBalancer` — plain per-deployment round-robin;
+* :class:`LeastOutstandingBalancer` — pick the replica minimising a caller
+  supplied load key (Linkerd's EWMA-like default approximated by fewest
+  in-flight requests, or by least pending work);
+* :class:`PowerOfTwoBalancer` — sample two random replicas and keep the less
+  loaded one, the classic "power of two choices" trick that gets most of the
+  benefit of least-loaded routing with O(1) state inspection.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Sequence, TypeVar
 
-__all__ = ["RoundRobinBalancer", "LeastOutstandingBalancer"]
+import numpy as np
+
+__all__ = ["RoundRobinBalancer", "LeastOutstandingBalancer", "PowerOfTwoBalancer"]
 
 ReplicaT = TypeVar("ReplicaT")
 
@@ -29,9 +39,17 @@ class RoundRobinBalancer:
         self._cursors[deployment_name] = cursor + 1
         return replicas[cursor]
 
+    def reset(self) -> None:
+        """Forget every deployment's cursor."""
+        self._cursors.clear()
+
 
 class LeastOutstandingBalancer:
-    """Selects the replica with the fewest outstanding (queued) requests."""
+    """Selects the replica minimising a caller-supplied load key.
+
+    Ties resolve to the earliest replica in the sequence, so callers that pass
+    replicas in a stable order get deterministic selections.
+    """
 
     def __init__(self, outstanding: Callable[[ReplicaT], float]) -> None:
         self._outstanding = outstanding
@@ -41,3 +59,29 @@ class LeastOutstandingBalancer:
         if not replicas:
             raise ValueError(f"deployment {deployment_name!r} has no ready replicas")
         return min(replicas, key=self._outstanding)
+
+
+class PowerOfTwoBalancer:
+    """Samples two distinct replicas uniformly and keeps the less loaded one."""
+
+    def __init__(
+        self,
+        outstanding: Callable[[ReplicaT], float],
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self._outstanding = outstanding
+        self._rng = rng or np.random.default_rng()
+
+    def reset(self, rng: np.random.Generator) -> None:
+        """Swap in a fresh random source (for reproducible runs)."""
+        self._rng = rng
+
+    def pick(self, deployment_name: str, replicas: Sequence[ReplicaT]) -> ReplicaT:
+        """Select the better of two uniformly sampled replicas."""
+        if not replicas:
+            raise ValueError(f"deployment {deployment_name!r} has no ready replicas")
+        if len(replicas) == 1:
+            return replicas[0]
+        first, second = self._rng.choice(len(replicas), size=2, replace=False)
+        a, b = replicas[int(first)], replicas[int(second)]
+        return a if self._outstanding(a) <= self._outstanding(b) else b

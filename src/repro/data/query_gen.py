@@ -10,7 +10,7 @@ paper's bucketization example (Figure 11): ``offsets[i]`` is the position in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 import numpy as np

@@ -38,9 +38,11 @@ __all__ = ["run"]
 
 
 def _simulate(
-    plan, pattern, seed: int, sample_interval_s: float
+    plan, pattern, seed: int, sample_interval_s: float, routing: str = "least-work"
 ) -> SimulationResult:
-    simulator = ServingSimulator(plan, seed=seed, sample_interval_s=sample_interval_s)
+    simulator = ServingSimulator(
+        plan, seed=seed, sample_interval_s=sample_interval_s, routing=routing
+    )
     return simulator.run(pattern)
 
 
@@ -65,8 +67,14 @@ def run(
     seed: int = 0,
     workload: DLRMConfig | None = None,
     cluster: ClusterSpec | None = None,
+    routing: str = "least-work",
 ) -> ExperimentResult:
-    """Regenerate Figure 19 (reduced scale by default, ``full=True`` for paper scale)."""
+    """Regenerate Figure 19 (reduced scale by default, ``full=True`` for paper scale).
+
+    ``routing`` selects the replica-routing policy both systems use (see
+    :data:`repro.serving.routing.ROUTING_POLICIES`); the paper's setup
+    corresponds to the default ``least-work``.
+    """
     if cluster is None:
         cluster = cluster_for_system("cpu")
         if not full:
@@ -81,8 +89,8 @@ def run(
 
     elastic_plan = ElasticRecPlanner(cluster).plan(workload, base_qps)
     baseline_plan = ModelWisePlanner(cluster).plan(workload, base_qps)
-    elastic = _simulate(elastic_plan, pattern, seed, sample_interval_s=15.0)
-    baseline = _simulate(baseline_plan, pattern, seed, sample_interval_s=15.0)
+    elastic = _simulate(elastic_plan, pattern, seed, sample_interval_s=15.0, routing=routing)
+    baseline = _simulate(baseline_plan, pattern, seed, sample_interval_s=15.0, routing=routing)
 
     stride = 4  # one row per simulated minute
     rows = _series_rows(elastic, stride) + _series_rows(baseline, stride)

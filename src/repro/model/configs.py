@@ -9,7 +9,7 @@ test consumes exactly the same numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.data.distributions import AccessDistribution, ZipfDistribution
 from repro.data.query_gen import QueryGenerator, TableWorkload

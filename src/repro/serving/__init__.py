@@ -3,24 +3,66 @@
 The paper's dynamic-traffic experiment (Section VI-D, Figure 19) drives the
 deployed system with fluctuating query traffic while Kubernetes HPA scales
 shard replicas in and out, and reports the achieved QPS, allocated memory and
-tail latency over time.  This subpackage provides that serving loop:
+tail latency over time.  This subpackage provides that serving loop as a
+discrete-event engine with pluggable policies:
 
+* :mod:`repro.serving.engine` — the event core: a heap of typed events
+  (arrival, completion, autoscaler tick, reconcile, sample) driving the
+  cluster, plus vectorised series post-processing.  :class:`ServingEngine`
+  is the primary entry point; :class:`SimulationResult` its output.
+* :mod:`repro.serving.routing` — pluggable per-deployment routing policies
+  (``least-work``, ``round-robin``, ``power-of-two``, ``ready-only``,
+  ``least-outstanding``), built on the generic balancers in
+  :mod:`repro.cluster.loadbalancer`.  See :data:`ROUTING_POLICIES` /
+  :func:`make_routing_policy`.
+* :mod:`repro.serving.scenarios` — a library of named traffic scenarios
+  (diurnal, flash crowd, sinusoidal, ramp-and-hold, composable noise)
+  layered on :class:`TrafficPattern`.  See :data:`SCENARIOS` /
+  :func:`build_scenario`.
 * :mod:`repro.serving.traffic` — constant / step / Poisson traffic patterns,
   including the paper's Figure 19 profile.
 * :mod:`repro.serving.replica_server` — per-replica FIFO queueing.
 * :mod:`repro.serving.rpc` — the cross-shard RPC latency model.
 * :mod:`repro.serving.latency` — latency bookkeeping and percentiles.
-* :mod:`repro.serving.simulator` — the end-to-end simulator combining a
-  deployment plan, a cluster, the autoscaler and a traffic pattern.
+* :mod:`repro.serving.simulator` — :class:`ServingSimulator`, the historical
+  façade over the engine (kept for compatibility; ``least-work`` routing
+  reproduces the pre-engine simulator bit-for-bit).
 * :mod:`repro.serving.stress` — stress testing a single replica to find its
   ``QPS_max`` (used to derive the sparse shards' HPA targets).
+
+Quick tour::
+
+    from repro.serving import ServingEngine, build_scenario
+
+    engine = ServingEngine(plan, routing="power-of-two", seed=0)
+    pattern = build_scenario("flash-crowd", base_qps=20, peak_qps=90,
+                             duration_s=900)
+    result = engine.run(pattern)
+    print(result.summary())
 """
 
 from repro.serving.traffic import TrafficPattern, TrafficPhase, paper_dynamic_pattern
 from repro.serving.replica_server import ReplicaServer
 from repro.serving.rpc import RPCModel
 from repro.serving.latency import LatencyTracker
-from repro.serving.simulator import ServingSimulator, SimulationResult
+from repro.serving.engine import EventKind, ServingEngine, SimulationResult
+from repro.serving.routing import (
+    ROUTING_POLICIES,
+    RoutingPolicy,
+    make_routing_policy,
+    routing_policy_names,
+)
+from repro.serving.scenarios import (
+    SCENARIOS,
+    build_scenario,
+    diurnal,
+    flash_crowd,
+    ramp_and_hold,
+    scenario_names,
+    sinusoidal,
+    with_noise,
+)
+from repro.serving.simulator import ServingSimulator
 from repro.serving.stress import StressTestResult, find_qps_max
 
 __all__ = [
@@ -30,8 +72,22 @@ __all__ = [
     "ReplicaServer",
     "RPCModel",
     "LatencyTracker",
+    "EventKind",
+    "ServingEngine",
     "ServingSimulator",
     "SimulationResult",
+    "RoutingPolicy",
+    "ROUTING_POLICIES",
+    "make_routing_policy",
+    "routing_policy_names",
+    "SCENARIOS",
+    "build_scenario",
+    "scenario_names",
+    "diurnal",
+    "flash_crowd",
+    "sinusoidal",
+    "ramp_and_hold",
+    "with_noise",
     "find_qps_max",
     "StressTestResult",
 ]

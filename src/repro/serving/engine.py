@@ -1,0 +1,387 @@
+"""Discrete-event serving engine: the simulation core behind the façade.
+
+The engine replaces the monolithic per-query serving loop with a classic
+discrete-event simulation: a binary heap of typed events drives the run, and
+everything policy-shaped (replica selection, traffic generation, autoscaling)
+is pluggable around the deterministic core.
+
+Event types, in tie-breaking order at equal timestamps:
+
+* ``COMPLETION`` — a query finished on one replica (scheduled only when the
+  routing policy tracks in-flight queries, e.g. ``least-outstanding``);
+* ``ARRIVAL`` — the next pending query arrival.  Arrivals are pre-generated
+  as one sorted vector per run and consumed in *batches*: one heap event
+  covers every arrival up to the next control event, so a 100k-query run
+  costs thousands — not hundreds of thousands — of heap operations;
+* ``AUTOSCALE`` — the control-plane tick: flush the interval's metrics into
+  the registry and run the HPA evaluation;
+* ``RECONCILE`` — drive the cluster toward the desired replica counts and
+  mirror the active containers into replica queue servers;
+* ``SAMPLE`` — append one point to every recorded time series and reset the
+  per-interval accumulators.
+
+Series post-processing (achieved QPS, windowed p95) is vectorised with a
+single sort plus ``np.searchsorted`` window lookups, replacing the seed
+simulator's per-window boolean masks over the full completion array.
+
+The historical :class:`~repro.serving.simulator.ServingSimulator` API is a
+thin façade over this engine; with the default ``least-work`` routing policy
+the engine reproduces the seed simulator's results bit-for-bit for the same
+seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+import numpy as np
+
+from repro.cluster.autoscaler import HorizontalPodAutoscaler
+from repro.cluster.cluster import Cluster
+from repro.cluster.container import ContainerState
+from repro.core.plan import DeploymentPlan, ROLE_DENSE, ROLE_MONOLITHIC
+from repro.hardware.perf_model import PerfModel
+from repro.serving.latency import LatencyTracker
+from repro.serving.replica_server import ReplicaServer
+from repro.serving.routing import RoutingPolicy, make_routing_policy
+from repro.serving.traffic import TrafficPattern
+
+__all__ = ["EventKind", "ServingEngine", "SimulationResult"]
+
+
+class EventKind(IntEnum):
+    """Typed events of the serving engine, in same-timestamp priority order."""
+
+    COMPLETION = 0
+    ARRIVAL = 1
+    AUTOSCALE = 2
+    RECONCILE = 3
+    SAMPLE = 4
+
+
+@dataclass
+class SimulationResult:
+    """Time series and aggregates produced by one simulation run."""
+
+    plan_name: str
+    strategy: str
+    sla_s: float
+    sample_times: np.ndarray
+    target_qps: np.ndarray
+    achieved_qps: np.ndarray
+    memory_gb: np.ndarray
+    p95_latency_ms: np.ndarray
+    replica_counts: dict[str, np.ndarray]
+    tracker: LatencyTracker = field(repr=False, default_factory=LatencyTracker)
+    routing: str = "least-work"
+
+    @property
+    def peak_memory_gb(self) -> float:
+        """Highest allocated memory observed."""
+        return float(self.memory_gb.max()) if self.memory_gb.size else 0.0
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean end-to-end latency over the whole run."""
+        return self.tracker.mean() * 1000.0
+
+    @property
+    def overall_p95_latency_ms(self) -> float:
+        """p95 end-to-end latency over the whole run."""
+        return self.tracker.percentile(95.0) * 1000.0
+
+    def sla_violation_fraction(self) -> float:
+        """Fraction of queries whose latency exceeded the SLA."""
+        return self.tracker.sla_violation_fraction(self.sla_s)
+
+    def summary(self) -> dict[str, float]:
+        """Headline aggregates of the run."""
+        return {
+            "peak_memory_gb": self.peak_memory_gb,
+            "mean_latency_ms": self.mean_latency_ms,
+            "p95_latency_ms": self.overall_p95_latency_ms,
+            "sla_violation_fraction": self.sla_violation_fraction(),
+            "total_queries": float(self.tracker.num_samples),
+        }
+
+
+class ServingEngine:
+    """Discrete-event simulation of one deployment plan under query traffic.
+
+    The engine owns the simulated cluster, the autoscaler and the routing
+    policy; :meth:`run` drives one traffic pattern through the event loop and
+    returns a :class:`SimulationResult`.  State (replica counts, queues,
+    autoscaler history) persists across runs, mirroring the behaviour of the
+    historical simulator.
+    """
+
+    def __init__(
+        self,
+        plan: DeploymentPlan,
+        routing: str | RoutingPolicy = "least-work",
+        autoscale: bool = True,
+        autoscaler: HorizontalPodAutoscaler | None = None,
+        initial_replicas: int | None = None,
+        warm_start: bool = True,
+        max_replicas: int = 256,
+        sample_interval_s: float = 15.0,
+        seed: int = 0,
+    ) -> None:
+        self._plan = plan
+        self._autoscale = autoscale
+        self._autoscaler = autoscaler or HorizontalPodAutoscaler()
+        self._sample_interval_s = float(sample_interval_s)
+        if self._sample_interval_s <= 0:
+            raise ValueError("sample_interval_s must be positive")
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._policy = make_routing_policy(routing)
+        self._perf_model = PerfModel(plan.cluster)
+        self._cluster = Cluster.from_plan(
+            plan, initial_replicas=initial_replicas, max_replicas=max_replicas
+        )
+        self._servers: dict[str, dict[str, ReplicaServer]] = {
+            d.name: {} for d in self._cluster.deployments
+        }
+        self._service_times = {d.name: 1.0 / d.per_replica_qps for d in plan.deployments}
+        self._is_monolithic = plan.strategy != "elasticrec"
+        self._rpc_overhead_s = 0.0 if self._is_monolithic else self._perf_model.rpc_overhead_s()
+        self._cluster.reconcile(0.0)
+        if warm_start:
+            self._force_ready(0.0)
+        self._sync_servers(0.0)
+
+    # ------------------------------------------------------------------
+    # Cluster/replica bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def cluster(self) -> Cluster:
+        """The simulated cluster."""
+        return self._cluster
+
+    @property
+    def routing_policy(self) -> RoutingPolicy:
+        """The active replica-selection policy."""
+        return self._policy
+
+    def _force_ready(self, now: float) -> None:
+        for deployment in self._cluster.deployments:
+            for container in deployment.replicas:
+                if container.state is ContainerState.STARTING:
+                    container.ready_at = now
+                    container.maybe_become_ready(now)
+
+    def _sync_servers(self, now: float) -> None:
+        """Mirror the cluster's active containers into replica queue servers."""
+        for deployment in self._cluster.deployments:
+            servers = self._servers[deployment.name]
+            active_names = set()
+            for container in deployment.replicas:
+                if not container.is_active:
+                    continue
+                active_names.add(container.name)
+                if container.name not in servers:
+                    ready_at = container.ready_at if container.ready_at is not None else now
+                    servers[container.name] = ReplicaServer(container.name, ready_at=ready_at)
+            for name in list(servers):
+                if name not in active_names:
+                    del servers[name]
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def run(self, pattern: TrafficPattern) -> SimulationResult:
+        """Simulate the plan under the given traffic pattern."""
+        arrivals = pattern.arrivals(self._rng)
+        self._policy.reset(np.random.default_rng([self._seed, 1]))
+        tracker = LatencyTracker()
+        boundaries = np.arange(
+            self._sample_interval_s,
+            pattern.duration_s + self._sample_interval_s,
+            self._sample_interval_s,
+        )
+        sample_times: list[float] = []
+        memory_series: list[float] = []
+        replica_series: dict[str, list[int]] = {d.name: [] for d in self._cluster.deployments}
+        interval_counts: dict[str, int] = {d.name: 0 for d in self._cluster.deployments}
+        interval_latencies: dict[str, list[float]] = {
+            d.name: [] for d in self._cluster.deployments
+        }
+
+        heap: list[tuple[float, int, int, object]] = []
+        seq = itertools.count()
+        for boundary in boundaries:
+            heapq.heappush(heap, (float(boundary), EventKind.AUTOSCALE, next(seq), None))
+            heapq.heappush(heap, (float(boundary), EventKind.RECONCILE, next(seq), None))
+            heapq.heappush(heap, (float(boundary), EventKind.SAMPLE, next(seq), None))
+        # Arrivals after the final sample boundary fall outside every recorded
+        # interval and are never served (the seed loop behaved identically).
+        num_served = (
+            int(np.searchsorted(arrivals, boundaries[-1], side="right"))
+            if boundaries.size
+            else 0
+        )
+        if num_served:
+            heapq.heappush(heap, (float(arrivals[0]), EventKind.ARRIVAL, next(seq), 0))
+        track_completions = self._policy.needs_completion_events
+
+        while heap:
+            now, kind, _, payload = heapq.heappop(heap)
+            if kind == EventKind.ARRIVAL:
+                index = payload
+                if track_completions:
+                    # One event per arrival so completion events interleave
+                    # with arrivals in timestamp order.
+                    self._serve_query(
+                        float(arrivals[index]),
+                        tracker,
+                        interval_counts,
+                        interval_latencies,
+                        heap=heap,
+                        seq=seq,
+                    )
+                    if index + 1 < num_served:
+                        heapq.heappush(
+                            heap,
+                            (float(arrivals[index + 1]), EventKind.ARRIVAL, next(seq), index + 1),
+                        )
+                else:
+                    # Batch every arrival up to (and including) the next
+                    # control event; nothing can preempt them in between.
+                    horizon = heap[0][0] if heap else float("inf")
+                    stop = int(np.searchsorted(arrivals, horizon, side="right"))
+                    stop = min(max(stop, index + 1), num_served)
+                    for i in range(index, stop):
+                        self._serve_query(
+                            float(arrivals[i]), tracker, interval_counts, interval_latencies
+                        )
+                    if stop < num_served:
+                        heapq.heappush(
+                            heap, (float(arrivals[stop]), EventKind.ARRIVAL, next(seq), stop)
+                        )
+            elif kind == EventKind.COMPLETION:
+                deployment_name, server_name = payload
+                self._policy.on_complete(deployment_name, server_name)
+            elif kind == EventKind.AUTOSCALE:
+                self._record_interval_metrics(now, interval_counts, interval_latencies)
+                if self._autoscale and self._autoscaler.should_evaluate(now):
+                    self._autoscaler.evaluate(
+                        self._cluster.deployments, self._cluster.metrics, now
+                    )
+            elif kind == EventKind.RECONCILE:
+                self._cluster.reconcile(now)
+                self._sync_servers(now)
+            else:  # EventKind.SAMPLE
+                sample_times.append(now)
+                memory_series.append(self._cluster.allocated_memory_gb)
+                for deployment in self._cluster.deployments:
+                    replica_series[deployment.name].append(len(deployment.active_replicas))
+                for name in interval_counts:
+                    interval_counts[name] = 0
+                    interval_latencies[name] = []
+
+        sample_times_arr = np.asarray(sample_times)
+        achieved = self._achieved_qps(tracker, sample_times_arr)
+        p95_series = self._p95_series(tracker, sample_times_arr)
+        target = np.array([pattern.rate_at(t) for t in sample_times_arr])
+        return SimulationResult(
+            plan_name=self._plan.name,
+            strategy=self._plan.strategy,
+            sla_s=self._plan.cluster.sla_s,
+            sample_times=sample_times_arr,
+            target_qps=target,
+            achieved_qps=achieved,
+            memory_gb=np.asarray(memory_series),
+            p95_latency_ms=p95_series,
+            replica_counts={k: np.asarray(v) for k, v in replica_series.items()},
+            tracker=tracker,
+            routing=self._policy.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-query path
+    # ------------------------------------------------------------------
+    def _serve_query(
+        self,
+        arrival: float,
+        tracker: LatencyTracker,
+        interval_counts: dict[str, int],
+        interval_latencies: dict[str, list[float]],
+        heap: list | None = None,
+        seq: itertools.count | None = None,
+    ) -> None:
+        """Route one query through every deployment it needs."""
+        completions: list[float] = []
+        dense_names: list[str] = []
+        for deployment in self._cluster.deployments:
+            servers = list(self._servers[deployment.name].values())
+            server = self._policy.select(deployment.name, servers, arrival)
+            if server is None:
+                # No capacity at all: count a full SLA violation.
+                completions.append(arrival + 2.0 * self._plan.cluster.sla_s)
+                continue
+            service = self._service_times[deployment.name]
+            completion = server.submit(arrival, service)
+            self._policy.on_submit(deployment.name, server)
+            if heap is not None:
+                heapq.heappush(
+                    heap,
+                    (completion, EventKind.COMPLETION, next(seq), (deployment.name, server.name)),
+                )
+            completions.append(completion)
+            interval_counts[deployment.name] += 1
+            if deployment.spec.role in (ROLE_DENSE, ROLE_MONOLITHIC):
+                dense_names.append(deployment.name)
+            else:
+                interval_latencies[deployment.name].append(completion - arrival)
+        query_completion = max(completions) + self._rpc_overhead_s
+        latency = query_completion - arrival
+        # End-to-end latency is what the dense (or monolithic) shard's HPA sees.
+        for name in dense_names:
+            interval_latencies[name].append(latency)
+        tracker.record(arrival + latency, latency)
+
+    def _record_interval_metrics(
+        self,
+        now: float,
+        interval_counts: dict[str, int],
+        interval_latencies: dict[str, list[float]],
+    ) -> None:
+        metrics = self._cluster.metrics
+        for deployment in self._cluster.deployments:
+            name = deployment.name
+            metrics.record(f"{name}/queries", float(interval_counts[name]), now)
+            latencies = interval_latencies[name]
+            if latencies:
+                metrics.record(f"{name}/latency_s", float(np.percentile(latencies, 95)), now)
+
+    # ------------------------------------------------------------------
+    # Series post-processing (vectorised)
+    # ------------------------------------------------------------------
+    def _achieved_qps(self, tracker: LatencyTracker, sample_times: np.ndarray) -> np.ndarray:
+        completions = np.sort(tracker.completion_times)
+        counts = np.searchsorted(completions, sample_times) - np.searchsorted(
+            completions, sample_times - self._sample_interval_s
+        )
+        return counts / self._sample_interval_s
+
+    def _p95_series(self, tracker: LatencyTracker, sample_times: np.ndarray) -> np.ndarray:
+        completions = tracker.completion_times
+        order = np.argsort(completions, kind="stable")
+        sorted_completions = completions[order]
+        sorted_latencies = (tracker.latencies_s * 1000.0)[order]
+        window = max(self._sample_interval_s, 30.0)
+        # Each window is (end - window, end]; one sort plus two binary
+        # searches per sample replaces a full boolean mask per sample.
+        hi = np.searchsorted(sorted_completions, sample_times, side="right")
+        lo = np.searchsorted(sorted_completions, sample_times - window, side="right")
+        series = np.zeros_like(sample_times)
+        for index in range(sample_times.size):
+            if hi[index] > lo[index]:
+                series[index] = float(
+                    np.percentile(sorted_latencies[lo[index] : hi[index]], 95)
+                )
+        return series

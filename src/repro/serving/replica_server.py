@@ -21,6 +21,10 @@ class ReplicaServer:
         self._busy_until = float(ready_at)
         self._completed = 0
         self._busy_time = 0.0
+        # Merged [start, end) busy runs; FIFO submits only ever extend the
+        # last run or open a new one, so the list stays short (one entry per
+        # idle gap, not per query).
+        self._busy_runs: list[list[float]] = []
 
     @property
     def name(self) -> str:
@@ -64,11 +68,35 @@ class ReplicaServer:
         self._busy_until = completion
         self._completed += 1
         self._busy_time += service_time
+        if self._busy_runs and start <= self._busy_runs[-1][1]:
+            self._busy_runs[-1][1] = completion
+        else:
+            self._busy_runs.append([start, completion])
         return completion
 
-    def utilization(self, now: float) -> float:
-        """Fraction of wall-clock time spent serving, up to ``now``."""
-        elapsed = now - self._ready_at
+    def busy_seconds_between(self, start_s: float, end_s: float) -> float:
+        """Service time accumulated inside ``[start_s, end_s)``."""
+        total = 0.0
+        for run_start, run_end in self._busy_runs:
+            if run_end <= start_s:
+                continue
+            if run_start >= end_s:
+                break
+            total += min(run_end, end_s) - max(run_start, start_s)
+        return total
+
+    def utilization(self, now: float, window_start: float = 0.0) -> float:
+        """Fraction of wall-clock time spent serving over a window.
+
+        Both sides of the ratio are confined to the window: the denominator
+        runs from ``max(ready_at, window_start)`` to ``now``, and the
+        numerator only counts service time inside it.  A replica that became
+        ready long before the window does not have its recent utilization
+        diluted (or inflated) by old history, and a replica that started
+        mid-window is only accountable for the time it was up.
+        """
+        start = max(self._ready_at, window_start)
+        elapsed = now - start
         if elapsed <= 0:
             return 0.0
-        return min(1.0, self._busy_time / elapsed)
+        return min(1.0, self.busy_seconds_between(start, now) / elapsed)

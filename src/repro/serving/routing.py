@@ -1,0 +1,237 @@
+"""Pluggable per-deployment routing policies for the serving engine.
+
+Each policy answers one question: given the replica servers of a deployment
+and the current simulation time, which replica should serve the next query?
+Policies are stateful (round-robin cursors, in-flight counters, private RNG)
+and are reset by the engine at the start of every run, so one policy instance
+can be reused across runs deterministically.
+
+The selection mechanics are shared with :mod:`repro.cluster.loadbalancer`
+(the generic Linkerd stand-in): the policies here adapt those balancers to
+the :class:`~repro.serving.replica_server.ReplicaServer` queue model, adding
+readiness filtering and the engine's tie-breaking conventions.
+
+Available policies (see :data:`ROUTING_POLICIES`):
+
+``least-work``
+    Route to the replica whose queue drains first, preferring ready replicas
+    but falling back to still-starting ones when nothing is ready.  This is
+    the historical simulator behaviour and the default.
+``round-robin``
+    Cycle through the ready replicas (falling back to all replicas).
+``power-of-two``
+    Sample two random replicas and keep the one with less pending work.
+``ready-only``
+    Strict variant of least-work that refuses to queue on replicas that have
+    not finished starting; with no ready replica the query is dropped and
+    counted as a full SLA violation.
+``least-outstanding``
+    Route to the replica with the fewest in-flight queries (completion events
+    feed the counters), breaking ties by pending work.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.loadbalancer import (
+    LeastOutstandingBalancer,
+    PowerOfTwoBalancer,
+    RoundRobinBalancer,
+)
+from repro.serving.replica_server import ReplicaServer
+
+__all__ = [
+    "RoutingPolicy",
+    "LeastWorkPolicy",
+    "RoundRobinPolicy",
+    "PowerOfTwoPolicy",
+    "ReadyOnlyPolicy",
+    "LeastOutstandingPolicy",
+    "ROUTING_POLICIES",
+    "make_routing_policy",
+    "routing_policy_names",
+]
+
+
+def _queue_drain_time(server: ReplicaServer) -> float:
+    """When a query submitted now would start service on ``server``."""
+    return max(server.busy_until, server.ready_at)
+
+
+def _ready_pool(
+    servers: Sequence[ReplicaServer], now: float
+) -> Sequence[ReplicaServer]:
+    """Ready replicas, falling back to all replicas when none is ready yet."""
+    ready = [s for s in servers if s.is_ready(now)]
+    return ready if ready else servers
+
+
+class RoutingPolicy:
+    """Base class for per-deployment replica selection."""
+
+    #: Registry name of the policy.
+    name: str = ""
+    #: Whether the engine must schedule completion events for this policy.
+    needs_completion_events: bool = False
+
+    def reset(self, rng: np.random.Generator) -> None:
+        """Clear per-run state; called by the engine before each run."""
+
+    def select(
+        self, deployment_name: str, servers: Sequence[ReplicaServer], now: float
+    ) -> ReplicaServer | None:
+        """Pick the serving replica, or ``None`` to drop the query."""
+        raise NotImplementedError
+
+    def on_submit(self, deployment_name: str, server: ReplicaServer) -> None:
+        """Notification that a query was enqueued on ``server``."""
+
+    def on_complete(self, deployment_name: str, server_name: str) -> None:
+        """Notification that a query finished on the named replica."""
+
+
+class LeastWorkPolicy(RoutingPolicy):
+    """Route to the replica whose queue drains first (the seed behaviour)."""
+
+    name = "least-work"
+
+    def __init__(self) -> None:
+        self._balancer = LeastOutstandingBalancer(_queue_drain_time)
+
+    def select(
+        self, deployment_name: str, servers: Sequence[ReplicaServer], now: float
+    ) -> ReplicaServer | None:
+        if not servers:
+            return None
+        return self._balancer.pick(deployment_name, _ready_pool(servers, now))
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Cycle through ready replicas regardless of their load."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._balancer = RoundRobinBalancer()
+
+    def reset(self, rng: np.random.Generator) -> None:
+        self._balancer.reset()
+
+    def select(
+        self, deployment_name: str, servers: Sequence[ReplicaServer], now: float
+    ) -> ReplicaServer | None:
+        if not servers:
+            return None
+        return self._balancer.pick(deployment_name, _ready_pool(servers, now))
+
+
+class PowerOfTwoPolicy(RoutingPolicy):
+    """Sample two random replicas, keep the one with less pending work."""
+
+    name = "power-of-two"
+
+    def __init__(self, rng: np.random.Generator | None = None) -> None:
+        self._balancer = PowerOfTwoBalancer(_queue_drain_time, rng=rng)
+
+    def reset(self, rng: np.random.Generator) -> None:
+        self._balancer.reset(rng)
+
+    def select(
+        self, deployment_name: str, servers: Sequence[ReplicaServer], now: float
+    ) -> ReplicaServer | None:
+        if not servers:
+            return None
+        return self._balancer.pick(deployment_name, _ready_pool(servers, now))
+
+
+class ReadyOnlyPolicy(RoutingPolicy):
+    """Least-work over ready replicas only; drop if nothing is ready."""
+
+    name = "ready-only"
+
+    def __init__(self) -> None:
+        self._balancer = LeastOutstandingBalancer(_queue_drain_time)
+
+    def select(
+        self, deployment_name: str, servers: Sequence[ReplicaServer], now: float
+    ) -> ReplicaServer | None:
+        ready = [s for s in servers if s.is_ready(now)]
+        if not ready:
+            return None
+        return self._balancer.pick(deployment_name, ready)
+
+
+class LeastOutstandingPolicy(RoutingPolicy):
+    """Route to the replica with the fewest in-flight queries.
+
+    In-flight counts are maintained from the engine's submit/completion
+    events; ties break toward less pending work, then toward the replica
+    listed first (deterministic given the engine's stable server ordering).
+    """
+
+    name = "least-outstanding"
+    needs_completion_events = True
+
+    def __init__(self) -> None:
+        self._in_flight: dict[tuple[str, str], int] = {}
+        self._deployment = ""
+        self._balancer = LeastOutstandingBalancer(self._load_key)
+
+    def reset(self, rng: np.random.Generator) -> None:
+        self._in_flight.clear()
+
+    def _load_key(self, server: ReplicaServer) -> tuple[float, float]:
+        count = self._in_flight.get((self._deployment, server.name), 0)
+        return (float(count), _queue_drain_time(server))
+
+    def select(
+        self, deployment_name: str, servers: Sequence[ReplicaServer], now: float
+    ) -> ReplicaServer | None:
+        if not servers:
+            return None
+        self._deployment = deployment_name
+        return self._balancer.pick(deployment_name, _ready_pool(servers, now))
+
+    def on_submit(self, deployment_name: str, server: ReplicaServer) -> None:
+        key = (deployment_name, server.name)
+        self._in_flight[key] = self._in_flight.get(key, 0) + 1
+
+    def on_complete(self, deployment_name: str, server_name: str) -> None:
+        key = (deployment_name, server_name)
+        remaining = self._in_flight.get(key, 0) - 1
+        if remaining > 0:
+            self._in_flight[key] = remaining
+        else:
+            self._in_flight.pop(key, None)
+
+
+#: Registry of routing policies by CLI-facing name.
+ROUTING_POLICIES: dict[str, type[RoutingPolicy]] = {
+    policy.name: policy
+    for policy in (
+        LeastWorkPolicy,
+        RoundRobinPolicy,
+        PowerOfTwoPolicy,
+        ReadyOnlyPolicy,
+        LeastOutstandingPolicy,
+    )
+}
+
+
+def routing_policy_names() -> list[str]:
+    """Registered policy names, in registration order."""
+    return list(ROUTING_POLICIES)
+
+
+def make_routing_policy(policy: str | RoutingPolicy) -> RoutingPolicy:
+    """Resolve a policy name (or pass through an instance)."""
+    if isinstance(policy, RoutingPolicy):
+        return policy
+    try:
+        return ROUTING_POLICIES[policy]()
+    except KeyError:
+        known = ", ".join(routing_policy_names())
+        raise ValueError(f"unknown routing policy {policy!r}; choose from {known}") from None

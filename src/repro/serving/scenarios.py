@@ -1,0 +1,259 @@
+"""Traffic-scenario library: named, composable load shapes.
+
+Every builder returns a plain :class:`~repro.serving.traffic.TrafficPattern`
+(a piecewise-constant rate profile), so scenarios compose with everything the
+serving stack already does — Poisson arrival generation, ``expected_queries``
+accounting, the engine's target-QPS series — and with each other through
+:func:`with_noise`.
+
+Builders:
+
+* :func:`sinusoidal` — rate oscillating around a mean;
+* :func:`diurnal` — a day/night cycle (trough at ``t = 0``, peak mid-period);
+* :func:`flash_crowd` — steady base load with one sharp spike that ramps up,
+  holds, and decays back;
+* :func:`ramp_and_hold` — staircase ramp to a peak that is then held to the
+  end of the run;
+* :func:`with_noise` — multiplicative noise resampling of any pattern.
+
+:data:`SCENARIOS` maps CLI-facing names to builders with a uniform
+``(base_qps, peak_qps, duration_s, seed)`` signature; use
+:func:`build_scenario` to instantiate one by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.serving.traffic import TrafficPattern, paper_dynamic_pattern
+
+__all__ = [
+    "sinusoidal",
+    "diurnal",
+    "flash_crowd",
+    "ramp_and_hold",
+    "with_noise",
+    "SCENARIOS",
+    "build_scenario",
+    "scenario_names",
+]
+
+
+def _pattern_from_grid(
+    times: np.ndarray, rates: np.ndarray, duration_s: float
+) -> TrafficPattern:
+    """Build a pattern from a rate grid, merging equal consecutive rates."""
+    steps: list[tuple[float, float]] = []
+    for time_s, rate in zip(times, rates):
+        rate = max(float(rate), 0.0)
+        if not steps or rate != steps[-1][1]:
+            steps.append((float(time_s), rate))
+    return TrafficPattern.from_steps(steps, duration_s=duration_s)
+
+
+def _resolve_step(duration_s: float, step_s: float | None) -> float:
+    """Default to 60 segments per run, but never finer than one second."""
+    if step_s is None:
+        step_s = max(duration_s / 60.0, 1.0)
+    if step_s <= 0:
+        raise ValueError("step_s must be positive")
+    return min(step_s, duration_s)
+
+
+def sinusoidal(
+    mean_qps: float,
+    amplitude_qps: float,
+    period_s: float,
+    duration_s: float,
+    step_s: float | None = None,
+) -> TrafficPattern:
+    """Rate oscillating sinusoidally around ``mean_qps``.
+
+    The wave starts at its mean and rises first; rates are clamped at zero if
+    the amplitude exceeds the mean.
+    """
+    if mean_qps < 0 or amplitude_qps < 0:
+        raise ValueError("mean_qps and amplitude_qps must be non-negative")
+    if period_s <= 0 or duration_s <= 0:
+        raise ValueError("period_s and duration_s must be positive")
+    step_s = _resolve_step(duration_s, step_s)
+    times = np.arange(0.0, duration_s, step_s)
+    midpoints = times + step_s / 2.0
+    rates = mean_qps + amplitude_qps * np.sin(2.0 * np.pi * midpoints / period_s)
+    return _pattern_from_grid(times, rates, duration_s)
+
+
+def diurnal(
+    base_qps: float,
+    peak_qps: float,
+    duration_s: float,
+    period_s: float | None = None,
+    step_s: float | None = None,
+) -> TrafficPattern:
+    """A day/night cycle: trough ``base_qps`` at ``t = 0``, peak mid-period.
+
+    ``period_s`` defaults to the run duration, i.e. one full day compressed
+    into the simulated window (pass ``86400`` for wall-clock days).
+    """
+    if peak_qps < base_qps:
+        raise ValueError("peak_qps must be at least base_qps")
+    if base_qps < 0:
+        raise ValueError("base_qps must be non-negative")
+    if period_s is None:
+        period_s = duration_s
+    if period_s <= 0 or duration_s <= 0:
+        raise ValueError("period_s and duration_s must be positive")
+    step_s = _resolve_step(duration_s, step_s)
+    times = np.arange(0.0, duration_s, step_s)
+    midpoints = times + step_s / 2.0
+    swing = (peak_qps - base_qps) / 2.0
+    rates = base_qps + swing * (1.0 - np.cos(2.0 * np.pi * midpoints / period_s))
+    return _pattern_from_grid(times, rates, duration_s)
+
+
+def flash_crowd(
+    base_qps: float,
+    spike_qps: float,
+    duration_s: float,
+    spike_start_s: float | None = None,
+    spike_duration_s: float | None = None,
+    ramp_s: float | None = None,
+    ramp_steps: int = 3,
+) -> TrafficPattern:
+    """Steady base load with one sharp spike (ramp up, hold, decay back).
+
+    Defaults place the spike at 40% of the run, holding for 15% of it, with
+    ramps lasting 5% of the run on each side.
+    """
+    if spike_qps < base_qps:
+        raise ValueError("spike_qps must be at least base_qps")
+    if base_qps < 0 or duration_s <= 0:
+        raise ValueError("need base_qps >= 0 and duration_s > 0")
+    if ramp_steps < 1:
+        raise ValueError("ramp_steps must be at least 1")
+    if spike_start_s is None:
+        spike_start_s = 0.4 * duration_s
+    if spike_duration_s is None:
+        spike_duration_s = 0.15 * duration_s
+    if ramp_s is None:
+        ramp_s = 0.05 * duration_s
+    end_of_decay = spike_start_s + spike_duration_s + 2.0 * ramp_s
+    if spike_start_s <= 0 or end_of_decay >= duration_s:
+        raise ValueError("the spike (with ramps) must fit strictly inside the run")
+    # The staircase spans the full ramp window: still at base_qps at
+    # spike_start_s, reaching spike_qps exactly ramp_s later (and back to
+    # base_qps exactly at the end of the decay ramp).
+    steps: list[tuple[float, float]] = [(0.0, base_qps)]
+    rise = (spike_qps - base_qps) / ramp_steps
+    for i in range(1, ramp_steps + 1):
+        steps.append((spike_start_s + i * ramp_s / ramp_steps, base_qps + i * rise))
+    decay_start = spike_start_s + ramp_s + spike_duration_s
+    for i in range(1, ramp_steps + 1):
+        steps.append((decay_start + i * ramp_s / ramp_steps, spike_qps - i * rise))
+    return TrafficPattern.from_steps(steps, duration_s=duration_s)
+
+
+def ramp_and_hold(
+    base_qps: float,
+    peak_qps: float,
+    duration_s: float,
+    ramp_start_s: float | None = None,
+    ramp_end_s: float | None = None,
+    increments: int = 5,
+) -> TrafficPattern:
+    """Staircase ramp from ``base_qps`` to ``peak_qps``, held to the end.
+
+    This is the paper's Figure 19 ramp without the final traffic drop; the
+    defaults ramp between 20% and 60% of the run.
+    """
+    if peak_qps <= base_qps:
+        raise ValueError("peak_qps must exceed base_qps")
+    if increments < 1:
+        raise ValueError("increments must be at least 1")
+    if ramp_start_s is None:
+        ramp_start_s = 0.2 * duration_s
+    if ramp_end_s is None:
+        ramp_end_s = 0.6 * duration_s
+    if not 0 < ramp_start_s < ramp_end_s < duration_s:
+        raise ValueError("need 0 < ramp_start_s < ramp_end_s < duration_s")
+    steps: list[tuple[float, float]] = [(0.0, base_qps)]
+    rise = (peak_qps - base_qps) / increments
+    if increments == 1:
+        steps.append((ramp_start_s, peak_qps))
+    else:
+        gap = (ramp_end_s - ramp_start_s) / (increments - 1)
+        for i in range(increments):
+            steps.append((ramp_start_s + i * gap, base_qps + (i + 1) * rise))
+    return TrafficPattern.from_steps(steps, duration_s=duration_s)
+
+
+def with_noise(
+    pattern: TrafficPattern,
+    rel_sigma: float = 0.1,
+    seed: int = 0,
+    step_s: float | None = None,
+) -> TrafficPattern:
+    """Overlay multiplicative Gaussian noise on any pattern.
+
+    The pattern's rate is resampled on a regular grid and each segment is
+    scaled by an independent ``N(1, rel_sigma)`` draw, clamped at zero.  The
+    result is a new pattern whose expected rate matches the input, so noise
+    composes with every other scenario builder.
+    """
+    if rel_sigma < 0:
+        raise ValueError("rel_sigma must be non-negative")
+    step_s = _resolve_step(pattern.duration_s, step_s)
+    rng = np.random.default_rng(seed)
+    times = np.arange(0.0, pattern.duration_s, step_s)
+    rates = np.array([pattern.rate_at(t + step_s / 2.0) for t in times])
+    noisy = rates * np.clip(rng.normal(1.0, rel_sigma, size=rates.size), 0.0, None)
+    return _pattern_from_grid(times, noisy, pattern.duration_s)
+
+
+def _constant_scenario(
+    base_qps: float, peak_qps: float, duration_s: float, seed: int
+) -> TrafficPattern:
+    # Steady state at the *provisioned* rate: the CLI plans capacity for
+    # base_qps, so "constant" holds there and ignores peak_qps.
+    return TrafficPattern.constant(base_qps, duration_s)
+
+
+#: CLI-facing scenario registry.  Every builder takes
+#: ``(base_qps, peak_qps, duration_s, seed)`` and returns a pattern ranging
+#: between the two rates — except ``constant``, which holds ``base_qps``.
+SCENARIOS: dict[str, Callable[[float, float, float, int], TrafficPattern]] = {
+    "paper": lambda base, peak, dur, seed: paper_dynamic_pattern(base, peak, dur),
+    "constant": _constant_scenario,
+    "diurnal": lambda base, peak, dur, seed: diurnal(base, peak, dur),
+    "diurnal-noisy": lambda base, peak, dur, seed: with_noise(
+        diurnal(base, peak, dur), rel_sigma=0.15, seed=seed
+    ),
+    "flash-crowd": lambda base, peak, dur, seed: flash_crowd(base, peak, dur),
+    "sinusoidal": lambda base, peak, dur, seed: sinusoidal(
+        (base + peak) / 2.0, (peak - base) / 2.0, dur / 3.0, dur
+    ),
+    "ramp-and-hold": lambda base, peak, dur, seed: ramp_and_hold(base, peak, dur),
+}
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, in registration order."""
+    return list(SCENARIOS)
+
+
+def build_scenario(
+    name: str,
+    base_qps: float,
+    peak_qps: float,
+    duration_s: float,
+    seed: int = 0,
+) -> TrafficPattern:
+    """Instantiate a named scenario from the registry."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise ValueError(f"unknown scenario {name!r}; choose from {known}") from None
+    return builder(base_qps, peak_qps, duration_s, seed)

@@ -10,70 +10,24 @@ interval the Kubernetes-style autoscaler inspects the recorded metrics and
 scales deployments in or out; newly created replicas only start serving after
 their container cold-start time, which is where the model-wise baseline's
 sluggish reaction to traffic changes comes from.
+
+:class:`ServingSimulator` is a thin façade over the discrete-event
+:class:`~repro.serving.engine.ServingEngine`; with the default ``least-work``
+routing policy it reproduces the historical simulator's results exactly.
+Pass ``routing`` to select another policy from
+:data:`repro.serving.routing.ROUTING_POLICIES`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
 from repro.cluster.autoscaler import HorizontalPodAutoscaler
 from repro.cluster.cluster import Cluster
-from repro.cluster.container import ContainerState
-from repro.cluster.deployment import Deployment
-from repro.core.plan import DeploymentPlan, ROLE_DENSE, ROLE_MONOLITHIC
-from repro.hardware.perf_model import PerfModel
-from repro.serving.latency import LatencyTracker
-from repro.serving.replica_server import ReplicaServer
+from repro.core.plan import DeploymentPlan
+from repro.serving.engine import ServingEngine, SimulationResult
+from repro.serving.routing import RoutingPolicy
 from repro.serving.traffic import TrafficPattern
 
 __all__ = ["ServingSimulator", "SimulationResult"]
-
-
-@dataclass
-class SimulationResult:
-    """Time series and aggregates produced by one simulation run."""
-
-    plan_name: str
-    strategy: str
-    sla_s: float
-    sample_times: np.ndarray
-    target_qps: np.ndarray
-    achieved_qps: np.ndarray
-    memory_gb: np.ndarray
-    p95_latency_ms: np.ndarray
-    replica_counts: dict[str, np.ndarray]
-    tracker: LatencyTracker = field(repr=False, default_factory=LatencyTracker)
-
-    @property
-    def peak_memory_gb(self) -> float:
-        """Highest allocated memory observed."""
-        return float(self.memory_gb.max()) if self.memory_gb.size else 0.0
-
-    @property
-    def mean_latency_ms(self) -> float:
-        """Mean end-to-end latency over the whole run."""
-        return self.tracker.mean() * 1000.0
-
-    @property
-    def overall_p95_latency_ms(self) -> float:
-        """p95 end-to-end latency over the whole run."""
-        return self.tracker.percentile(95.0) * 1000.0
-
-    def sla_violation_fraction(self) -> float:
-        """Fraction of queries whose latency exceeded the SLA."""
-        return self.tracker.sla_violation_fraction(self.sla_s)
-
-    def summary(self) -> dict[str, float]:
-        """Headline aggregates of the run."""
-        return {
-            "peak_memory_gb": self.peak_memory_gb,
-            "mean_latency_ms": self.mean_latency_ms,
-            "p95_latency_ms": self.overall_p95_latency_ms,
-            "sla_violation_fraction": self.sla_violation_fraction(),
-            "total_queries": float(self.tracker.num_samples),
-        }
 
 
 class ServingSimulator:
@@ -89,192 +43,30 @@ class ServingSimulator:
         max_replicas: int = 256,
         sample_interval_s: float = 15.0,
         seed: int = 0,
+        routing: str | RoutingPolicy = "least-work",
     ) -> None:
-        self._plan = plan
-        self._autoscale = autoscale
-        self._autoscaler = autoscaler or HorizontalPodAutoscaler()
-        self._sample_interval_s = float(sample_interval_s)
-        if self._sample_interval_s <= 0:
-            raise ValueError("sample_interval_s must be positive")
-        self._rng = np.random.default_rng(seed)
-        self._perf_model = PerfModel(plan.cluster)
-        self._cluster = Cluster.from_plan(
-            plan, initial_replicas=initial_replicas, max_replicas=max_replicas
+        self._engine = ServingEngine(
+            plan,
+            routing=routing,
+            autoscale=autoscale,
+            autoscaler=autoscaler,
+            initial_replicas=initial_replicas,
+            warm_start=warm_start,
+            max_replicas=max_replicas,
+            sample_interval_s=sample_interval_s,
+            seed=seed,
         )
-        self._servers: dict[str, dict[str, ReplicaServer]] = {
-            d.name: {} for d in self._cluster.deployments
-        }
-        self._service_times = {d.name: 1.0 / d.per_replica_qps for d in plan.deployments}
-        self._is_monolithic = plan.strategy != "elasticrec"
-        self._rpc_overhead_s = 0.0 if self._is_monolithic else self._perf_model.rpc_overhead_s()
-        self._cluster.reconcile(0.0)
-        if warm_start:
-            self._force_ready(0.0)
-        self._sync_servers(0.0)
 
-    # ------------------------------------------------------------------
-    # Cluster/replica bookkeeping
-    # ------------------------------------------------------------------
     @property
     def cluster(self) -> Cluster:
         """The simulated cluster."""
-        return self._cluster
+        return self._engine.cluster
 
-    def _force_ready(self, now: float) -> None:
-        for deployment in self._cluster.deployments:
-            for container in deployment.replicas:
-                if container.state is ContainerState.STARTING:
-                    container.ready_at = now
-                    container.maybe_become_ready(now)
+    @property
+    def engine(self) -> ServingEngine:
+        """The underlying discrete-event engine."""
+        return self._engine
 
-    def _sync_servers(self, now: float) -> None:
-        """Mirror the cluster's active containers into replica queue servers."""
-        for deployment in self._cluster.deployments:
-            servers = self._servers[deployment.name]
-            active_names = set()
-            for container in deployment.replicas:
-                if not container.is_active:
-                    continue
-                active_names.add(container.name)
-                if container.name not in servers:
-                    ready_at = container.ready_at if container.ready_at is not None else now
-                    servers[container.name] = ReplicaServer(container.name, ready_at=ready_at)
-            for name in list(servers):
-                if name not in active_names:
-                    del servers[name]
-
-    def _pick_server(self, deployment: Deployment, arrival: float) -> ReplicaServer | None:
-        servers = list(self._servers[deployment.name].values())
-        if not servers:
-            return None
-        ready = [s for s in servers if s.is_ready(arrival)]
-        pool = ready if ready else servers
-        return min(pool, key=lambda s: max(s.busy_until, s.ready_at))
-
-    # ------------------------------------------------------------------
-    # Main loop
-    # ------------------------------------------------------------------
     def run(self, pattern: TrafficPattern) -> SimulationResult:
         """Simulate the plan under the given traffic pattern."""
-        arrivals = pattern.arrivals(self._rng)
-        tracker = LatencyTracker()
-        boundaries = np.arange(
-            self._sample_interval_s,
-            pattern.duration_s + self._sample_interval_s,
-            self._sample_interval_s,
-        )
-        sample_times: list[float] = []
-        memory_series: list[float] = []
-        replica_series: dict[str, list[int]] = {d.name: [] for d in self._cluster.deployments}
-        interval_counts: dict[str, int] = {d.name: 0 for d in self._cluster.deployments}
-        interval_latencies: dict[str, list[float]] = {
-            d.name: [] for d in self._cluster.deployments
-        }
-
-        arrival_index = 0
-        for boundary in boundaries:
-            while arrival_index < arrivals.size and arrivals[arrival_index] <= boundary:
-                arrival = float(arrivals[arrival_index])
-                latency = self._serve_query(arrival, interval_counts, interval_latencies)
-                tracker.record(arrival + latency, latency)
-                arrival_index += 1
-            self._record_interval_metrics(boundary, interval_counts, interval_latencies)
-            if self._autoscale and self._autoscaler.should_evaluate(boundary):
-                self._autoscaler.evaluate(
-                    self._cluster.deployments, self._cluster.metrics, boundary
-                )
-            self._cluster.reconcile(boundary)
-            self._sync_servers(boundary)
-            sample_times.append(float(boundary))
-            memory_series.append(self._cluster.allocated_memory_gb)
-            for deployment in self._cluster.deployments:
-                replica_series[deployment.name].append(len(deployment.active_replicas))
-            interval_counts = {d.name: 0 for d in self._cluster.deployments}
-            interval_latencies = {d.name: [] for d in self._cluster.deployments}
-
-        sample_times_arr = np.asarray(sample_times)
-        achieved = self._achieved_qps(tracker, sample_times_arr)
-        p95_series = self._p95_series(tracker, sample_times_arr)
-        target = np.array([pattern.rate_at(min(t, pattern.duration_s)) for t in sample_times_arr])
-        return SimulationResult(
-            plan_name=self._plan.name,
-            strategy=self._plan.strategy,
-            sla_s=self._plan.cluster.sla_s,
-            sample_times=sample_times_arr,
-            target_qps=target,
-            achieved_qps=achieved,
-            memory_gb=np.asarray(memory_series),
-            p95_latency_ms=p95_series,
-            replica_counts={k: np.asarray(v) for k, v in replica_series.items()},
-            tracker=tracker,
-        )
-
-    # ------------------------------------------------------------------
-    # Per-query path
-    # ------------------------------------------------------------------
-    def _serve_query(
-        self,
-        arrival: float,
-        interval_counts: dict[str, int],
-        interval_latencies: dict[str, list[float]],
-    ) -> float:
-        """Route one query through every deployment it needs; returns its latency."""
-        completions: list[float] = []
-        dense_names: list[str] = []
-        for deployment in self._cluster.deployments:
-            server = self._pick_server(deployment, arrival)
-            if server is None:
-                # No capacity at all: count a full SLA violation.
-                completions.append(arrival + 2.0 * self._plan.cluster.sla_s)
-                continue
-            service = self._service_times[deployment.name]
-            completion = server.submit(arrival, service)
-            completions.append(completion)
-            interval_counts[deployment.name] += 1
-            if deployment.spec.role in (ROLE_DENSE, ROLE_MONOLITHIC):
-                dense_names.append(deployment.name)
-            else:
-                interval_latencies[deployment.name].append(completion - arrival)
-        query_completion = max(completions) + self._rpc_overhead_s
-        latency = query_completion - arrival
-        # End-to-end latency is what the dense (or monolithic) shard's HPA sees.
-        for name in dense_names:
-            interval_latencies[name].append(latency)
-        return latency
-
-    def _record_interval_metrics(
-        self,
-        now: float,
-        interval_counts: dict[str, int],
-        interval_latencies: dict[str, list[float]],
-    ) -> None:
-        metrics = self._cluster.metrics
-        for deployment in self._cluster.deployments:
-            name = deployment.name
-            metrics.record(f"{name}/queries", float(interval_counts[name]), now)
-            latencies = interval_latencies[name]
-            if latencies:
-                metrics.record(f"{name}/latency_s", float(np.percentile(latencies, 95)), now)
-
-    # ------------------------------------------------------------------
-    # Series post-processing
-    # ------------------------------------------------------------------
-    def _achieved_qps(self, tracker: LatencyTracker, sample_times: np.ndarray) -> np.ndarray:
-        completions = np.sort(tracker.completion_times)
-        achieved = np.zeros_like(sample_times)
-        for index, end in enumerate(sample_times):
-            start = end - self._sample_interval_s
-            count = np.searchsorted(completions, end) - np.searchsorted(completions, start)
-            achieved[index] = count / self._sample_interval_s
-        return achieved
-
-    def _p95_series(self, tracker: LatencyTracker, sample_times: np.ndarray) -> np.ndarray:
-        completions = tracker.completion_times
-        latencies = tracker.latencies_s * 1000.0
-        series = np.zeros_like(sample_times)
-        window = max(self._sample_interval_s, 30.0)
-        for index, end in enumerate(sample_times):
-            mask = (completions > end - window) & (completions <= end)
-            if mask.any():
-                series[index] = float(np.percentile(latencies[mask], 95))
-        return series
+        return self._engine.run(pattern)

@@ -59,9 +59,15 @@ class TrafficPattern:
         )
 
     def rate_at(self, time_s: float) -> float:
-        """Target query rate at an instant."""
-        if time_s < 0 or time_s > self.duration_s:
+        """Target query rate at an instant.
+
+        Times past the end of the pattern are clamped to the final rate, so
+        samplers whose grid overshoots ``duration_s`` (e.g. a sample boundary
+        landing just beyond the last arrival) read a well-defined value.
+        """
+        if time_s < 0:
             raise ValueError(f"time {time_s} outside the pattern duration")
+        time_s = min(time_s, self.duration_s)
         rate = self.phases[0].rate_qps
         for phase in self.phases:
             if time_s >= phase.start_s:

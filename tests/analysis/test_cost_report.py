@@ -8,7 +8,6 @@ from repro.analysis.cost import deployment_cost, servers_required
 from repro.analysis.report import format_ratio, format_table
 from repro.core.planner import ElasticRecPlanner
 from repro.core.baseline import ModelWisePlanner
-from repro.hardware.specs import cpu_gpu_cluster
 
 
 class TestServersRequired:

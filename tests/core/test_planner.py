@@ -6,10 +6,9 @@ import math
 
 import pytest
 
-from repro.core.plan import ROLE_DENSE, ROLE_EMBEDDING
+from repro.core.plan import ROLE_DENSE
 from repro.core.planner import ElasticRecPlanner
 from repro.hardware.perf_model import PerfModel
-from repro.model.configs import microbenchmark
 
 
 class TestPlanStructure:

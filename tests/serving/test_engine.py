@@ -1,0 +1,137 @@
+"""Tests for the discrete-event serving engine and its façade parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.planner import ElasticRecPlanner
+from repro.hardware.specs import cpu_only_cluster
+from repro.model.configs import microbenchmark
+from repro.serving.engine import EventKind, ServingEngine
+from repro.serving.simulator import ServingSimulator
+from repro.serving.traffic import TrafficPattern
+
+# summary() of the pre-engine (seed) simulator for the reference run below,
+# captured at the commit that introduced the engine.  The engine must keep
+# reproducing it exactly: same seed + same plan => byte-identical summaries.
+SEED_MICRO_SUMMARY = {
+    "peak_memory_gb": 10.710795916,
+    "mean_latency_ms": 112.74081316455475,
+    "p95_latency_ms": 156.50787061395022,
+    "sla_violation_fraction": 0.0,
+    "total_queries": 6031.0,
+}
+
+
+@pytest.fixture(scope="module")
+def plan():
+    cluster = cpu_only_cluster(num_nodes=4)
+    return ElasticRecPlanner(cluster).plan(microbenchmark(num_tables=2), target_qps=30.0)
+
+
+@pytest.fixture(scope="module")
+def pattern():
+    return TrafficPattern.constant(25.0, duration_s=240.0)
+
+
+class TestEventKinds:
+    def test_same_timestamp_priorities(self):
+        # Completions resolve before arrivals; the control-plane tick, the
+        # reconcile pass and the sample point run after traffic, in order.
+        assert (
+            EventKind.COMPLETION
+            < EventKind.ARRIVAL
+            < EventKind.AUTOSCALE
+            < EventKind.RECONCILE
+            < EventKind.SAMPLE
+        )
+
+
+class TestDeterminism:
+    def test_engine_reproduces_seed_simulator_summary(self, plan, pattern):
+        result = ServingEngine(plan, autoscale=False, seed=0).run(pattern)
+        assert repr(result.summary()) == repr(SEED_MICRO_SUMMARY)
+
+    def test_facade_and_engine_are_byte_identical(self, plan, pattern):
+        facade = ServingSimulator(plan, autoscale=False, seed=0).run(pattern)
+        engine = ServingEngine(plan, autoscale=False, seed=0).run(pattern)
+        assert repr(facade.summary()) == repr(engine.summary())
+        for name in ("sample_times", "target_qps", "achieved_qps", "memory_gb",
+                     "p95_latency_ms"):
+            assert getattr(facade, name).tobytes() == getattr(engine, name).tobytes()
+
+    def test_repeated_runs_identical(self, plan, pattern):
+        first = ServingEngine(plan, autoscale=False, seed=7).run(pattern)
+        second = ServingEngine(plan, autoscale=False, seed=7).run(pattern)
+        assert repr(first.summary()) == repr(second.summary())
+
+    def test_power_of_two_deterministic_per_seed(self, plan, pattern):
+        first = ServingEngine(plan, routing="power-of-two", autoscale=False, seed=5).run(pattern)
+        second = ServingEngine(plan, routing="power-of-two", autoscale=False, seed=5).run(pattern)
+        assert repr(first.summary()) == repr(second.summary())
+
+
+class TestEngineBehaviour:
+    def test_autoscaling_still_tracks_load(self, plan):
+        steps = TrafficPattern.from_steps([(0, 20), (120, 60)], duration_s=360)
+        result = ServingEngine(plan, seed=1).run(steps)
+        assert result.memory_gb[-1] > result.memory_gb[0]
+        assert np.mean(result.achieved_qps[-4:]) == pytest.approx(60.0, rel=0.15)
+
+    def test_completion_events_with_least_outstanding(self, plan, pattern):
+        result = ServingEngine(
+            plan, routing="least-outstanding", autoscale=False, seed=0
+        ).run(pattern)
+        assert np.mean(result.achieved_qps[4:]) == pytest.approx(25.0, rel=0.1)
+        assert result.sla_violation_fraction() < 0.05
+
+    def test_ready_only_drops_queries_while_cold(self, plan):
+        short = TrafficPattern.constant(20.0, duration_s=120.0)
+        cold = ServingEngine(
+            plan, routing="ready-only", warm_start=False, autoscale=False, seed=0
+        ).run(short)
+        warm = ServingEngine(
+            plan, routing="ready-only", warm_start=True, autoscale=False, seed=0
+        ).run(short)
+        # Dropped queries are charged 2x SLA, so the cold start must show more
+        # violations than the warm one.
+        assert cold.sla_violation_fraction() > warm.sla_violation_fraction()
+
+    def test_routing_recorded_in_result(self, plan, pattern):
+        result = ServingEngine(plan, routing="round-robin", autoscale=False, seed=0).run(pattern)
+        assert result.routing == "round-robin"
+
+    def test_invalid_sample_interval(self, plan):
+        with pytest.raises(ValueError):
+            ServingEngine(plan, sample_interval_s=0.0)
+
+    def test_target_series_uses_clamped_rate(self, plan):
+        # Duration that is not a multiple of the sample interval: the last
+        # boundary overshoots duration_s and reads the clamped final rate.
+        odd = TrafficPattern.constant(10.0, duration_s=100.0)
+        result = ServingEngine(plan, autoscale=False, sample_interval_s=15.0, seed=0).run(odd)
+        assert result.sample_times[-1] > odd.duration_s
+        assert result.target_qps[-1] == 10.0
+
+
+class TestVectorisedSeries:
+    def test_achieved_qps_counts_window_completions(self, plan, pattern):
+        result = ServingEngine(plan, autoscale=False, seed=0).run(pattern)
+        completions = np.sort(result.tracker.completion_times)
+        for index in (0, result.sample_times.size // 2, result.sample_times.size - 1):
+            end = result.sample_times[index]
+            start = end - 15.0
+            count = np.searchsorted(completions, end) - np.searchsorted(completions, start)
+            assert result.achieved_qps[index] == pytest.approx(count / 15.0)
+
+    def test_p95_series_matches_masked_reference(self, plan, pattern):
+        result = ServingEngine(plan, autoscale=False, seed=0).run(pattern)
+        completions = result.tracker.completion_times
+        latencies = result.tracker.latencies_s * 1000.0
+        window = 30.0
+        for index in (1, result.sample_times.size // 2, result.sample_times.size - 1):
+            end = result.sample_times[index]
+            mask = (completions > end - window) & (completions <= end)
+            expected = float(np.percentile(latencies[mask], 95)) if mask.any() else 0.0
+            assert result.p95_latency_ms[index] == pytest.approx(expected)

@@ -44,6 +44,40 @@ class TestReplicaServer:
         assert server.utilization(0.0) == 0.0
         assert ReplicaServer("idle").utilization(10.0) == 0.0
 
+    def test_utilization_window_excludes_idle_history(self):
+        server = ReplicaServer("r0")
+        server.submit(90.0, 5.0)
+        # Whole-life utilization is diluted by the long idle prefix...
+        assert server.utilization(100.0) == pytest.approx(0.05)
+        # ...but a window covering only the busy tail is not.
+        assert server.utilization(100.0, window_start=90.0) == pytest.approx(0.5)
+
+    def test_utilization_window_ignores_busy_history_before_it(self):
+        # Busy early, idle later: a window over the idle tail reads zero, not
+        # phantom saturation from lifetime busy seconds.
+        server = ReplicaServer("r0")
+        server.submit(0.0, 50.0)
+        assert server.utilization(100.0, window_start=90.0) == 0.0
+        # A window straddling the busy run only counts the overlap.
+        assert server.utilization(60.0, window_start=40.0) == pytest.approx(0.5)
+
+    def test_busy_seconds_between_merges_fifo_runs(self):
+        server = ReplicaServer("r0")
+        server.submit(0.0, 1.0)
+        server.submit(0.5, 1.0)  # queued: extends the first busy run to 2.0
+        server.submit(5.0, 1.0)  # idle gap, new run [5, 6)
+        assert server.busy_seconds_between(0.0, 10.0) == pytest.approx(3.0)
+        assert server.busy_seconds_between(2.0, 5.0) == 0.0
+        assert server.busy_seconds_between(1.5, 5.5) == pytest.approx(1.0)
+
+    def test_utilization_window_starts_at_readiness(self):
+        # A replica that became ready mid-window is only accountable for the
+        # time it was actually up.
+        server = ReplicaServer("r0", ready_at=95.0)
+        server.submit(95.0, 2.5)
+        assert server.utilization(100.0, window_start=80.0) == pytest.approx(0.5)
+        assert server.utilization(90.0, window_start=80.0) == 0.0
+
     def test_service_time_must_be_positive(self):
         with pytest.raises(ValueError):
             ReplicaServer("r0").submit(0.0, 0.0)

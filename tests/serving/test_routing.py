@@ -1,0 +1,194 @@
+"""Tests for the pluggable replica-routing policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.planner import ElasticRecPlanner
+from repro.hardware.specs import cpu_only_cluster
+from repro.model.configs import microbenchmark
+from repro.serving.engine import ServingEngine
+from repro.serving.replica_server import ReplicaServer
+from repro.serving.routing import (
+    ROUTING_POLICIES,
+    LeastOutstandingPolicy,
+    LeastWorkPolicy,
+    PowerOfTwoPolicy,
+    ReadyOnlyPolicy,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    make_routing_policy,
+    routing_policy_names,
+)
+from repro.serving.traffic import TrafficPattern
+
+
+def _servers(n: int, ready_at: float = 0.0) -> list[ReplicaServer]:
+    return [ReplicaServer(f"r{i}", ready_at=ready_at) for i in range(n)]
+
+
+class TestRegistry:
+    def test_all_policies_registered(self):
+        assert routing_policy_names() == [
+            "least-work",
+            "round-robin",
+            "power-of-two",
+            "ready-only",
+            "least-outstanding",
+        ]
+
+    def test_make_by_name_and_passthrough(self):
+        policy = make_routing_policy("round-robin")
+        assert isinstance(policy, RoundRobinPolicy)
+        assert make_routing_policy(policy) is policy
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown routing policy"):
+            make_routing_policy("random-walk")
+
+    def test_names_match_classes(self):
+        for name, cls in ROUTING_POLICIES.items():
+            assert cls.name == name
+            assert issubclass(cls, RoutingPolicy)
+
+
+class TestLeastWork:
+    def test_picks_emptiest_queue(self):
+        servers = _servers(3)
+        servers[0].submit(0.0, 5.0)
+        servers[1].submit(0.0, 1.0)
+        policy = LeastWorkPolicy()
+        assert policy.select("d", servers, now=2.0) is servers[2]
+
+    def test_prefers_ready_replicas(self):
+        idle_but_starting = ReplicaServer("starting", ready_at=100.0)
+        busy_but_ready = ReplicaServer("ready")
+        busy_but_ready.submit(0.0, 10.0)
+        policy = LeastWorkPolicy()
+        assert policy.select("d", [idle_but_starting, busy_but_ready], 1.0) is busy_but_ready
+
+    def test_falls_back_to_starting_replicas(self):
+        starting = _servers(2, ready_at=50.0)
+        policy = LeastWorkPolicy()
+        assert policy.select("d", starting, now=1.0) is starting[0]
+
+    def test_empty_pool(self):
+        assert LeastWorkPolicy().select("d", [], 0.0) is None
+
+
+class TestRoundRobin:
+    def test_cycles_per_deployment(self):
+        servers = _servers(3)
+        policy = RoundRobinPolicy()
+        picks = [policy.select("d", servers, 0.0) for _ in range(4)]
+        assert picks == [servers[0], servers[1], servers[2], servers[0]]
+
+    def test_independent_cursors(self):
+        a, b = _servers(2)
+        policy = RoundRobinPolicy()
+        assert policy.select("d1", [a, b], 0.0) is a
+        assert policy.select("d2", [a, b], 0.0) is a
+        assert policy.select("d1", [a, b], 0.0) is b
+
+    def test_reset_restarts_cursors(self):
+        servers = _servers(2)
+        policy = RoundRobinPolicy()
+        policy.select("d", servers, 0.0)
+        policy.reset(np.random.default_rng(0))
+        assert policy.select("d", servers, 0.0) is servers[0]
+
+
+class TestPowerOfTwo:
+    def test_single_replica(self):
+        servers = _servers(1)
+        policy = PowerOfTwoPolicy(rng=np.random.default_rng(0))
+        assert policy.select("d", servers, 0.0) is servers[0]
+
+    def test_prefers_less_loaded_of_the_sampled_pair(self):
+        servers = _servers(2)
+        servers[0].submit(0.0, 100.0)
+        policy = PowerOfTwoPolicy(rng=np.random.default_rng(0))
+        # With two replicas both are always sampled, so the idle one wins.
+        for _ in range(10):
+            assert policy.select("d", servers, 0.0) is servers[1]
+
+    def test_deterministic_after_reset(self):
+        servers = _servers(8)
+        policy = PowerOfTwoPolicy()
+        policy.reset(np.random.default_rng(42))
+        first = [policy.select("d", servers, 0.0).name for _ in range(20)]
+        policy.reset(np.random.default_rng(42))
+        second = [policy.select("d", servers, 0.0).name for _ in range(20)]
+        assert first == second
+
+
+class TestReadyOnly:
+    def test_drops_when_nothing_ready(self):
+        policy = ReadyOnlyPolicy()
+        assert policy.select("d", _servers(3, ready_at=100.0), now=1.0) is None
+
+    def test_routes_least_work_among_ready(self):
+        ready = _servers(2)
+        ready[0].submit(0.0, 5.0)
+        starting = ReplicaServer("s", ready_at=100.0)
+        policy = ReadyOnlyPolicy()
+        assert policy.select("d", ready + [starting], now=1.0) is ready[1]
+
+
+class TestLeastOutstanding:
+    def test_tracks_in_flight_counts(self):
+        servers = _servers(2)
+        policy = LeastOutstandingPolicy()
+        assert policy.needs_completion_events
+        first = policy.select("d", servers, 0.0)
+        policy.on_submit("d", first)
+        assert policy.select("d", servers, 0.0) is servers[1]
+        policy.on_submit("d", servers[1])
+        policy.on_complete("d", first.name)
+        assert policy.select("d", servers, 0.0) is first
+
+    def test_reset_clears_counts(self):
+        servers = _servers(2)
+        policy = LeastOutstandingPolicy()
+        policy.on_submit("d", servers[0])
+        policy.reset(np.random.default_rng(0))
+        assert policy.select("d", servers, 0.0) is servers[0]
+
+
+class TestPoliciesUnderIdenticalArrivals:
+    """Same plan, same seed (hence identical arrivals) across policies."""
+
+    @pytest.fixture(scope="class")
+    def plan(self):
+        cluster = cpu_only_cluster(num_nodes=4)
+        return ElasticRecPlanner(cluster).plan(microbenchmark(num_tables=2), target_qps=30.0)
+
+    @pytest.fixture(scope="class")
+    def results(self, plan):
+        pattern = TrafficPattern.constant(25.0, duration_s=240.0)
+        out = {}
+        for name in routing_policy_names():
+            engine = ServingEngine(plan, routing=name, autoscale=False, seed=0)
+            out[name] = engine.run(pattern)
+        return out
+
+    def test_identical_arrivals_across_policies(self, results):
+        counts = {r.tracker.num_samples for r in results.values()}
+        assert len(counts) == 1
+
+    def test_all_policies_serve_the_load(self, results):
+        for name, result in results.items():
+            assert np.mean(result.achieved_qps[4:]) == pytest.approx(25.0, rel=0.1), name
+
+    def test_result_records_routing_name(self, results):
+        for name, result in results.items():
+            assert result.routing == name
+
+    def test_load_aware_beats_round_robin_tail(self, results):
+        # Round-robin ignores queue depth, so its tail latency cannot beat
+        # least-work under the same arrivals (ties only in the unloaded limit).
+        assert (
+            results["least-work"].overall_p95_latency_ms
+            <= results["round-robin"].overall_p95_latency_ms * 1.05
+        )

@@ -1,0 +1,154 @@
+"""Tests for the traffic-scenario library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.scenarios import (
+    SCENARIOS,
+    build_scenario,
+    diurnal,
+    flash_crowd,
+    ramp_and_hold,
+    scenario_names,
+    sinusoidal,
+    with_noise,
+)
+from repro.serving.traffic import TrafficPattern
+
+
+def _numeric_integral(pattern: TrafficPattern, dt: float = 0.25) -> float:
+    """Midpoint-rule integral of ``rate_at`` over the pattern's duration."""
+    grid = np.arange(0.0, pattern.duration_s, dt)
+    return float(sum(pattern.rate_at(t + dt / 2.0) * dt for t in grid))
+
+
+class TestRateIntegrals:
+    """Every generator's rate integral must match ``expected_queries()``."""
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_registry_scenarios(self, name):
+        pattern = build_scenario(name, base_qps=20.0, peak_qps=80.0, duration_s=600.0)
+        assert _numeric_integral(pattern) == pytest.approx(
+            pattern.expected_queries(), rel=1e-6
+        )
+
+    def test_noise_composition(self):
+        base = sinusoidal(50.0, 20.0, period_s=300.0, duration_s=900.0)
+        noisy = with_noise(base, rel_sigma=0.2, seed=7)
+        assert _numeric_integral(noisy) == pytest.approx(
+            noisy.expected_queries(), rel=1e-6
+        )
+
+
+class TestSinusoidal:
+    def test_mean_preserved_over_whole_periods(self):
+        pattern = sinusoidal(50.0, 20.0, period_s=300.0, duration_s=900.0, step_s=5.0)
+        assert pattern.expected_queries() == pytest.approx(50.0 * 900.0, rel=0.01)
+
+    def test_oscillates_within_bounds(self):
+        pattern = sinusoidal(50.0, 20.0, period_s=300.0, duration_s=900.0, step_s=5.0)
+        rates = [pattern.rate_at(t) for t in np.arange(0, 900, 5.0)]
+        assert max(rates) == pytest.approx(70.0, abs=1.0)
+        assert min(rates) == pytest.approx(30.0, abs=1.0)
+
+    def test_clamps_at_zero(self):
+        pattern = sinusoidal(10.0, 50.0, period_s=100.0, duration_s=100.0)
+        assert min(p.rate_qps for p in pattern.phases) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sinusoidal(-1.0, 10.0, 100.0, 100.0)
+        with pytest.raises(ValueError):
+            sinusoidal(10.0, 10.0, 0.0, 100.0)
+
+
+class TestDiurnal:
+    def test_trough_at_origin_peak_mid_period(self):
+        pattern = diurnal(10.0, 90.0, duration_s=1200.0, step_s=10.0)
+        assert pattern.rate_at(0.0) < 15.0
+        assert pattern.rate_at(600.0) == pytest.approx(90.0, rel=0.01)
+        assert pattern.peak_rate <= 90.0
+
+    def test_mean_is_midpoint_over_full_cycle(self):
+        pattern = diurnal(10.0, 90.0, duration_s=1200.0, step_s=5.0)
+        assert pattern.expected_queries() == pytest.approx(50.0 * 1200.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal(50.0, 40.0, duration_s=100.0)
+
+
+class TestFlashCrowd:
+    def test_spike_shape(self):
+        # Defaults: spike starts at 400, ramps over 50s, holds 150s, decays
+        # over 50s.
+        pattern = flash_crowd(20.0, 100.0, duration_s=1000.0)
+        assert pattern.rate_at(0.0) == 20.0
+        # Still at base when the ramp begins; at full spike once it ends.
+        assert pattern.rate_at(400.0) == pytest.approx(20.0)
+        assert pattern.rate_at(450.0) == pytest.approx(100.0)
+        # Spike holds at its peak mid-way through.
+        assert pattern.peak_rate == pytest.approx(100.0)
+        assert pattern.rate_at(470.0) == pytest.approx(100.0)
+        assert pattern.rate_at(599.0) == pytest.approx(100.0)
+        # Traffic returns to base exactly at the end of the decay ramp.
+        assert pattern.rate_at(650.0) == pytest.approx(20.0)
+        assert pattern.rate_at(999.0) == pytest.approx(20.0)
+
+    def test_spike_must_fit(self):
+        with pytest.raises(ValueError):
+            flash_crowd(20.0, 100.0, duration_s=100.0, spike_start_s=90.0)
+        with pytest.raises(ValueError):
+            flash_crowd(20.0, 10.0, duration_s=100.0)
+
+
+class TestRampAndHold:
+    def test_holds_peak_to_the_end(self):
+        pattern = ramp_and_hold(10.0, 60.0, duration_s=1000.0)
+        assert pattern.rate_at(0.0) == 10.0
+        assert pattern.rate_at(999.0) == pytest.approx(60.0)
+        assert pattern.rate_at(600.0) == pytest.approx(60.0)
+
+    def test_staircase_has_requested_increments(self):
+        pattern = ramp_and_hold(10.0, 60.0, duration_s=1000.0, increments=5)
+        assert len(pattern.phases) == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ramp_and_hold(60.0, 10.0, duration_s=1000.0)
+        with pytest.raises(ValueError):
+            ramp_and_hold(10.0, 60.0, duration_s=1000.0, ramp_start_s=800.0, ramp_end_s=700.0)
+
+
+class TestNoise:
+    def test_deterministic_per_seed(self):
+        base = diurnal(10.0, 90.0, duration_s=600.0)
+        assert with_noise(base, seed=3).phases == with_noise(base, seed=3).phases
+        assert with_noise(base, seed=3).phases != with_noise(base, seed=4).phases
+
+    def test_zero_sigma_resamples_without_noise(self):
+        base = ramp_and_hold(10.0, 60.0, duration_s=600.0)
+        resampled = with_noise(base, rel_sigma=0.0, step_s=1.0)
+        assert resampled.expected_queries() == pytest.approx(
+            base.expected_queries(), rel=0.01
+        )
+
+    def test_rates_stay_non_negative(self):
+        base = TrafficPattern.constant(5.0, duration_s=600.0)
+        noisy = with_noise(base, rel_sigma=3.0, seed=0)
+        assert all(p.rate_qps >= 0.0 for p in noisy.phases)
+
+
+class TestRegistry:
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            build_scenario("tsunami", 10.0, 50.0, 100.0)
+
+    def test_all_scenarios_build_valid_patterns(self):
+        for name in SCENARIOS:
+            pattern = build_scenario(name, 10.0, 50.0, 600.0, seed=1)
+            assert isinstance(pattern, TrafficPattern)
+            assert pattern.duration_s == 600.0
+            assert pattern.expected_queries() > 0

@@ -25,12 +25,15 @@ class TestTrafficPattern:
         assert pattern.peak_rate == 30
         assert pattern.expected_queries() == pytest.approx(10 * 50 + 30 * 30 + 5 * 20)
 
-    def test_rate_at_out_of_range(self):
+    def test_rate_at_negative_raises(self):
         pattern = TrafficPattern.constant(10, 100)
         with pytest.raises(ValueError):
             pattern.rate_at(-1)
-        with pytest.raises(ValueError):
-            pattern.rate_at(101)
+
+    def test_rate_at_clamps_past_the_end(self):
+        pattern = TrafficPattern.from_steps([(0, 10), (50, 30)], duration_s=100)
+        assert pattern.rate_at(101) == 30
+        assert pattern.rate_at(1e9) == 30
 
     def test_validation(self):
         with pytest.raises(ValueError):

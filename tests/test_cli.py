@@ -26,6 +26,21 @@ class TestParser:
         args = build_parser().parse_args(["experiments", "--list"])
         assert args.list is True
 
+    def test_simulate_arguments(self):
+        args = build_parser().parse_args(
+            ["simulate", "RM1", "--scenario", "flash-crowd", "--routing",
+             "power-of-two", "--strategy", "both", "--duration-s", "300"]
+        )
+        assert args.command == "simulate"
+        assert args.scenario == "flash-crowd"
+        assert args.routing == "power-of-two"
+        assert args.strategy == "both"
+        assert args.duration_s == 300.0
+
+    def test_simulate_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "RM1", "--routing", "random-walk"])
+
 
 class TestCommands:
     def test_plan_command_output(self, capsys):
@@ -55,3 +70,14 @@ class TestCommands:
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):
             main(["plan", "RM9"])
+
+    def test_simulate_command_output(self, capsys):
+        assert main(
+            ["simulate", "RM1", "--num-shards", "2", "--num-nodes", "8",
+             "--scenario", "ramp-and-hold", "--routing", "round-robin",
+             "--base-qps", "10", "--peak-qps", "30", "--duration-s", "120"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "'ramp-and-hold' traffic" in output
+        assert "round-robin" in output
+        assert "elasticrec" in output
