@@ -1,0 +1,108 @@
+"""Benchmark the multi-tenant engine and the parallel sweep runner.
+
+Two checks:
+
+* scale — a three-tenant run over a shared node pool must complete in
+  seconds while serving tens of thousands of queries across tenants;
+* speedup — a 12-cell sweep run through the process pool must produce the
+  exact serial results (digest equality) while recording the parallel
+  speedup over serial execution in ``extra_info`` (near-linear on
+  multi-core hosts; bounded by the core count either way).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.planner import ElasticRecPlanner
+from repro.experiments.sweeps import SweepConfig, run_sweep
+from repro.hardware.specs import cpu_only_cluster
+from repro.model.configs import rm1
+from repro.serving.engine import MultiTenantEngine, TenantSpec
+from repro.serving.scenarios import build_scenario
+
+SWEEP_WORKERS = 4
+
+
+def _shared_plan():
+    cluster = cpu_only_cluster(num_nodes=8)
+    workload = rm1().scaled_tables(4).with_name("RM1-mt-bench")
+    return ElasticRecPlanner(cluster).plan(workload, 18.0)
+
+
+def test_bench_multitenant_three_tenants(benchmark):
+    """Three tenants with distinct scenarios/policies on one shared pool."""
+    plan = _shared_plan()
+    duration_s = 900.0
+
+    def run():
+        tenants = [
+            TenantSpec(
+                "feed", plan, build_scenario("diurnal", 12, 60, duration_s), seed=0
+            ),
+            TenantSpec(
+                "ads",
+                plan,
+                build_scenario("flash-crowd", 10, 50, duration_s, seed=1),
+                routing="power-of-two",
+                seed=1,
+            ),
+            TenantSpec(
+                "rank",
+                plan,
+                build_scenario("constant", 15, 15, duration_s),
+                routing="least-outstanding",
+                seed=2,
+                sla_s=0.3,
+            ),
+        ]
+        return MultiTenantEngine(tenants, cluster_spec=plan.cluster).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert result.total_queries > 20_000
+    benchmark.extra_info["total_queries"] = result.total_queries
+    benchmark.extra_info["peak_pending_placements"] = (
+        result.cluster_series.peak_pending_placements
+    )
+    for name, tenant in result.tenants.items():
+        benchmark.extra_info[f"{name}_sla_violation_fraction"] = round(
+            tenant.sla_violation_fraction(), 4
+        )
+
+
+def test_bench_sweep_parallel_speedup(benchmark):
+    """Parallel sweep == serial sweep, with the speedup recorded."""
+    config = SweepConfig(
+        workload="RM1",
+        num_tables=2,
+        num_nodes=4,
+        base_qps=10.0,
+        peak_qps=30.0,
+        duration_s=240.0,
+        seed=0,
+    )
+    grid = dict(
+        scenarios=["constant", "diurnal", "flash-crowd"],
+        routings=["least-work", "power-of-two"],
+        replica_budgets=[4, 32],
+    )
+
+    start = time.perf_counter()
+    serial = run_sweep(config, workers=1, **grid)
+    serial_s = time.perf_counter() - start
+
+    parallel = benchmark.pedantic(
+        lambda: run_sweep(config, workers=SWEEP_WORKERS, **grid),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    parallel_s = benchmark.stats.stats.mean
+
+    assert len(serial.rows) == 12
+    assert parallel.digest() == serial.digest()
+    benchmark.extra_info["cells"] = len(serial.rows)
+    benchmark.extra_info["workers"] = SWEEP_WORKERS
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["parallel_s"] = round(parallel_s, 3)
+    benchmark.extra_info["speedup"] = round(serial_s / parallel_s, 2)

@@ -15,6 +15,11 @@ Usage (also available as ``python -m repro``):
     Serve a planned deployment under a named traffic scenario with a chosen
     replica-routing policy and print the run's headline aggregates.
 
+``python -m repro sweep RM1 --scenarios constant,flash-crowd --routings all --workers 4``
+    Fan a scenario × routing × replica-budget grid across worker processes
+    (deterministic per-cell seeding: the merged table is identical for any
+    worker count) and print the merged results.
+
 ``python -m repro experiments fig13 fig15``
     Shortcut for ``python -m repro.experiments``.
 """
@@ -33,8 +38,8 @@ from repro.core.planner import ElasticRecPlanner
 from repro.hardware.specs import ClusterSpec, cpu_gpu_cluster, cpu_only_cluster
 from repro.model.configs import DLRMConfig, workload_presets
 from repro.serving.engine import ServingEngine
-from repro.serving.routing import routing_policy_names
-from repro.serving.scenarios import build_scenario, scenario_names
+from repro.serving.routing import resolve_routing_names, routing_policy_names
+from repro.serving.scenarios import build_scenario, resolve_scenario_names, scenario_names
 
 __all__ = ["main", "build_parser"]
 
@@ -46,6 +51,20 @@ def _resolve_workload(name: str) -> DLRMConfig:
     except KeyError:
         known = ", ".join(sorted(presets))
         raise SystemExit(f"unknown workload {name!r}; choose from {known}") from None
+
+
+def _check_names(scenarios: str, routings: str, seed: int) -> tuple[list[str], list[str]]:
+    """Validate scenario/routing selections and the seed.
+
+    Exits with a one-line hint (not a traceback) on an unknown name or a
+    negative seed.
+    """
+    if seed < 0:
+        raise SystemExit("seed must be non-negative")
+    try:
+        return resolve_scenario_names(scenarios), resolve_routing_names(routings)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
 
 
 def _resolve_cluster(system: str, num_nodes: int | None) -> ClusterSpec:
@@ -96,15 +115,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--scenario",
-        choices=scenario_names(),
         default="paper",
-        help="traffic scenario (default: the paper's Figure 19 profile)",
+        help=f"traffic scenario, one of: {', '.join(scenario_names())} (default: paper)",
     )
     simulate.add_argument(
         "--routing",
-        choices=routing_policy_names(),
         default="least-work",
-        help="replica routing policy",
+        help=(
+            "replica routing policy, one of: "
+            f"{', '.join(routing_policy_names())} (default: least-work)"
+        ),
     )
     simulate.add_argument(
         "--strategy",
@@ -118,6 +138,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration-s", type=float, default=900.0, help="simulated duration in seconds"
     )
     simulate.add_argument("--seed", type=int, default=0, help="random seed")
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="fan a scenario x routing x replica-budget grid over worker processes",
+    )
+    sweep.add_argument("workload", help="Table II workload name: RM1, RM2 or RM3")
+    sweep.add_argument(
+        "--system", choices=("cpu", "cpu-gpu"), default="cpu", help="cluster type"
+    )
+    sweep.add_argument("--num-nodes", type=int, default=8, help="shared node pool size")
+    sweep.add_argument(
+        "--num-tables", type=int, default=4, help="scale the workload's table count"
+    )
+    sweep.add_argument(
+        "--tenants", type=int, default=1, help="co-located tenants per grid cell"
+    )
+    sweep.add_argument(
+        "--scenarios",
+        default="all",
+        help=f"comma-separated scenarios or 'all' ({', '.join(scenario_names())})",
+    )
+    sweep.add_argument(
+        "--routings",
+        default="all",
+        help=f"comma-separated routing policies or 'all' ({', '.join(routing_policy_names())})",
+    )
+    sweep.add_argument(
+        "--replica-budgets",
+        default="4,16,64",
+        help="comma-separated per-deployment replica caps",
+    )
+    sweep.add_argument("--workers", type=int, default=1, help="worker processes")
+    sweep.add_argument("--base-qps", type=float, default=18.0, help="baseline query rate")
+    sweep.add_argument("--peak-qps", type=float, default=90.0, help="peak query rate")
+    sweep.add_argument(
+        "--duration-s", type=float, default=600.0, help="simulated duration per cell"
+    )
+    sweep.add_argument("--seed", type=int, default=0, help="base random seed")
 
     experiments = subparsers.add_parser("experiments", help="regenerate paper figures")
     experiments.add_argument("ids", nargs="*", help="experiment ids (default: all)")
@@ -177,6 +235,7 @@ def _command_manifests(args: argparse.Namespace) -> int:
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
+    _check_names(args.scenario, args.routing, args.seed)
     workload = _resolve_workload(args.workload)
     cluster = _resolve_cluster(args.system, args.num_nodes)
     try:
@@ -223,6 +282,45 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweeps import SweepConfig, run_sweep
+
+    _resolve_workload(args.workload)
+    scenarios, routings = _check_names(args.scenarios, args.routings, args.seed)
+    try:
+        budgets = [int(b) for b in args.replica_budgets.split(",") if b.strip()]
+    except ValueError:
+        budgets = []
+    if not budgets or any(b <= 0 for b in budgets):
+        raise SystemExit("--replica-budgets needs a comma-separated list of positive ints")
+    config = SweepConfig(
+        workload=args.workload.upper(),
+        system=args.system,
+        num_nodes=args.num_nodes,
+        num_tables=args.num_tables,
+        tenants=args.tenants,
+        base_qps=args.base_qps,
+        peak_qps=args.peak_qps,
+        duration_s=args.duration_s,
+        seed=args.seed,
+    )
+    result = run_sweep(
+        config,
+        scenarios=scenarios,
+        routings=routings,
+        replica_budgets=budgets,
+        workers=args.workers,
+    )
+    print(result.to_table())
+    summary = result.summary()
+    summary_text = ", ".join(
+        f"{key}={value:.4g}" if isinstance(value, float) else f"{key}={value}"
+        for key, value in summary.items()
+    )
+    print(f"\nsummary: {summary_text}")
+    return 0
+
+
 def _command_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
@@ -241,4 +339,6 @@ def main(argv: list[str] | None = None) -> int:
         return _command_manifests(args)
     if args.command == "simulate":
         return _command_simulate(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     return _command_experiments(args)

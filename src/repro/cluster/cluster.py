@@ -48,9 +48,28 @@ class Cluster:
         and lets the HPA grow it).
         """
         cluster = cls(plan.cluster)
+        cluster.add_plan(plan, initial_replicas=initial_replicas, max_replicas=max_replicas)
+        return cluster
+
+    def add_plan(
+        self,
+        plan: DeploymentPlan,
+        prefix: str | None = None,
+        initial_replicas: int | None = None,
+        max_replicas: int = DEFAULT_MAX_REPLICAS,
+    ) -> list[Deployment]:
+        """Register every deployment of a plan on this cluster's node pool.
+
+        Several plans can share one pool (the multi-tenant simulation);
+        ``prefix`` namespaces the deployment names (``<prefix>/<shard>``) so
+        tenants with identical shard names do not collide.  Returns the
+        created deployments in plan order.
+        """
+        created = []
         for shard in plan.deployments:
+            name = f"{prefix}/{shard.name}" if prefix else shard.name
             spec = ContainerSpec(
-                name=shard.name,
+                name=name,
                 role=shard.role,
                 resources=ResourceRequest(
                     cores=shard.cores,
@@ -61,13 +80,15 @@ class Cluster:
                 per_replica_qps=shard.per_replica_qps,
             )
             replicas = shard.replicas if initial_replicas is None else initial_replicas
-            cluster.create_deployment(
-                spec,
-                desired_replicas=replicas,
-                hpa=shard.hpa,
-                max_replicas=max_replicas,
+            created.append(
+                self.create_deployment(
+                    spec,
+                    desired_replicas=replicas,
+                    hpa=shard.hpa,
+                    max_replicas=max_replicas,
+                )
             )
-        return cluster
+        return created
 
     def create_deployment(
         self,
@@ -129,6 +150,20 @@ class Cluster:
     def pending_containers(self) -> list[Container]:
         """Replicas that could not be placed yet."""
         return [c for d in self._deployments.values() for c in d.pending_replicas]
+
+    @property
+    def pending_placement_count(self) -> int:
+        """Depth of the pending-placement queue (replicas awaiting a node)."""
+        return len(self.pending_containers)
+
+    @property
+    def memory_capacity_gb(self) -> float:
+        """Total allocatable memory of the node pool, in GB."""
+        return self._scheduler.total_memory_bytes / 1e9
+
+    def memory_utilization(self) -> float:
+        """Fraction of the pool's memory currently reserved by containers."""
+        return self._scheduler.memory_utilization()
 
     # ------------------------------------------------------------------
     # Reconciliation

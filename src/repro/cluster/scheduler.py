@@ -35,6 +35,21 @@ class BinPackingScheduler:
         """The node pool."""
         return list(self._nodes)
 
+    @property
+    def total_memory_bytes(self) -> float:
+        """Aggregate allocatable memory of the pool."""
+        return sum(node.spec.dram_gb * 1e9 for node in self._nodes)
+
+    @property
+    def free_memory_bytes(self) -> float:
+        """Memory not currently reserved by placed containers."""
+        return sum(node.free.memory_bytes for node in self._nodes)
+
+    def memory_utilization(self) -> float:
+        """Fraction of the pool's memory reserved by placed containers."""
+        total = self.total_memory_bytes
+        return 1.0 - self.free_memory_bytes / total if total > 0 else 0.0
+
     def _best_node(self, request: ResourceRequest) -> Node | None:
         feasible = [node for node in self._nodes if node.can_fit(request)]
         if not feasible:

@@ -20,6 +20,7 @@ from repro.experiments import (
     fig19,
     fig20,
     headline,
+    multitenant,
 )
 from repro.experiments.base import ExperimentResult
 
@@ -42,6 +43,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "fig20": fig20.run,
     "headline": headline.run,
     "ablation": ablation.run,
+    "multitenant": multitenant.run,
 }
 
 

@@ -9,7 +9,11 @@ discrete-event engine with pluggable policies:
 * :mod:`repro.serving.engine` — the event core: a heap of typed events
   (arrival, completion, autoscaler tick, reconcile, sample) driving the
   cluster, plus vectorised series post-processing.  :class:`ServingEngine`
-  is the primary entry point; :class:`SimulationResult` its output.
+  is the single-plan entry point; :class:`MultiTenantEngine` drives N
+  tenants (each a :class:`TenantSpec` with its own traffic, routing, SLA,
+  autoscaler and seed) competing for one shared node pool, returning a
+  :class:`MultiTenantResult` with per-tenant :class:`SimulationResult`
+  series plus cluster-wide memory/utilization/pending-placement series.
 * :mod:`repro.serving.routing` — pluggable per-deployment routing policies
   (``least-work``, ``round-robin``, ``power-of-two``, ``ready-only``,
   ``least-outstanding``), built on the generic balancers in
@@ -45,7 +49,15 @@ from repro.serving.traffic import TrafficPattern, TrafficPhase, paper_dynamic_pa
 from repro.serving.replica_server import ReplicaServer
 from repro.serving.rpc import RPCModel
 from repro.serving.latency import LatencyTracker
-from repro.serving.engine import EventKind, ServingEngine, SimulationResult
+from repro.serving.engine import (
+    ClusterSeries,
+    EventKind,
+    MultiTenantEngine,
+    MultiTenantResult,
+    ServingEngine,
+    SimulationResult,
+    TenantSpec,
+)
 from repro.serving.routing import (
     ROUTING_POLICIES,
     RoutingPolicy,
@@ -76,6 +88,10 @@ __all__ = [
     "ServingEngine",
     "ServingSimulator",
     "SimulationResult",
+    "TenantSpec",
+    "MultiTenantEngine",
+    "MultiTenantResult",
+    "ClusterSeries",
     "RoutingPolicy",
     "ROUTING_POLICIES",
     "make_routing_policy",

@@ -10,15 +10,27 @@ Event types, in tie-breaking order at equal timestamps:
 * ``COMPLETION`` — a query finished on one replica (scheduled only when the
   routing policy tracks in-flight queries, e.g. ``least-outstanding``);
 * ``ARRIVAL`` — the next pending query arrival.  Arrivals are pre-generated
-  as one sorted vector per run and consumed in *batches*: one heap event
-  covers every arrival up to the next control event, so a 100k-query run
-  costs thousands — not hundreds of thousands — of heap operations;
+  as one sorted vector per tenant per run and consumed in *batches*: one heap
+  event covers every arrival up to the next control event, so a 100k-query
+  run costs thousands — not hundreds of thousands — of heap operations;
 * ``AUTOSCALE`` — the control-plane tick: flush the interval's metrics into
   the registry and run the HPA evaluation;
 * ``RECONCILE`` — drive the cluster toward the desired replica counts and
   mirror the active containers into replica queue servers;
 * ``SAMPLE`` — append one point to every recorded time series and reset the
   per-interval accumulators.
+
+The same event loop drives one deployment plan (:class:`ServingEngine`) or a
+whole *multi-tenant cluster* (:class:`MultiTenantEngine`): N tenants, each
+with its own traffic pattern, routing policy, SLA target, autoscaler and
+random seed, competing for one shared capacity-constrained node pool.  Every
+tenant is a :class:`_TenantRuntime` holding its slice of the cluster's
+deployments plus its per-run accumulators; tenant events carry the tenant
+index, so events from different tenants interleave on one heap in timestamp
+order.  With a single tenant the loop degenerates to exactly the historical
+single-plan behaviour — same heap contents, same RNG draws — so a
+one-tenant :class:`MultiTenantEngine` reproduces :class:`ServingEngine`
+(and therefore the seed simulator) bit-for-bit for the same seed.
 
 Series post-processing (achieved QPS, windowed p95) is vectorised with a
 single sort plus ``np.searchsorted`` window lookups, replacing the seed
@@ -36,20 +48,31 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from enum import IntEnum
+from typing import Sequence
 
 import numpy as np
 
 from repro.cluster.autoscaler import HorizontalPodAutoscaler
 from repro.cluster.cluster import Cluster
 from repro.cluster.container import ContainerState
+from repro.cluster.deployment import Deployment
 from repro.core.plan import DeploymentPlan, ROLE_DENSE, ROLE_MONOLITHIC
 from repro.hardware.perf_model import PerfModel
+from repro.hardware.specs import ClusterSpec
 from repro.serving.latency import LatencyTracker
 from repro.serving.replica_server import ReplicaServer
 from repro.serving.routing import RoutingPolicy, make_routing_policy
 from repro.serving.traffic import TrafficPattern
 
-__all__ = ["EventKind", "ServingEngine", "SimulationResult"]
+__all__ = [
+    "EventKind",
+    "ServingEngine",
+    "SimulationResult",
+    "TenantSpec",
+    "MultiTenantEngine",
+    "MultiTenantResult",
+    "ClusterSeries",
+]
 
 
 class EventKind(IntEnum):
@@ -77,6 +100,8 @@ class SimulationResult:
     replica_counts: dict[str, np.ndarray]
     tracker: LatencyTracker = field(repr=False, default_factory=LatencyTracker)
     routing: str = "least-work"
+    tenant: str = ""
+    utilization: dict[str, np.ndarray] = field(default_factory=dict)
 
     @property
     def peak_memory_gb(self) -> float:
@@ -85,17 +110,25 @@ class SimulationResult:
 
     @property
     def mean_latency_ms(self) -> float:
-        """Mean end-to-end latency over the whole run."""
+        """Mean end-to-end latency over the whole run (0.0 with no traffic)."""
+        if self.tracker.num_samples == 0:
+            return 0.0
         return self.tracker.mean() * 1000.0
 
     @property
     def overall_p95_latency_ms(self) -> float:
-        """p95 end-to-end latency over the whole run."""
+        """p95 end-to-end latency over the whole run (0.0 with no traffic)."""
+        if self.tracker.num_samples == 0:
+            return 0.0
         return self.tracker.percentile(95.0) * 1000.0
 
     def sla_violation_fraction(self) -> float:
         """Fraction of queries whose latency exceeded the SLA."""
         return self.tracker.sla_violation_fraction(self.sla_s)
+
+    def sla_violation_count(self) -> int:
+        """Number of queries whose latency exceeded the SLA."""
+        return int(np.sum(self.tracker.latencies_s > self.sla_s))
 
     def summary(self) -> dict[str, float]:
         """Headline aggregates of the run."""
@@ -106,6 +139,322 @@ class SimulationResult:
             "sla_violation_fraction": self.sla_violation_fraction(),
             "total_queries": float(self.tracker.num_samples),
         }
+
+
+# ----------------------------------------------------------------------
+# Series post-processing (vectorised)
+# ----------------------------------------------------------------------
+def _achieved_qps_series(
+    tracker: LatencyTracker, sample_times: np.ndarray, interval_s: float
+) -> np.ndarray:
+    completions = np.sort(tracker.completion_times)
+    counts = np.searchsorted(completions, sample_times) - np.searchsorted(
+        completions, sample_times - interval_s
+    )
+    return counts / interval_s
+
+
+def _p95_series(
+    tracker: LatencyTracker, sample_times: np.ndarray, interval_s: float
+) -> np.ndarray:
+    completions = tracker.completion_times
+    order = np.argsort(completions, kind="stable")
+    sorted_completions = completions[order]
+    sorted_latencies = (tracker.latencies_s * 1000.0)[order]
+    window = max(interval_s, 30.0)
+    # Each window is (end - window, end]; one sort plus two binary
+    # searches per sample replaces a full boolean mask per sample.
+    hi = np.searchsorted(sorted_completions, sample_times, side="right")
+    lo = np.searchsorted(sorted_completions, sample_times - window, side="right")
+    series = np.zeros_like(sample_times)
+    for index in range(sample_times.size):
+        if hi[index] > lo[index]:
+            series[index] = float(
+                np.percentile(sorted_latencies[lo[index] : hi[index]], 95)
+            )
+    return series
+
+
+def _force_ready(cluster: Cluster, now: float) -> None:
+    """Promote every placed-but-starting container to RUNNING (warm start)."""
+    for deployment in cluster.deployments:
+        for container in deployment.replicas:
+            if container.state is ContainerState.STARTING:
+                container.ready_at = now
+                container.maybe_become_ready(now)
+
+
+class _TenantRuntime:
+    """One tenant's slice of the simulated cluster plus its run accumulators.
+
+    Persistent state (replica servers, arrival RNG, autoscaler history)
+    survives across runs, mirroring the historical simulator; per-run
+    accumulators are reset by :meth:`begin_run`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        plan: DeploymentPlan,
+        deployments: Sequence[Deployment],
+        policy: RoutingPolicy,
+        autoscale: bool,
+        autoscaler: HorizontalPodAutoscaler,
+        sla_s: float,
+        sample_interval_s: float,
+        seed: int,
+    ) -> None:
+        if sample_interval_s <= 0:
+            raise ValueError("sample_interval_s must be positive")
+        self.name = name
+        self.plan = plan
+        self.deployments = list(deployments)
+        self.policy = policy
+        self.autoscale = autoscale
+        self.autoscaler = autoscaler
+        self.sla_s = float(sla_s)
+        self.sample_interval_s = float(sample_interval_s)
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.servers: dict[str, dict[str, ReplicaServer]] = {
+            d.name: {} for d in self.deployments
+        }
+        self.service_times = {
+            d.name: 1.0 / d.spec.per_replica_qps for d in self.deployments
+        }
+        is_monolithic = plan.strategy != "elasticrec"
+        perf_model = PerfModel(plan.cluster)
+        self.rpc_overhead_s = 0.0 if is_monolithic else perf_model.rpc_overhead_s()
+        self.dense_roles = {
+            d.name: d.spec.role in (ROLE_DENSE, ROLE_MONOLITHIC) for d in self.deployments
+        }
+
+    # ------------------------------------------------------------------
+    # Cluster/replica bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def allocated_memory_gb(self) -> float:
+        """Memory reserved by this tenant's active replicas, in GB."""
+        return sum(d.allocated_memory_bytes for d in self.deployments) / 1e9
+
+    def sync_servers(self, now: float) -> None:
+        """Mirror the tenant's active containers into replica queue servers."""
+        for deployment in self.deployments:
+            servers = self.servers[deployment.name]
+            active_names = set()
+            for container in deployment.replicas:
+                if not container.is_active:
+                    continue
+                active_names.add(container.name)
+                if container.name not in servers:
+                    ready_at = container.ready_at if container.ready_at is not None else now
+                    servers[container.name] = ReplicaServer(container.name, ready_at=ready_at)
+            for name in list(servers):
+                if name not in active_names:
+                    del servers[name]
+
+    # ------------------------------------------------------------------
+    # Per-run lifecycle
+    # ------------------------------------------------------------------
+    def begin_run(self, pattern: TrafficPattern) -> None:
+        """Reset the per-run accumulators and draw this run's arrivals."""
+        self.pattern = pattern
+        self.arrivals = pattern.arrivals(self.rng)
+        self.policy.reset(np.random.default_rng([self.seed, 1]))
+        self.tracker = LatencyTracker()
+        self.boundaries = np.arange(
+            self.sample_interval_s,
+            pattern.duration_s + self.sample_interval_s,
+            self.sample_interval_s,
+        )
+        self.sample_times: list[float] = []
+        self.memory_series: list[float] = []
+        self.replica_series: dict[str, list[int]] = {d.name: [] for d in self.deployments}
+        self.utilization_series: dict[str, list[float]] = {
+            d.name: [] for d in self.deployments
+        }
+        self.interval_counts: dict[str, int] = {d.name: 0 for d in self.deployments}
+        self.interval_latencies: dict[str, list[float]] = {
+            d.name: [] for d in self.deployments
+        }
+        # Arrivals after the final sample boundary fall outside every recorded
+        # interval and are never served (the seed loop behaved identically).
+        self.num_served = (
+            int(np.searchsorted(self.arrivals, self.boundaries[-1], side="right"))
+            if self.boundaries.size
+            else 0
+        )
+        self.track_completions = self.policy.needs_completion_events
+
+    def serve_query(
+        self,
+        arrival: float,
+        tenant_index: int,
+        heap: list | None = None,
+        seq: itertools.count | None = None,
+    ) -> None:
+        """Route one query through every deployment the tenant needs."""
+        completions: list[float] = []
+        dense_names: list[str] = []
+        for deployment in self.deployments:
+            servers = list(self.servers[deployment.name].values())
+            server = self.policy.select(deployment.name, servers, arrival)
+            if server is None:
+                # No capacity at all: count a full SLA violation.
+                completions.append(arrival + 2.0 * self.sla_s)
+                continue
+            service = self.service_times[deployment.name]
+            completion = server.submit(arrival, service)
+            self.policy.on_submit(deployment.name, server)
+            if heap is not None:
+                heapq.heappush(
+                    heap,
+                    (
+                        completion,
+                        EventKind.COMPLETION,
+                        next(seq),
+                        (tenant_index, deployment.name, server.name),
+                    ),
+                )
+            completions.append(completion)
+            self.interval_counts[deployment.name] += 1
+            if self.dense_roles[deployment.name]:
+                dense_names.append(deployment.name)
+            else:
+                self.interval_latencies[deployment.name].append(completion - arrival)
+        query_completion = max(completions) + self.rpc_overhead_s
+        latency = query_completion - arrival
+        # End-to-end latency is what the dense (or monolithic) shard's HPA sees.
+        for name in dense_names:
+            self.interval_latencies[name].append(latency)
+        self.tracker.record(arrival + latency, latency)
+
+    def record_interval_metrics(self, now: float, metrics) -> None:
+        for deployment in self.deployments:
+            name = deployment.name
+            metrics.record(f"{name}/queries", float(self.interval_counts[name]), now)
+            latencies = self.interval_latencies[name]
+            if latencies:
+                metrics.record(f"{name}/latency_s", float(np.percentile(latencies, 95)), now)
+
+    def sample(self, now: float) -> None:
+        self.sample_times.append(now)
+        self.memory_series.append(self.allocated_memory_gb)
+        window_start = now - self.sample_interval_s
+        for deployment in self.deployments:
+            self.replica_series[deployment.name].append(len(deployment.active_replicas))
+            servers = self.servers[deployment.name].values()
+            if servers:
+                utilization = float(
+                    np.mean([s.utilization(now, window_start=window_start) for s in servers])
+                )
+            else:
+                utilization = 0.0
+            self.utilization_series[deployment.name].append(utilization)
+        for name in self.interval_counts:
+            self.interval_counts[name] = 0
+            self.interval_latencies[name] = []
+
+    def finish_run(self) -> SimulationResult:
+        sample_times = np.asarray(self.sample_times)
+        return SimulationResult(
+            plan_name=self.plan.name,
+            strategy=self.plan.strategy,
+            sla_s=self.sla_s,
+            sample_times=sample_times,
+            target_qps=np.array([self.pattern.rate_at(t) for t in sample_times]),
+            achieved_qps=_achieved_qps_series(self.tracker, sample_times, self.sample_interval_s),
+            memory_gb=np.asarray(self.memory_series),
+            p95_latency_ms=_p95_series(self.tracker, sample_times, self.sample_interval_s),
+            replica_counts={k: np.asarray(v) for k, v in self.replica_series.items()},
+            tracker=self.tracker,
+            routing=self.policy.name,
+            tenant=self.name,
+            utilization={k: np.asarray(v) for k, v in self.utilization_series.items()},
+        )
+
+
+def _drive(
+    cluster: Cluster,
+    runtimes: Sequence[_TenantRuntime],
+    patterns: Sequence[TrafficPattern],
+    probe=None,
+) -> list[SimulationResult]:
+    """Run every tenant's traffic through one shared event heap.
+
+    ``probe``, if given, is called as ``probe(now)`` after each tenant sample
+    point (at equal timestamps every reconcile precedes every sample, so the
+    probe always observes a settled cluster).
+    """
+    for runtime, pattern in zip(runtimes, patterns):
+        runtime.begin_run(pattern)
+
+    heap: list[tuple[float, int, int, object]] = []
+    seq = itertools.count()
+    for tenant_index, runtime in enumerate(runtimes):
+        for boundary in runtime.boundaries:
+            heapq.heappush(heap, (float(boundary), EventKind.AUTOSCALE, next(seq), tenant_index))
+            heapq.heappush(heap, (float(boundary), EventKind.SAMPLE, next(seq), tenant_index))
+    # One reconcile per unique boundary timestamp: tenants sharing a sample
+    # grid would otherwise trigger N redundant full-cluster packing passes.
+    for boundary in sorted({float(b) for r in runtimes for b in r.boundaries}):
+        heapq.heappush(heap, (boundary, EventKind.RECONCILE, next(seq), None))
+    for tenant_index, runtime in enumerate(runtimes):
+        if runtime.num_served:
+            heapq.heappush(
+                heap, (float(runtime.arrivals[0]), EventKind.ARRIVAL, next(seq), (tenant_index, 0))
+            )
+
+    while heap:
+        now, kind, _, payload = heapq.heappop(heap)
+        if kind == EventKind.ARRIVAL:
+            tenant_index, index = payload
+            runtime = runtimes[tenant_index]
+            if runtime.track_completions:
+                # One event per arrival so completion events interleave
+                # with arrivals in timestamp order.
+                runtime.serve_query(float(runtime.arrivals[index]), tenant_index, heap, seq)
+                if index + 1 < runtime.num_served:
+                    heapq.heappush(
+                        heap,
+                        (
+                            float(runtime.arrivals[index + 1]),
+                            EventKind.ARRIVAL,
+                            next(seq),
+                            (tenant_index, index + 1),
+                        ),
+                    )
+            else:
+                # Batch every arrival up to (and including) the next control
+                # event of *any* tenant; nothing can preempt them in between.
+                horizon = heap[0][0] if heap else float("inf")
+                stop = int(np.searchsorted(runtime.arrivals, horizon, side="right"))
+                stop = min(max(stop, index + 1), runtime.num_served)
+                for i in range(index, stop):
+                    runtime.serve_query(float(runtime.arrivals[i]), tenant_index)
+                if stop < runtime.num_served:
+                    heapq.heappush(
+                        heap,
+                        (float(runtime.arrivals[stop]), EventKind.ARRIVAL, next(seq), (tenant_index, stop)),
+                    )
+        elif kind == EventKind.COMPLETION:
+            tenant_index, deployment_name, server_name = payload
+            runtimes[tenant_index].policy.on_complete(deployment_name, server_name)
+        elif kind == EventKind.AUTOSCALE:
+            runtime = runtimes[payload]
+            runtime.record_interval_metrics(now, cluster.metrics)
+            if runtime.autoscale and runtime.autoscaler.should_evaluate(now):
+                runtime.autoscaler.evaluate(runtime.deployments, cluster.metrics, now)
+        elif kind == EventKind.RECONCILE:
+            cluster.reconcile(now)
+            for runtime in runtimes:
+                runtime.sync_servers(now)
+        else:  # EventKind.SAMPLE
+            runtimes[payload].sample(now)
+            if probe is not None:
+                probe(now)
+
+    return [runtime.finish_run() for runtime in runtimes]
 
 
 class ServingEngine:
@@ -130,33 +479,27 @@ class ServingEngine:
         sample_interval_s: float = 15.0,
         seed: int = 0,
     ) -> None:
-        self._plan = plan
-        self._autoscale = autoscale
-        self._autoscaler = autoscaler or HorizontalPodAutoscaler()
-        self._sample_interval_s = float(sample_interval_s)
-        if self._sample_interval_s <= 0:
+        if sample_interval_s <= 0:
             raise ValueError("sample_interval_s must be positive")
-        self._seed = seed
-        self._rng = np.random.default_rng(seed)
-        self._policy = make_routing_policy(routing)
-        self._perf_model = PerfModel(plan.cluster)
         self._cluster = Cluster.from_plan(
             plan, initial_replicas=initial_replicas, max_replicas=max_replicas
         )
-        self._servers: dict[str, dict[str, ReplicaServer]] = {
-            d.name: {} for d in self._cluster.deployments
-        }
-        self._service_times = {d.name: 1.0 / d.per_replica_qps for d in plan.deployments}
-        self._is_monolithic = plan.strategy != "elasticrec"
-        self._rpc_overhead_s = 0.0 if self._is_monolithic else self._perf_model.rpc_overhead_s()
+        self._runtime = _TenantRuntime(
+            name=plan.name,
+            plan=plan,
+            deployments=self._cluster.deployments,
+            policy=make_routing_policy(routing),
+            autoscale=autoscale,
+            autoscaler=autoscaler or HorizontalPodAutoscaler(),
+            sla_s=plan.cluster.sla_s,
+            sample_interval_s=sample_interval_s,
+            seed=seed,
+        )
         self._cluster.reconcile(0.0)
         if warm_start:
-            self._force_ready(0.0)
-        self._sync_servers(0.0)
+            _force_ready(self._cluster, 0.0)
+        self._runtime.sync_servers(0.0)
 
-    # ------------------------------------------------------------------
-    # Cluster/replica bookkeeping
-    # ------------------------------------------------------------------
     @property
     def cluster(self) -> Cluster:
         """The simulated cluster."""
@@ -165,223 +508,245 @@ class ServingEngine:
     @property
     def routing_policy(self) -> RoutingPolicy:
         """The active replica-selection policy."""
-        return self._policy
+        return self._runtime.policy
 
-    def _force_ready(self, now: float) -> None:
-        for deployment in self._cluster.deployments:
-            for container in deployment.replicas:
-                if container.state is ContainerState.STARTING:
-                    container.ready_at = now
-                    container.maybe_become_ready(now)
-
-    def _sync_servers(self, now: float) -> None:
-        """Mirror the cluster's active containers into replica queue servers."""
-        for deployment in self._cluster.deployments:
-            servers = self._servers[deployment.name]
-            active_names = set()
-            for container in deployment.replicas:
-                if not container.is_active:
-                    continue
-                active_names.add(container.name)
-                if container.name not in servers:
-                    ready_at = container.ready_at if container.ready_at is not None else now
-                    servers[container.name] = ReplicaServer(container.name, ready_at=ready_at)
-            for name in list(servers):
-                if name not in active_names:
-                    del servers[name]
-
-    # ------------------------------------------------------------------
-    # Event loop
-    # ------------------------------------------------------------------
     def run(self, pattern: TrafficPattern) -> SimulationResult:
         """Simulate the plan under the given traffic pattern."""
-        arrivals = pattern.arrivals(self._rng)
-        self._policy.reset(np.random.default_rng([self._seed, 1]))
-        tracker = LatencyTracker()
-        boundaries = np.arange(
-            self._sample_interval_s,
-            pattern.duration_s + self._sample_interval_s,
-            self._sample_interval_s,
-        )
-        sample_times: list[float] = []
-        memory_series: list[float] = []
-        replica_series: dict[str, list[int]] = {d.name: [] for d in self._cluster.deployments}
-        interval_counts: dict[str, int] = {d.name: 0 for d in self._cluster.deployments}
-        interval_latencies: dict[str, list[float]] = {
-            d.name: [] for d in self._cluster.deployments
+        return _drive(self._cluster, [self._runtime], [pattern])[0]
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant cluster simulation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of a multi-tenant cluster simulation.
+
+    A tenant is one deployment plan served under its own traffic pattern with
+    its own routing policy, SLA target, autoscaler and random seed.  All
+    tenants share the engine's node pool, so their replicas compete for
+    placement; ``max_replicas`` is the tenant's replica budget (the cap each
+    of its deployments may scale to).
+    """
+
+    name: str
+    plan: DeploymentPlan
+    pattern: TrafficPattern
+    routing: str | RoutingPolicy = "least-work"
+    seed: int = 0
+    autoscale: bool = True
+    autoscaler: HorizontalPodAutoscaler | None = None
+    sla_s: float | None = None
+    sample_interval_s: float = 15.0
+    initial_replicas: int | None = None
+    max_replicas: int = 256
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a tenant needs a name")
+        if self.sample_interval_s <= 0:
+            raise ValueError("sample_interval_s must be positive")
+        if self.sla_s is not None and self.sla_s <= 0:
+            raise ValueError("sla_s must be positive")
+        if self.max_replicas <= 0:
+            raise ValueError("max_replicas must be positive")
+
+
+@dataclass
+class ClusterSeries:
+    """Cluster-wide time series sampled over a multi-tenant run."""
+
+    sample_times: np.ndarray
+    memory_gb: np.ndarray
+    memory_utilization: np.ndarray
+    pending_placements: np.ndarray
+    nodes_in_use: np.ndarray
+
+    @property
+    def peak_memory_gb(self) -> float:
+        """Highest allocated memory across all tenants."""
+        return float(self.memory_gb.max()) if self.memory_gb.size else 0.0
+
+    @property
+    def peak_pending_placements(self) -> int:
+        """Deepest pending-placement queue observed."""
+        return int(self.pending_placements.max()) if self.pending_placements.size else 0
+
+    @property
+    def mean_memory_utilization(self) -> float:
+        """Average fraction of pool memory allocated over the run."""
+        return float(self.memory_utilization.mean()) if self.memory_utilization.size else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Headline cluster-wide aggregates."""
+        return {
+            "peak_memory_gb": self.peak_memory_gb,
+            "mean_memory_utilization": self.mean_memory_utilization,
+            "peak_pending_placements": float(self.peak_pending_placements),
+            "peak_nodes_in_use": float(self.nodes_in_use.max()) if self.nodes_in_use.size else 0.0,
         }
 
-        heap: list[tuple[float, int, int, object]] = []
-        seq = itertools.count()
-        for boundary in boundaries:
-            heapq.heappush(heap, (float(boundary), EventKind.AUTOSCALE, next(seq), None))
-            heapq.heappush(heap, (float(boundary), EventKind.RECONCILE, next(seq), None))
-            heapq.heappush(heap, (float(boundary), EventKind.SAMPLE, next(seq), None))
-        # Arrivals after the final sample boundary fall outside every recorded
-        # interval and are never served (the seed loop behaved identically).
-        num_served = (
-            int(np.searchsorted(arrivals, boundaries[-1], side="right"))
-            if boundaries.size
-            else 0
-        )
-        if num_served:
-            heapq.heappush(heap, (float(arrivals[0]), EventKind.ARRIVAL, next(seq), 0))
-        track_completions = self._policy.needs_completion_events
 
-        while heap:
-            now, kind, _, payload = heapq.heappop(heap)
-            if kind == EventKind.ARRIVAL:
-                index = payload
-                if track_completions:
-                    # One event per arrival so completion events interleave
-                    # with arrivals in timestamp order.
-                    self._serve_query(
-                        float(arrivals[index]),
-                        tracker,
-                        interval_counts,
-                        interval_latencies,
-                        heap=heap,
-                        seq=seq,
-                    )
-                    if index + 1 < num_served:
-                        heapq.heappush(
-                            heap,
-                            (float(arrivals[index + 1]), EventKind.ARRIVAL, next(seq), index + 1),
-                        )
-                else:
-                    # Batch every arrival up to (and including) the next
-                    # control event; nothing can preempt them in between.
-                    horizon = heap[0][0] if heap else float("inf")
-                    stop = int(np.searchsorted(arrivals, horizon, side="right"))
-                    stop = min(max(stop, index + 1), num_served)
-                    for i in range(index, stop):
-                        self._serve_query(
-                            float(arrivals[i]), tracker, interval_counts, interval_latencies
-                        )
-                    if stop < num_served:
-                        heapq.heappush(
-                            heap, (float(arrivals[stop]), EventKind.ARRIVAL, next(seq), stop)
-                        )
-            elif kind == EventKind.COMPLETION:
-                deployment_name, server_name = payload
-                self._policy.on_complete(deployment_name, server_name)
-            elif kind == EventKind.AUTOSCALE:
-                self._record_interval_metrics(now, interval_counts, interval_latencies)
-                if self._autoscale and self._autoscaler.should_evaluate(now):
-                    self._autoscaler.evaluate(
-                        self._cluster.deployments, self._cluster.metrics, now
-                    )
-            elif kind == EventKind.RECONCILE:
-                self._cluster.reconcile(now)
-                self._sync_servers(now)
-            else:  # EventKind.SAMPLE
-                sample_times.append(now)
-                memory_series.append(self._cluster.allocated_memory_gb)
-                for deployment in self._cluster.deployments:
-                    replica_series[deployment.name].append(len(deployment.active_replicas))
-                for name in interval_counts:
-                    interval_counts[name] = 0
-                    interval_latencies[name] = []
+@dataclass
+class MultiTenantResult:
+    """Per-tenant results plus cluster-wide series of one multi-tenant run."""
 
-        sample_times_arr = np.asarray(sample_times)
-        achieved = self._achieved_qps(tracker, sample_times_arr)
-        p95_series = self._p95_series(tracker, sample_times_arr)
-        target = np.array([pattern.rate_at(t) for t in sample_times_arr])
-        return SimulationResult(
-            plan_name=self._plan.name,
-            strategy=self._plan.strategy,
-            sla_s=self._plan.cluster.sla_s,
-            sample_times=sample_times_arr,
-            target_qps=target,
-            achieved_qps=achieved,
-            memory_gb=np.asarray(memory_series),
-            p95_latency_ms=p95_series,
-            replica_counts={k: np.asarray(v) for k, v in replica_series.items()},
-            tracker=tracker,
-            routing=self._policy.name,
+    tenants: dict[str, SimulationResult]
+    cluster_series: ClusterSeries
+
+    def tenant(self, name: str) -> SimulationResult:
+        """One tenant's result by name."""
+        try:
+            return self.tenants[name]
+        except KeyError:
+            raise KeyError(f"no tenant named {name!r}") from None
+
+    @property
+    def total_queries(self) -> int:
+        """Queries served across every tenant."""
+        return sum(r.tracker.num_samples for r in self.tenants.values())
+
+    def summary(self) -> dict[str, dict]:
+        """Cluster aggregates plus each tenant's headline aggregates."""
+        cluster = self.cluster_series.summary()
+        cluster["total_queries"] = float(self.total_queries)
+        return {
+            "cluster": cluster,
+            "tenants": {name: result.summary() for name, result in self.tenants.items()},
+        }
+
+    def sla_report(self) -> list[dict[str, object]]:
+        """One row per tenant: SLA target, violations and headline latency."""
+        rows = []
+        for name, result in self.tenants.items():
+            rows.append(
+                {
+                    "tenant": name,
+                    "routing": result.routing,
+                    "sla_ms": result.sla_s * 1000.0,
+                    "queries": result.tracker.num_samples,
+                    "p95_latency_ms": result.overall_p95_latency_ms,
+                    "sla_violations": result.sla_violation_count(),
+                    "sla_violation_fraction": result.sla_violation_fraction(),
+                }
+            )
+        return rows
+
+    def worst_tenant(self) -> str:
+        """The tenant with the highest SLA-violation fraction."""
+        return max(self.tenants, key=lambda name: self.tenants[name].sla_violation_fraction())
+
+
+class _ClusterProbe:
+    """Samples cluster-wide metrics at tenant sample points (dedup by time)."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self._cluster = cluster
+        self._points: dict[float, tuple[float, float, int, int]] = {}
+
+    def __call__(self, now: float) -> None:
+        # At a given timestamp every reconcile precedes every sample and
+        # sampling never mutates the cluster, so the first snapshot stands.
+        if now in self._points:
+            return
+        self._points[now] = (
+            self._cluster.allocated_memory_gb,
+            self._cluster.memory_utilization(),
+            self._cluster.pending_placement_count,
+            self._cluster.nodes_in_use(),
         )
 
-    # ------------------------------------------------------------------
-    # Per-query path
-    # ------------------------------------------------------------------
-    def _serve_query(
+    def series(self) -> ClusterSeries:
+        times = sorted(self._points)
+        values = [self._points[t] for t in times]
+        return ClusterSeries(
+            sample_times=np.asarray(times),
+            memory_gb=np.asarray([v[0] for v in values]),
+            memory_utilization=np.asarray([v[1] for v in values]),
+            pending_placements=np.asarray([v[2] for v in values], dtype=np.int64),
+            nodes_in_use=np.asarray([v[3] for v in values], dtype=np.int64),
+        )
+
+
+class MultiTenantEngine:
+    """N tenants competing for one shared, capacity-constrained node pool.
+
+    Each :class:`TenantSpec` brings its own deployment plan, traffic pattern,
+    routing policy, SLA target, autoscaler and seed; the engine hosts every
+    tenant's deployments (namespaced ``<tenant>/<shard>`` when there is more
+    than one tenant) on a single
+    :class:`~repro.cluster.cluster.Cluster` whose node pool is fixed by
+    ``cluster_spec``.  One event heap drives all tenants, so arrivals,
+    autoscaler ticks and reconciles from different tenants interleave in
+    timestamp order and replicas compete for placement through the shared
+    bin-packing scheduler — replicas that do not fit queue as pending
+    placements (visible in :class:`ClusterSeries`).
+
+    With a single tenant the engine reproduces :class:`ServingEngine` (and
+    the seed simulator) bit-for-bit for the same seed.
+    """
+
+    def __init__(
         self,
-        arrival: float,
-        tracker: LatencyTracker,
-        interval_counts: dict[str, int],
-        interval_latencies: dict[str, list[float]],
-        heap: list | None = None,
-        seq: itertools.count | None = None,
+        tenants: Sequence[TenantSpec],
+        cluster_spec: ClusterSpec | None = None,
+        warm_start: bool = True,
     ) -> None:
-        """Route one query through every deployment it needs."""
-        completions: list[float] = []
-        dense_names: list[str] = []
-        for deployment in self._cluster.deployments:
-            servers = list(self._servers[deployment.name].values())
-            server = self._policy.select(deployment.name, servers, arrival)
-            if server is None:
-                # No capacity at all: count a full SLA violation.
-                completions.append(arrival + 2.0 * self._plan.cluster.sla_s)
-                continue
-            service = self._service_times[deployment.name]
-            completion = server.submit(arrival, service)
-            self._policy.on_submit(deployment.name, server)
-            if heap is not None:
-                heapq.heappush(
-                    heap,
-                    (completion, EventKind.COMPLETION, next(seq), (deployment.name, server.name)),
+        if not tenants:
+            raise ValueError("at least one tenant is required")
+        names = [t.name for t in tenants]
+        if len(names) != len(set(names)):
+            raise ValueError("tenant names must be unique")
+        spec = cluster_spec if cluster_spec is not None else tenants[0].plan.cluster
+        self._cluster = Cluster(spec)
+        self._specs = list(tenants)
+        self._runtimes: list[_TenantRuntime] = []
+        for tenant in self._specs:
+            deployments = self._cluster.add_plan(
+                tenant.plan,
+                prefix=tenant.name if len(self._specs) > 1 else None,
+                initial_replicas=tenant.initial_replicas,
+                max_replicas=tenant.max_replicas,
+            )
+            self._runtimes.append(
+                _TenantRuntime(
+                    name=tenant.name,
+                    plan=tenant.plan,
+                    deployments=deployments,
+                    policy=make_routing_policy(tenant.routing),
+                    autoscale=tenant.autoscale,
+                    autoscaler=tenant.autoscaler or HorizontalPodAutoscaler(),
+                    sla_s=tenant.sla_s if tenant.sla_s is not None else tenant.plan.cluster.sla_s,
+                    sample_interval_s=tenant.sample_interval_s,
+                    seed=tenant.seed,
                 )
-            completions.append(completion)
-            interval_counts[deployment.name] += 1
-            if deployment.spec.role in (ROLE_DENSE, ROLE_MONOLITHIC):
-                dense_names.append(deployment.name)
-            else:
-                interval_latencies[deployment.name].append(completion - arrival)
-        query_completion = max(completions) + self._rpc_overhead_s
-        latency = query_completion - arrival
-        # End-to-end latency is what the dense (or monolithic) shard's HPA sees.
-        for name in dense_names:
-            interval_latencies[name].append(latency)
-        tracker.record(arrival + latency, latency)
+            )
+        self._cluster.reconcile(0.0)
+        if warm_start:
+            _force_ready(self._cluster, 0.0)
+        for runtime in self._runtimes:
+            runtime.sync_servers(0.0)
 
-    def _record_interval_metrics(
-        self,
-        now: float,
-        interval_counts: dict[str, int],
-        interval_latencies: dict[str, list[float]],
-    ) -> None:
-        metrics = self._cluster.metrics
-        for deployment in self._cluster.deployments:
-            name = deployment.name
-            metrics.record(f"{name}/queries", float(interval_counts[name]), now)
-            latencies = interval_latencies[name]
-            if latencies:
-                metrics.record(f"{name}/latency_s", float(np.percentile(latencies, 95)), now)
+    @property
+    def cluster(self) -> Cluster:
+        """The shared simulated cluster."""
+        return self._cluster
 
-    # ------------------------------------------------------------------
-    # Series post-processing (vectorised)
-    # ------------------------------------------------------------------
-    def _achieved_qps(self, tracker: LatencyTracker, sample_times: np.ndarray) -> np.ndarray:
-        completions = np.sort(tracker.completion_times)
-        counts = np.searchsorted(completions, sample_times) - np.searchsorted(
-            completions, sample_times - self._sample_interval_s
+    @property
+    def tenant_names(self) -> list[str]:
+        """Tenant names, in registration order."""
+        return [t.name for t in self._specs]
+
+    def run(self) -> MultiTenantResult:
+        """Drive every tenant's traffic pattern through the shared event heap."""
+        probe = _ClusterProbe(self._cluster)
+        results = _drive(
+            self._cluster,
+            self._runtimes,
+            [tenant.pattern for tenant in self._specs],
+            probe=probe,
         )
-        return counts / self._sample_interval_s
-
-    def _p95_series(self, tracker: LatencyTracker, sample_times: np.ndarray) -> np.ndarray:
-        completions = tracker.completion_times
-        order = np.argsort(completions, kind="stable")
-        sorted_completions = completions[order]
-        sorted_latencies = (tracker.latencies_s * 1000.0)[order]
-        window = max(self._sample_interval_s, 30.0)
-        # Each window is (end - window, end]; one sort plus two binary
-        # searches per sample replaces a full boolean mask per sample.
-        hi = np.searchsorted(sorted_completions, sample_times, side="right")
-        lo = np.searchsorted(sorted_completions, sample_times - window, side="right")
-        series = np.zeros_like(sample_times)
-        for index in range(sample_times.size):
-            if hi[index] > lo[index]:
-                series[index] = float(
-                    np.percentile(sorted_latencies[lo[index] : hi[index]], 95)
-                )
-        return series
+        return MultiTenantResult(
+            tenants={result.tenant: result for result in results},
+            cluster_series=probe.series(),
+        )

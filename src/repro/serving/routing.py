@@ -53,6 +53,7 @@ __all__ = [
     "ROUTING_POLICIES",
     "make_routing_policy",
     "routing_policy_names",
+    "resolve_routing_names",
 ]
 
 
@@ -224,6 +225,26 @@ ROUTING_POLICIES: dict[str, type[RoutingPolicy]] = {
 def routing_policy_names() -> list[str]:
     """Registered policy names, in registration order."""
     return list(ROUTING_POLICIES)
+
+
+def resolve_routing_names(names: str | Sequence[str]) -> list[str]:
+    """Normalise a routing-policy selection to a validated list of names.
+
+    Accepts ``"all"``, a comma-separated string, or a sequence of names;
+    raises :class:`ValueError` naming the offender and the valid choices.
+    """
+    if isinstance(names, str):
+        names = (
+            routing_policy_names() if names == "all" else [n.strip() for n in names.split(",")]
+        )
+    resolved = [name for name in names if name]
+    if not resolved:
+        raise ValueError("at least one routing policy name is required")
+    for name in resolved:
+        if name not in ROUTING_POLICIES:
+            known = ", ".join(routing_policy_names())
+            raise ValueError(f"unknown routing policy {name!r}; choose from {known}")
+    return resolved
 
 
 def make_routing_policy(policy: str | RoutingPolicy) -> RoutingPolicy:

@@ -23,7 +23,7 @@ Builders:
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -38,6 +38,7 @@ __all__ = [
     "SCENARIOS",
     "build_scenario",
     "scenario_names",
+    "resolve_scenario_names",
 ]
 
 
@@ -241,6 +242,24 @@ SCENARIOS: dict[str, Callable[[float, float, float, int], TrafficPattern]] = {
 def scenario_names() -> list[str]:
     """Registered scenario names, in registration order."""
     return list(SCENARIOS)
+
+
+def resolve_scenario_names(names: str | Sequence[str]) -> list[str]:
+    """Normalise a scenario selection to a validated list of registry names.
+
+    Accepts ``"all"``, a comma-separated string, or a sequence of names;
+    raises :class:`ValueError` naming the offender and the valid choices.
+    """
+    if isinstance(names, str):
+        names = scenario_names() if names == "all" else [n.strip() for n in names.split(",")]
+    resolved = [name for name in names if name]
+    if not resolved:
+        raise ValueError("at least one scenario name is required")
+    for name in resolved:
+        if name not in SCENARIOS:
+            known = ", ".join(scenario_names())
+            raise ValueError(f"unknown scenario {name!r}; choose from {known}")
+    return resolved
 
 
 def build_scenario(

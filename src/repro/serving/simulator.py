@@ -16,6 +16,10 @@ sluggish reaction to traffic changes comes from.
 routing policy it reproduces the historical simulator's results exactly.
 Pass ``routing`` to select another policy from
 :data:`repro.serving.routing.ROUTING_POLICIES`.
+
+To co-locate several models with different SLAs on one shared node pool, use
+:class:`~repro.serving.engine.MultiTenantEngine` directly: a single-tenant
+multi-tenant run reproduces this simulator bit-for-bit for the same seed.
 """
 
 from __future__ import annotations

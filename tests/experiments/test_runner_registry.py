@@ -1,0 +1,50 @@
+"""Golden smoke test: every registered experiment runs and returns sane data."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+
+
+@pytest.fixture(scope="module")
+def all_results():
+    return run_all()
+
+
+class TestRegistry:
+    def test_run_all_covers_every_registered_experiment(self, all_results):
+        assert set(all_results) == set(EXPERIMENTS)
+
+    def test_every_result_is_well_formed(self, all_results):
+        for experiment_id, result in all_results.items():
+            assert isinstance(result, ExperimentResult), experiment_id
+            assert result.experiment_id == experiment_id
+            assert result.title
+            assert result.rows, f"{experiment_id} returned no rows"
+
+    def test_every_summary_value_is_finite(self, all_results):
+        for experiment_id, result in all_results.items():
+            assert result.summary, f"{experiment_id} has an empty summary"
+            for key, value in result.summary.items():
+                assert math.isfinite(float(value)), f"{experiment_id}.{key} = {value}"
+
+    def test_every_row_renders_and_numeric_cells_are_finite(self, all_results):
+        for experiment_id, result in all_results.items():
+            assert result.to_table()
+            for row in result.rows:
+                for key, value in row.items():
+                    if isinstance(value, (int, float)):
+                        assert math.isfinite(float(value)), f"{experiment_id}: {key}={value}"
+
+    def test_multitenant_experiment_is_registered(self, all_results):
+        result = all_results["multitenant"]
+        assert {"tenant", "sla_violations"} <= set(result.rows[0])
+        assert result.summary["tenants"] == 3.0
+
+    def test_unknown_experiment_id_lists_known_ids(self):
+        with pytest.raises(KeyError, match="fig13"):
+            run_experiment("fig99")

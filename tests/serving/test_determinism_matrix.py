@@ -1,0 +1,120 @@
+"""Determinism matrix: same seed => byte-identical results, everywhere.
+
+Three layers of the guarantee:
+
+* every (scenario x routing policy) pair run twice with the same seed gives
+  byte-identical summaries and series;
+* the multi-tenant engine is equally deterministic with interleaved tenants;
+* a sweep merged from parallel workers is byte-identical to the serial run
+  (and `python -m repro sweep` prints identical output for any worker count).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.cli import main
+from repro.core.planner import ElasticRecPlanner
+from repro.hardware.specs import cpu_only_cluster
+from repro.model.configs import microbenchmark
+from repro.serving.engine import MultiTenantEngine, ServingEngine, TenantSpec
+from repro.serving.routing import routing_policy_names
+from repro.serving.scenarios import build_scenario, scenario_names
+from repro.experiments.sweeps import SweepConfig, run_sweep
+
+MATRIX = list(itertools.product(scenario_names(), routing_policy_names()))
+
+
+@pytest.fixture(scope="module")
+def plan():
+    cluster = cpu_only_cluster(num_nodes=4)
+    return ElasticRecPlanner(cluster).plan(microbenchmark(num_tables=2), target_qps=30.0)
+
+
+class TestScenarioRoutingMatrix:
+    @pytest.mark.parametrize("scenario,routing", MATRIX)
+    def test_same_seed_same_summary(self, plan, scenario, routing):
+        pattern = build_scenario(scenario, 8.0, 24.0, 120.0, seed=11)
+        runs = [
+            ServingEngine(plan, routing=routing, autoscale=False, seed=11).run(pattern)
+            for _ in range(2)
+        ]
+        assert repr(runs[0].summary()) == repr(runs[1].summary())
+        for name in ("sample_times", "target_qps", "achieved_qps", "memory_gb",
+                     "p95_latency_ms"):
+            assert getattr(runs[0], name).tobytes() == getattr(runs[1], name).tobytes()
+
+    @pytest.mark.parametrize("routing", routing_policy_names())
+    def test_different_seeds_differ(self, plan, routing):
+        pattern = build_scenario("flash-crowd", 8.0, 24.0, 120.0)
+        first = ServingEngine(plan, routing=routing, autoscale=False, seed=0).run(pattern)
+        second = ServingEngine(plan, routing=routing, autoscale=False, seed=1).run(pattern)
+        assert first.tracker.num_samples != second.tracker.num_samples
+
+
+class TestMultiTenantMatrix:
+    @pytest.mark.parametrize("routing", routing_policy_names())
+    def test_interleaved_tenants_deterministic(self, plan, routing):
+        def build():
+            tenants = [
+                TenantSpec(
+                    "a", plan, build_scenario("diurnal", 8, 20, 180.0), routing=routing, seed=0
+                ),
+                TenantSpec(
+                    "b",
+                    plan,
+                    build_scenario("flash-crowd", 8, 20, 180.0, seed=1),
+                    routing=routing,
+                    seed=1,
+                ),
+            ]
+            return MultiTenantEngine(tenants, cluster_spec=cpu_only_cluster(num_nodes=2))
+
+        assert repr(build().run().summary()) == repr(build().run().summary())
+
+
+SWEEP_CONFIG = SweepConfig(
+    workload="RM1",
+    num_tables=2,
+    num_nodes=4,
+    base_qps=8.0,
+    peak_qps=24.0,
+    duration_s=120.0,
+    seed=13,
+)
+SWEEP_GRID = dict(
+    scenarios=["constant", "flash-crowd"],
+    routings=["least-work", "round-robin", "power-of-two"],
+    replica_budgets=[4, 32],
+)
+
+
+class TestSweepDeterminism:
+    def test_serial_and_parallel_sweeps_identical(self):
+        serial = run_sweep(SWEEP_CONFIG, workers=1, **SWEEP_GRID)
+        parallel = run_sweep(SWEEP_CONFIG, workers=4, **SWEEP_GRID)
+        assert len(serial.rows) == 12
+        assert serial.rows == parallel.rows
+        assert serial.digest() == parallel.digest()
+
+    def test_cell_seeds_do_not_depend_on_worker_count(self):
+        serial = run_sweep(SWEEP_CONFIG, workers=1, **SWEEP_GRID)
+        parallel = run_sweep(SWEEP_CONFIG, workers=3, **SWEEP_GRID)
+        assert [c.seed for c in serial.cells] == [c.seed for c in parallel.cells]
+
+    def test_cli_sweep_output_identical_across_worker_counts(self, capsys):
+        argv = [
+            "sweep", "RM1", "--num-tables", "2", "--num-nodes", "4",
+            "--scenarios", "constant,flash-crowd",
+            "--routings", "least-work,round-robin,power-of-two",
+            "--replica-budgets", "4,32",
+            "--base-qps", "8", "--peak-qps", "24", "--duration-s", "90",
+        ]
+        assert main(argv + ["--workers", "1"]) == 0
+        serial_output = capsys.readouterr().out
+        assert main(argv + ["--workers", "4"]) == 0
+        parallel_output = capsys.readouterr().out
+        assert serial_output == parallel_output
+        assert serial_output.count("\n") > 12

@@ -1,0 +1,186 @@
+"""Tests for the multi-tenant cluster simulation subsystem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.planner import ElasticRecPlanner
+from repro.hardware.specs import cpu_only_cluster
+from repro.model.configs import microbenchmark
+from repro.serving.engine import MultiTenantEngine, ServingEngine, TenantSpec
+from repro.serving.scenarios import build_scenario
+from repro.serving.simulator import ServingSimulator
+from repro.serving.traffic import TrafficPattern
+
+
+@pytest.fixture(scope="module")
+def plan():
+    cluster = cpu_only_cluster(num_nodes=4)
+    return ElasticRecPlanner(cluster).plan(microbenchmark(num_tables=2), target_qps=30.0)
+
+
+@pytest.fixture(scope="module")
+def pattern():
+    return TrafficPattern.constant(25.0, duration_s=240.0)
+
+
+def three_tenants(plan, duration_s=240.0):
+    return [
+        TenantSpec(
+            "alpha", plan, build_scenario("diurnal", 10, 30, duration_s), seed=0
+        ),
+        TenantSpec(
+            "beta",
+            plan,
+            build_scenario("flash-crowd", 8, 30, duration_s, seed=1),
+            routing="power-of-two",
+            seed=1,
+        ),
+        TenantSpec(
+            "gamma",
+            plan,
+            build_scenario("constant", 12, 12, duration_s),
+            routing="least-outstanding",
+            seed=2,
+            sla_s=0.3,
+        ),
+    ]
+
+
+class TestSingleTenantParity:
+    def test_reproduces_serving_simulator_bit_for_bit(self, plan, pattern):
+        facade = ServingSimulator(plan, seed=3).run(pattern)
+        multi = MultiTenantEngine([TenantSpec("only", plan, pattern, seed=3)]).run()
+        result = multi.tenant("only")
+        assert repr(result.summary()) == repr(facade.summary())
+        for name in ("sample_times", "target_qps", "achieved_qps", "memory_gb",
+                     "p95_latency_ms"):
+            assert getattr(result, name).tobytes() == getattr(facade, name).tobytes()
+        assert result.replica_counts.keys() == facade.replica_counts.keys()
+        for key in result.replica_counts:
+            assert result.replica_counts[key].tobytes() == facade.replica_counts[key].tobytes()
+
+    def test_parity_holds_for_every_routing_policy(self, plan, pattern):
+        for routing in ("round-robin", "power-of-two", "least-outstanding"):
+            engine = ServingEngine(plan, routing=routing, autoscale=False, seed=5)
+            single = engine.run(pattern)
+            multi = MultiTenantEngine(
+                [TenantSpec("only", plan, pattern, routing=routing, autoscale=False, seed=5)]
+            ).run()
+            assert repr(multi.tenant("only").summary()) == repr(single.summary()), routing
+
+
+class TestMultiTenantRun:
+    @pytest.fixture(scope="class")
+    def result(self, plan):
+        return MultiTenantEngine(
+            three_tenants(plan), cluster_spec=cpu_only_cluster(num_nodes=3)
+        ).run()
+
+    def test_every_tenant_reports_series_and_summary(self, result):
+        assert set(result.tenants) == {"alpha", "beta", "gamma"}
+        for tenant in result.tenants.values():
+            assert tenant.tracker.num_samples > 0
+            assert tenant.sample_times.size == tenant.achieved_qps.size
+            assert all(np.isfinite(v) for v in tenant.summary().values())
+
+    def test_deployments_are_namespaced_per_tenant(self, result):
+        for name, tenant in result.tenants.items():
+            assert all(key.startswith(f"{name}/") for key in tenant.replica_counts)
+            assert set(tenant.utilization) == set(tenant.replica_counts)
+
+    def test_sla_report_covers_every_tenant(self, result):
+        rows = result.sla_report()
+        assert [row["tenant"] for row in rows] == ["alpha", "beta", "gamma"]
+        gamma = rows[2]
+        assert gamma["sla_ms"] == pytest.approx(300.0)
+        assert 0.0 <= gamma["sla_violation_fraction"] <= 1.0
+        assert result.worst_tenant() in result.tenants
+
+    def test_cluster_series_tracks_pool_pressure(self, result):
+        series = result.cluster_series
+        assert series.sample_times.size > 0
+        assert series.memory_gb.size == series.sample_times.size
+        assert 0.0 <= series.mean_memory_utilization <= 1.0
+        assert series.peak_memory_gb >= max(
+            t.peak_memory_gb for t in result.tenants.values()
+        ) - 1e-9
+        assert (np.diff(series.sample_times) > 0).all()
+
+    def test_summary_is_deterministic_for_seed(self, plan, result):
+        again = MultiTenantEngine(
+            three_tenants(plan), cluster_spec=cpu_only_cluster(num_nodes=3)
+        ).run()
+        assert repr(again.summary()) == repr(result.summary())
+
+
+class TestSharedPoolContention:
+    def test_tight_pool_queues_pending_placements(self, plan):
+        tenants = three_tenants(plan)
+        tight = MultiTenantEngine(tenants, cluster_spec=cpu_only_cluster(num_nodes=1)).run()
+        roomy = MultiTenantEngine(tenants, cluster_spec=cpu_only_cluster(num_nodes=8)).run()
+        assert (
+            tight.cluster_series.peak_pending_placements
+            >= roomy.cluster_series.peak_pending_placements
+        )
+        assert tight.cluster_series.peak_pending_placements > 0
+
+    def test_contended_tenants_violate_more(self, plan):
+        tenants = three_tenants(plan)
+        tight = MultiTenantEngine(tenants, cluster_spec=cpu_only_cluster(num_nodes=1)).run()
+        roomy = MultiTenantEngine(tenants, cluster_spec=cpu_only_cluster(num_nodes=8)).run()
+        tight_violations = sum(t.sla_violation_count() for t in tight.tenants.values())
+        roomy_violations = sum(t.sla_violation_count() for t in roomy.tenants.values())
+        assert tight_violations >= roomy_violations
+
+    def test_replica_budget_caps_scaling(self, plan):
+        duration = TrafficPattern.constant(40.0, duration_s=300.0)
+        capped = MultiTenantEngine(
+            [TenantSpec("t", plan, duration, seed=0, max_replicas=1)]
+        ).run()
+        free = MultiTenantEngine(
+            [TenantSpec("t", plan, duration, seed=0, max_replicas=64)]
+        ).run()
+        capped_peak = max(v.max() for v in capped.tenant("t").replica_counts.values())
+        free_peak = max(v.max() for v in free.tenant("t").replica_counts.values())
+        assert capped_peak == 1
+        assert free_peak > 1
+
+
+class TestZeroTrafficTenant:
+    def test_idle_tenant_coexists_with_a_busy_one(self, plan):
+        tenants = [
+            TenantSpec("busy", plan, TrafficPattern.constant(20.0, 180.0), seed=0),
+            TenantSpec("idle", plan, TrafficPattern.constant(0.0, 180.0), seed=1),
+        ]
+        result = MultiTenantEngine(tenants).run()
+        idle = result.tenant("idle")
+        assert idle.tracker.num_samples == 0
+        assert idle.summary()["total_queries"] == 0.0
+        assert idle.mean_latency_ms == 0.0
+        assert result.tenant("busy").tracker.num_samples > 0
+
+
+class TestValidation:
+    def test_rejects_empty_tenant_list(self):
+        with pytest.raises(ValueError):
+            MultiTenantEngine([])
+
+    def test_rejects_duplicate_tenant_names(self, plan, pattern):
+        tenants = [
+            TenantSpec("same", plan, pattern, seed=0),
+            TenantSpec("same", plan, pattern, seed=1),
+        ]
+        with pytest.raises(ValueError):
+            MultiTenantEngine(tenants)
+
+    def test_tenant_spec_validation(self, plan, pattern):
+        with pytest.raises(ValueError):
+            TenantSpec("", plan, pattern)
+        with pytest.raises(ValueError):
+            TenantSpec("t", plan, pattern, sla_s=0.0)
+        with pytest.raises(ValueError):
+            TenantSpec("t", plan, pattern, sample_interval_s=0.0)
+        with pytest.raises(ValueError):
+            TenantSpec("t", plan, pattern, max_replicas=0)

@@ -33,11 +33,55 @@ class TestRPCModel:
     def test_validation(self):
         with pytest.raises(ValueError):
             RPCModel(network_gbps=0)
+        with pytest.raises(ValueError):
+            RPCModel(network_gbps=10, per_call_overhead_s=-0.001)
         rpc = RPCModel(network_gbps=10)
         with pytest.raises(ValueError):
             rpc.call_latency(-1)
         with pytest.raises(ValueError):
             rpc.fanout_latency(10, -1)
+
+
+class TestRPCLatencyComposition:
+    def test_call_latency_is_overhead_plus_transfer(self):
+        rpc = RPCModel(network_gbps=8.0, per_call_overhead_s=0.002)
+        payload = 1e6
+        transfer = payload * 8.0 / (8.0 * 1e9)
+        assert rpc.call_latency(payload) == pytest.approx(0.002 + transfer)
+        # The transfer term scales linearly with the payload.
+        assert rpc.call_latency(2 * payload) - rpc.call_latency(payload) == pytest.approx(
+            transfer
+        )
+        # A zero-byte call still pays the fixed per-call overhead.
+        assert rpc.call_latency(0.0) == pytest.approx(0.002)
+
+    def test_fanout_adds_the_per_call_issue_cost(self):
+        rpc = RPCModel(network_gbps=10.0, per_call_overhead_s=0.001)
+        one = rpc.fanout_latency(500.0, 1)
+        assert one == pytest.approx(rpc.call_latency(500.0))
+        for num_calls in (2, 10, 40):
+            expected = rpc.call_latency(500.0) + 0.0001 * (num_calls - 1)
+            assert rpc.fanout_latency(500.0, num_calls) == pytest.approx(expected)
+
+    def test_query_overhead_composes_outbound_and_inbound_fanouts(self):
+        rpc = RPCModel(network_gbps=10.0, per_call_overhead_s=0.0015)
+        request_bytes, response_bytes, shards = 20_000.0, 4_096.0, 8
+        expected = rpc.fanout_latency(request_bytes, shards) + rpc.fanout_latency(
+            response_bytes, shards
+        )
+        assert rpc.query_overhead(shards, request_bytes, response_bytes) == pytest.approx(
+            expected
+        )
+
+    def test_query_overhead_with_no_shards_is_free(self):
+        rpc = RPCModel(network_gbps=10.0)
+        assert rpc.query_overhead(0, 1e6, 1e6) == 0.0
+
+    def test_more_shards_and_slower_network_cost_more(self):
+        fast = RPCModel(network_gbps=32.0)
+        slow = RPCModel(network_gbps=1.0)
+        assert slow.query_overhead(8, 1e5, 1e5) > fast.query_overhead(8, 1e5, 1e5)
+        assert fast.query_overhead(16, 1e5, 1e5) > fast.query_overhead(2, 1e5, 1e5)
 
 
 class TestLatencyTracker:

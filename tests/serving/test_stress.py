@@ -37,3 +37,40 @@ class TestFindQPSMax:
             find_qps_max(0.05, knee_factor=1.0)
         with pytest.raises(ValueError):
             find_qps_max(0.05, num_steps=1)
+
+
+class TestFindQPSMaxEdgeCases:
+    def test_knee_at_the_first_probe_reports_the_lowest_rate(self):
+        # With a knee barely above the service time even the lightest probe
+        # exceeds it (~30% of arrivals queue), so the fallback is rates[0].
+        result = find_qps_max(
+            service_time_s=0.5, knee_factor=1.0001, duration_s=120.0, seed=0
+        )
+        assert result.qps_max == result.tested_rates[0]
+        assert all(p95 > result.knee_latency_s for p95 in result.p95_latencies_s)
+
+    def test_ramp_is_monotone_and_saturates_past_the_knee(self):
+        result = find_qps_max(service_time_s=0.05, duration_s=90.0, num_steps=10)
+        rates = list(result.tested_rates)
+        assert len(rates) == 10
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+        assert result.qps_max in rates
+        # The ramp deliberately overshoots saturation (1.2x the ideal rate),
+        # so the final probe must sit beyond the knee.
+        assert result.p95_latencies_s[-1] > result.knee_latency_s
+        assert rates[-1] == pytest.approx(1.2 / 0.05)
+
+    def test_zero_traffic_probes_report_the_bare_service_time(self):
+        # A duration so short that every probe draws zero arrivals: each p95
+        # degenerates to the service time, which always sits below the knee.
+        result = find_qps_max(service_time_s=0.05, duration_s=1e-9, seed=0)
+        assert all(p95 == pytest.approx(0.05) for p95 in result.p95_latencies_s)
+        assert result.qps_max == result.tested_rates[-1]
+
+    def test_zero_rate_pattern_generates_no_arrivals(self):
+        import numpy as np
+
+        from repro.serving.traffic import TrafficPattern
+
+        arrivals = TrafficPattern.constant(0.0, 60.0).arrivals(np.random.default_rng(0))
+        assert arrivals.size == 0

@@ -37,9 +37,16 @@ class TestParser:
         assert args.strategy == "both"
         assert args.duration_s == 300.0
 
-    def test_simulate_rejects_unknown_policy(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["simulate", "RM1", "--routing", "random-walk"])
+    def test_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["sweep", "RM1", "--scenarios", "constant,diurnal", "--routings", "all",
+             "--replica-budgets", "2,8", "--workers", "4", "--duration-s", "120"]
+        )
+        assert args.command == "sweep"
+        assert args.scenarios == "constant,diurnal"
+        assert args.routings == "all"
+        assert args.replica_budgets == "2,8"
+        assert args.workers == 4
 
 
 class TestCommands:
@@ -81,3 +88,54 @@ class TestCommands:
         assert "'ramp-and-hold' traffic" in output
         assert "round-robin" in output
         assert "elasticrec" in output
+
+    def test_sweep_command_output(self, capsys):
+        assert main(
+            ["sweep", "RM1", "--num-tables", "2", "--num-nodes", "4",
+             "--scenarios", "constant", "--routings", "least-work,round-robin",
+             "--replica-budgets", "4", "--base-qps", "8", "--peak-qps", "24",
+             "--duration-s", "90"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "sweep of RM1 (2 cells" in output
+        assert "least-work" in output and "round-robin" in output
+        assert "summary:" in output and "digest=" in output
+
+
+class TestUnknownNameHints:
+    """Unknown --scenario/--routing exit non-zero with a one-line hint."""
+
+    def _exit_message(self, argv) -> str:
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code not in (0, None)
+        return str(excinfo.value)
+
+    def test_simulate_unknown_scenario(self):
+        message = self._exit_message(["simulate", "RM1", "--scenario", "tsunami"])
+        assert "unknown scenario 'tsunami'" in message
+        assert "flash-crowd" in message and "\n" not in message
+
+    def test_simulate_unknown_routing(self):
+        message = self._exit_message(["simulate", "RM1", "--routing", "random-walk"])
+        assert "unknown routing policy 'random-walk'" in message
+        assert "least-work" in message and "\n" not in message
+
+    def test_sweep_unknown_scenario(self):
+        message = self._exit_message(["sweep", "RM1", "--scenarios", "constant,tsunami"])
+        assert "unknown scenario 'tsunami'" in message
+        assert "diurnal" in message and "\n" not in message
+
+    def test_sweep_unknown_routing(self):
+        message = self._exit_message(["sweep", "RM1", "--routings", "random-walk"])
+        assert "unknown routing policy 'random-walk'" in message
+        assert "power-of-two" in message and "\n" not in message
+
+    def test_sweep_bad_replica_budgets(self):
+        message = self._exit_message(["sweep", "RM1", "--replica-budgets", "4,0"])
+        assert "replica-budgets" in message
+
+    def test_negative_seed_rejected_without_traceback(self):
+        for argv in (["simulate", "RM1", "--seed", "-1"], ["sweep", "RM1", "--seed", "-1"]):
+            message = self._exit_message(argv)
+            assert "seed must be non-negative" in message
