@@ -1,0 +1,103 @@
+"""Benchmark the heterogeneous query-cost path of the serving engine.
+
+Three checks:
+
+* sampling — drawing 100k per-query cost multipliers from the skewed model
+  (profile-pool sampling over a 20M-row Zipf table) must be a sub-second,
+  vectorised operation;
+* engine overhead — a 100k-query skewed run must stay within ~1.2x of the
+  homogeneous engine's wall-clock: the cost model adds one pre-sampled
+  multiplier lookup per query, not per-query distribution draws;
+* fidelity — the homogeneous compatibility mode must keep reproducing the
+  seed simulator's golden summary while the skewed mode serves the exact
+  same arrival process (same query count, different tail).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.planner import ElasticRecPlanner
+from repro.hardware.specs import cpu_only_cluster
+from repro.model.configs import rm1
+from repro.serving.engine import ServingEngine
+from repro.serving.traffic import paper_dynamic_pattern
+from repro.serving.workload import make_cost_model
+
+# summary() of the pre-engine (seed) simulator for the reduced Figure 19
+# ElasticRec run below with seed 0 (same golden values as
+# bench_simulator_engine.py).
+SEED_FIG19_TOTAL_QUERIES = 43898.0
+
+#: Acceptance bound: skewed run wall-clock over homogeneous run wall-clock.
+MAX_SLOWDOWN = 1.2
+
+
+def _reduced_plan():
+    cluster = cpu_only_cluster(num_nodes=8)
+    workload = rm1().scaled_tables(4).with_name("RM1-reduced")
+    return ElasticRecPlanner(cluster).plan(workload, 18.0)
+
+
+def test_bench_cost_sampling_100k(benchmark):
+    """Vectorised sampling of 100k multipliers from the 20M-row skewed model."""
+    model = make_cost_model("skewed", rm1())
+
+    def run():
+        return model.sample(100_000, np.random.default_rng(0))
+
+    multipliers = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert multipliers.shape == (100_000,)
+    assert float(multipliers.mean()) == pytest.approx(1.0, abs=0.1)
+    benchmark.extra_info["multiplier_cv"] = round(float(np.std(multipliers)), 4)
+    assert benchmark.stats.stats.mean < 1.0, "sampling 100k multipliers must be sub-second"
+
+
+def test_bench_skewed_within_1p2x_of_homogeneous(benchmark):
+    """A 100k-query skewed run stays within ~1.2x of the homogeneous engine."""
+    pattern = paper_dynamic_pattern(base_qps=60.0, peak_qps=220.0, duration_s=900.0)
+    assert pattern.expected_queries() > 100_000
+    timings: dict[str, float] = {}
+    results: dict[str, object] = {}
+
+    def run_both():
+        for cost_model in ("homogeneous", "skewed"):
+            start = time.perf_counter()
+            engine = ServingEngine(_reduced_plan(), seed=0, cost_model=cost_model)
+            results[cost_model] = engine.run(pattern)
+            timings[cost_model] = time.perf_counter() - start
+        return timings
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1, warmup_rounds=1)
+    slowdown = timings["skewed"] / timings["homogeneous"]
+    benchmark.extra_info["homogeneous_s"] = round(timings["homogeneous"], 3)
+    benchmark.extra_info["skewed_s"] = round(timings["skewed"], 3)
+    benchmark.extra_info["slowdown"] = round(slowdown, 3)
+    for cost_model, result in results.items():
+        assert result.tracker.num_samples > 100_000, cost_model
+    # Same arrival process: the cost model must not perturb the query count.
+    assert (
+        results["skewed"].tracker.num_samples == results["homogeneous"].tracker.num_samples
+    )
+    assert slowdown < MAX_SLOWDOWN, (
+        f"skewed run took {slowdown:.2f}x the homogeneous run "
+        f"(bound {MAX_SLOWDOWN}x)"
+    )
+
+
+def test_bench_homogeneous_keeps_golden_query_count(benchmark):
+    """The compatibility mode still reproduces the seed simulator's run."""
+    pattern = paper_dynamic_pattern(base_qps=18.0, peak_qps=90.0, duration_s=900.0)
+
+    def run():
+        engine = ServingEngine(
+            _reduced_plan(), seed=0, cost_model="homogeneous", max_batch=1
+        )
+        return engine.run(pattern)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert result.tracker.num_samples == SEED_FIG19_TOTAL_QUERIES
+    benchmark.extra_info["queries"] = result.tracker.num_samples

@@ -14,6 +14,9 @@ Usage (also available as ``python -m repro``):
 ``python -m repro simulate RM1 --scenario flash-crowd --routing power-of-two``
     Serve a planned deployment under a named traffic scenario with a chosen
     replica-routing policy and print the run's headline aggregates.
+    ``--cost-model skewed`` samples heterogeneous per-query gather costs from
+    the workload's access distribution; ``--max-batch N`` lets replicas
+    coalesce queued queries into batches of up to ``N``.
 
 ``python -m repro sweep RM1 --scenarios constant,flash-crowd --routings all --workers 4``
     Fan a scenario × routing × replica-budget grid across worker processes
@@ -29,6 +32,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro._version import __version__
 from repro.analysis.cost import servers_required
 from repro.analysis.memory import memory_breakdown
 from repro.analysis.report import format_table
@@ -40,6 +44,7 @@ from repro.model.configs import DLRMConfig, workload_presets
 from repro.serving.engine import ServingEngine
 from repro.serving.routing import resolve_routing_names, routing_policy_names
 from repro.serving.scenarios import build_scenario, resolve_scenario_names, scenario_names
+from repro.serving.workload import cost_model_names
 
 __all__ = ["main", "build_parser"]
 
@@ -79,11 +84,25 @@ def _resolve_cluster(system: str, num_nodes: int | None) -> ClusterSpec:
     return cluster
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for integer options that must be at least 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="ElasticRec reproduction: deployment planning and figure regeneration.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -132,6 +151,18 @@ def build_parser() -> argparse.ArgumentParser:
         default="elasticrec",
         help="deployment strategy to simulate",
     )
+    simulate.add_argument(
+        "--cost-model",
+        choices=tuple(cost_model_names()),
+        default="homogeneous",
+        help="per-query cost model (homogeneous reproduces the legacy engine exactly)",
+    )
+    simulate.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=1,
+        help="queries one replica may coalesce into a batch (default: 1, no batching)",
+    )
     simulate.add_argument("--base-qps", type=float, default=18.0, help="baseline query rate")
     simulate.add_argument("--peak-qps", type=float, default=90.0, help="peak query rate")
     simulate.add_argument(
@@ -168,6 +199,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--replica-budgets",
         default="4,16,64",
         help="comma-separated per-deployment replica caps",
+    )
+    sweep.add_argument(
+        "--cost-model",
+        choices=tuple(cost_model_names()),
+        default="homogeneous",
+        help="per-query cost model applied to every cell",
+    )
+    sweep.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=1,
+        help="per-replica batch cap applied to every cell (default: 1)",
     )
     sweep.add_argument("--workers", type=int, default=1, help="worker processes")
     sweep.add_argument("--base-qps", type=float, default=18.0, help="baseline query rate")
@@ -254,7 +297,11 @@ def _command_simulate(args: argparse.Namespace) -> int:
     rows = []
     for strategy in strategies:
         engine = ServingEngine(
-            planners[strategy](), routing=args.routing, seed=args.seed
+            planners[strategy](),
+            routing=args.routing,
+            seed=args.seed,
+            cost_model=args.cost_model,
+            max_batch=args.max_batch,
         )
         result = engine.run(pattern)
         summary = result.summary()
@@ -262,6 +309,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
             {
                 "strategy": strategy,
                 "routing": result.routing,
+                "cost_model": result.cost_model,
                 "peak_memory_gb": summary["peak_memory_gb"],
                 "mean_latency_ms": summary["mean_latency_ms"],
                 "p95_latency_ms": summary["p95_latency_ms"],
@@ -303,6 +351,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
         peak_qps=args.peak_qps,
         duration_s=args.duration_s,
         seed=args.seed,
+        cost_model=args.cost_model,
+        max_batch=args.max_batch,
     )
     result = run_sweep(
         config,

@@ -21,6 +21,7 @@ from repro.experiments import (
     fig20,
     headline,
     multitenant,
+    skew_sensitivity,
 )
 from repro.experiments.base import ExperimentResult
 
@@ -44,6 +45,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "headline": headline.run,
     "ablation": ablation.run,
     "multitenant": multitenant.run,
+    "skew": skew_sensitivity.run,
 }
 
 

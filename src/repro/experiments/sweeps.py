@@ -38,6 +38,7 @@ from repro.model.configs import DLRMConfig, workload_presets
 from repro.serving.engine import MultiTenantEngine, TenantSpec
 from repro.serving.routing import resolve_routing_names
 from repro.serving.scenarios import build_scenario, resolve_scenario_names
+from repro.serving.workload import resolve_cost_model_name
 
 __all__ = [
     "SweepConfig",
@@ -64,6 +65,8 @@ class SweepConfig:
     sample_interval_s: float = 15.0
     seed: int = 0
     autoscale: bool = True
+    cost_model: str = "homogeneous"
+    max_batch: int = 1
 
     def __post_init__(self) -> None:
         if self.tenants < 1:
@@ -74,6 +77,9 @@ class SweepConfig:
             raise ValueError("need 0 <= base_qps <= peak_qps")
         if self.seed < 0:
             raise ValueError("seed must be non-negative")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        resolve_cost_model_name(self.cost_model)
 
 
 @dataclass(frozen=True)
@@ -169,6 +175,8 @@ def run_cell(config: SweepConfig, cell: SweepCell) -> dict[str, float | int | st
                 autoscale=config.autoscale,
                 sample_interval_s=config.sample_interval_s,
                 max_replicas=cell.replica_budget,
+                cost_model=config.cost_model,
+                max_batch=config.max_batch,
             )
         )
     result = MultiTenantEngine(tenants, cluster_spec=plan.cluster).run()

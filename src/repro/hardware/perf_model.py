@@ -22,7 +22,76 @@ from repro.model.analytics import ModelAnalytics
 from repro.model.configs import DLRMConfig
 from repro.hardware.specs import ClusterSpec, PerfCalibration
 
-__all__ = ["PerfModel", "LatencyEstimate"]
+__all__ = ["PerfModel", "LatencyEstimate", "BatchLatencyModel"]
+
+#: Deployment roles understood by the batch latency model.  Mirrors
+#: ``repro.core.plan`` (not imported to keep the layering core -> hardware).
+_BATCH_KINDS = ("dense", "embedding", "monolithic")
+
+
+@dataclass(frozen=True)
+class BatchLatencyModel:
+    """Batch/cost scaling of one deployment's per-replica service time.
+
+    The planner's per-replica latency estimates (``1 / per_replica_qps``) are
+    the *mean*: one query of average cost at batch size one.  This model maps
+    a batch of queries with heterogeneous costs onto a multiple of that mean:
+
+    * ``dense`` — GEMM efficiency grows with batch size, so a batch of ``B``
+      queries costs ``B ** dense_batch_exponent`` means (sub-linear); the
+      per-query cost multipliers are ignored (dense work does not vary with
+      the embedding access pattern);
+    * ``embedding`` — gathers scale per-vector: a batch whose cost
+      multipliers sum to ``M`` costs ``1 + (1 - f) * (M - 1)`` means, where
+      ``f`` is the fixed per-query overhead's share of the single-query
+      latency (amortised once per batch);
+    * ``monolithic`` — dense batching on the batch size times the sparse
+      adjustment on the batch's *mean* multiplier.
+
+    ``factor(1, 1.0)`` is exactly ``1.0`` in floating point for every kind,
+    so a batch-size-one server under the homogeneous cost model reproduces
+    the unbatched service times bit-for-bit.
+    """
+
+    kind: str
+    batch_exponent: float
+    overhead_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in _BATCH_KINDS:
+            raise ValueError(f"kind must be one of {_BATCH_KINDS}, got {self.kind!r}")
+        if not 0 < self.batch_exponent <= 1:
+            raise ValueError("batch_exponent must be in (0, 1]")
+        if not 0 <= self.overhead_fraction < 1:
+            raise ValueError("overhead_fraction must be in [0, 1)")
+
+    def factor(self, batch_size: int, multiplier_sum: float | None = None) -> float:
+        """Service-time multiple of the mean for one batch.
+
+        ``multiplier_sum`` is the sum of the batch members' per-query cost
+        multipliers (mean 1.0 by construction); ``None`` means an
+        average-cost batch (``multiplier_sum == batch_size``).
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        total = float(batch_size) if multiplier_sum is None else float(multiplier_sum)
+        if total <= 0:
+            raise ValueError("multiplier_sum must be positive")
+        if self.kind == "dense":
+            return float(batch_size) ** self.batch_exponent
+        if self.kind == "embedding":
+            return 1.0 + (1.0 - self.overhead_fraction) * (total - 1.0)
+        mean = total / batch_size
+        sparse_adjustment = 1.0 + (1.0 - self.overhead_fraction) * (mean - 1.0)
+        return (float(batch_size) ** self.batch_exponent) * sparse_adjustment
+
+    def latency_for(
+        self, base_latency_s: float, batch_size: int, multiplier_sum: float | None = None
+    ) -> float:
+        """Seconds one replica needs to serve the batch."""
+        if base_latency_s <= 0:
+            raise ValueError("base_latency_s must be positive")
+        return base_latency_s * self.factor(batch_size, multiplier_sum)
 
 
 @dataclass(frozen=True)
@@ -251,6 +320,42 @@ class PerfModel:
         dense = self.dense_qps(config, cores=policy.model_wise_cores)
         sparse = self.sparse_layer_qps(config, cache_latency_reduction)
         return min(dense, sparse) * self._calibration.colocation_interference
+
+    # ------------------------------------------------------------------
+    # Batch-aware serving latency
+    # ------------------------------------------------------------------
+    def batch_model(self, role: str) -> BatchLatencyModel:
+        """The batch/cost scaling model for one deployment role.
+
+        ``role`` is a deployment role as used by
+        :mod:`repro.core.plan`: ``"dense"``, ``"embedding"`` or
+        ``"monolithic"``.
+        """
+        cal = self._calibration
+        return BatchLatencyModel(
+            kind=role,
+            batch_exponent=cal.dense_batch_exponent,
+            overhead_fraction=cal.sparse_batch_overhead_fraction,
+        )
+
+    def latency_for(
+        self,
+        batch_size: int,
+        gathers: float | None = None,
+        *,
+        base_latency_s: float,
+        role: str = "embedding",
+    ) -> float:
+        """Seconds one replica needs to serve a batch of queries.
+
+        ``base_latency_s`` is the planner's mean per-query estimate
+        (``1 / per_replica_qps``); ``gathers`` is the batch's summed
+        per-query gather-cost multiplier (normalised so one average query is
+        1.0; ``None`` means an average-cost batch).  ``latency_for(1, 1.0)``
+        returns ``base_latency_s`` exactly — the planner's estimates are the
+        mean of this distribution.
+        """
+        return self.batch_model(role).latency_for(base_latency_s, batch_size, gathers)
 
     def rpc_overhead_s(self) -> float:
         """Average added latency of ElasticRec's cross-shard RPC communication."""

@@ -146,6 +146,12 @@ class PerfCalibration:
     sparse_query_overhead_s: float = 0.007
     sparse_per_lookup_base_us: float = 5.0
     sparse_random_access_mb_per_s: float = 48.0
+    # Batch execution.  Dense layers batch sub-linearly (GEMM efficiency grows
+    # with batch size); sparse layers scale with the number of gathered
+    # vectors, amortising only the fixed per-query overhead, whose share of
+    # the single-query latency is ``sparse_batch_overhead_fraction``.
+    dense_batch_exponent: float = 0.85
+    sparse_batch_overhead_fraction: float = 0.20
     # Embedding gathers need enough worker threads to expose memory-level
     # parallelism; below this core count the per-lookup cost grows inversely
     # with the container's cores, above it the gathers are bandwidth-bound.
@@ -168,6 +174,10 @@ class PerfCalibration:
             raise ValueError("cpu_dense_reference_cores must be positive")
         if not 0 < self.cpu_dense_parallel_exponent <= 1:
             raise ValueError("cpu_dense_parallel_exponent must be in (0, 1]")
+        if not 0 < self.dense_batch_exponent <= 1:
+            raise ValueError("dense_batch_exponent must be in (0, 1]")
+        if not 0 <= self.sparse_batch_overhead_fraction < 1:
+            raise ValueError("sparse_batch_overhead_fraction must be in [0, 1)")
         if not 0 < self.colocation_interference <= 1:
             raise ValueError("colocation_interference must be in (0, 1]")
         if not 0 <= self.gpu_cache_hit_rate <= 1:

@@ -25,7 +25,15 @@ discrete-event engine with pluggable policies:
   :func:`build_scenario`.
 * :mod:`repro.serving.traffic` — constant / step / Poisson traffic patterns,
   including the paper's Figure 19 profile.
-* :mod:`repro.serving.replica_server` — per-replica FIFO queueing.
+* :mod:`repro.serving.workload` — per-query cost models
+  (``homogeneous``/``skewed``): vectorised, seeded sampling of gather-cost
+  multipliers from the data layer's access distributions, normalised so the
+  planner's estimates stay the mean.  See :data:`COST_MODELS` /
+  :func:`make_cost_model`.
+* :mod:`repro.serving.replica_server` — per-replica FIFO *batch* queueing
+  (``max_batch``, batching window, batch service times from the hardware
+  layer's :class:`~repro.hardware.perf_model.BatchLatencyModel`; the default
+  ``max_batch=1`` reproduces single-query queueing bit-for-bit).
 * :mod:`repro.serving.rpc` — the cross-shard RPC latency model.
 * :mod:`repro.serving.latency` — latency bookkeeping and percentiles.
 * :mod:`repro.serving.simulator` — :class:`ServingSimulator`, the historical
@@ -76,6 +84,14 @@ from repro.serving.scenarios import (
 )
 from repro.serving.simulator import ServingSimulator
 from repro.serving.stress import StressTestResult, find_qps_max
+from repro.serving.workload import (
+    COST_MODELS,
+    HomogeneousCostModel,
+    QueryCostModel,
+    SkewedCostModel,
+    cost_model_names,
+    make_cost_model,
+)
 
 __all__ = [
     "TrafficPattern",
@@ -106,4 +122,10 @@ __all__ = [
     "with_noise",
     "find_qps_max",
     "StressTestResult",
+    "QueryCostModel",
+    "HomogeneousCostModel",
+    "SkewedCostModel",
+    "COST_MODELS",
+    "make_cost_model",
+    "cost_model_names",
 ]

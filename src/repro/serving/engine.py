@@ -32,6 +32,17 @@ single-plan behaviour — same heap contents, same RNG draws — so a
 one-tenant :class:`MultiTenantEngine` reproduces :class:`ServingEngine`
 (and therefore the seed simulator) bit-for-bit for the same seed.
 
+Queries are *heterogeneous*: every run pre-samples one cost multiplier per
+query from the tenant's :class:`~repro.serving.workload.QueryCostModel`
+(vectorised, from a dedicated seed stream), embedding and monolithic
+deployments scale their service times by it, and replicas serve *batches*
+(``max_batch``/``batch_window_s``) whose service times come from the
+hardware layer's :class:`~repro.hardware.perf_model.BatchLatencyModel`.
+Routing policies receive the per-deployment cost hint, enabling
+cost-weighted selection.  The default configuration — ``homogeneous`` cost
+model, ``max_batch=1`` — reproduces the historical constant-service-time
+engine bit-for-bit.
+
 Series post-processing (achieved QPS, windowed p95) is vectorised with a
 single sort plus ``np.searchsorted`` window lookups, replacing the seed
 simulator's per-window boolean masks over the full completion array.
@@ -63,6 +74,7 @@ from repro.serving.latency import LatencyTracker
 from repro.serving.replica_server import ReplicaServer
 from repro.serving.routing import RoutingPolicy, make_routing_policy
 from repro.serving.traffic import TrafficPattern
+from repro.serving.workload import QueryCostModel, make_cost_model
 
 __all__ = [
     "EventKind",
@@ -102,6 +114,11 @@ class SimulationResult:
     routing: str = "least-work"
     tenant: str = ""
     utilization: dict[str, np.ndarray] = field(default_factory=dict)
+    cost_model: str = "homogeneous"
+    max_batch: int = 1
+    #: Per-deployment mean queries-per-batch over each sample interval
+    #: (0.0 where the interval completed no batches).
+    batch_occupancy: dict[str, np.ndarray] = field(default_factory=dict)
 
     @property
     def peak_memory_gb(self) -> float:
@@ -203,9 +220,16 @@ class _TenantRuntime:
         sla_s: float,
         sample_interval_s: float,
         seed: int,
+        cost_model: QueryCostModel | None = None,
+        max_batch: int = 1,
+        batch_window_s: float = 0.0,
     ) -> None:
         if sample_interval_s <= 0:
             raise ValueError("sample_interval_s must be positive")
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be non-negative")
         self.name = name
         self.plan = plan
         self.deployments = list(deployments)
@@ -216,6 +240,11 @@ class _TenantRuntime:
         self.sample_interval_s = float(sample_interval_s)
         self.seed = seed
         self.rng = np.random.default_rng(seed)
+        self.cost_model = (
+            cost_model if cost_model is not None else make_cost_model("homogeneous")
+        )
+        self.max_batch = int(max_batch)
+        self.batch_window_s = float(batch_window_s)
         self.servers: dict[str, dict[str, ReplicaServer]] = {
             d.name: {} for d in self.deployments
         }
@@ -227,6 +256,19 @@ class _TenantRuntime:
         self.rpc_overhead_s = 0.0 if is_monolithic else perf_model.rpc_overhead_s()
         self.dense_roles = {
             d.name: d.spec.role in (ROLE_DENSE, ROLE_MONOLITHIC) for d in self.deployments
+        }
+        # Pure dense shards do not gather embeddings, so per-query cost
+        # multipliers only apply to embedding and monolithic deployments.
+        self.cost_bearing = {
+            d.name: d.spec.role != ROLE_DENSE for d in self.deployments
+        }
+        self.batch_models = {
+            d.name: perf_model.batch_model(d.spec.role) for d in self.deployments
+        }
+        # Batch/query counters of replicas that were scaled away, so interval
+        # occupancy deltas survive server churn.
+        self._retired_totals: dict[str, list[int]] = {
+            d.name: [0, 0] for d in self.deployments
         }
 
     # ------------------------------------------------------------------
@@ -248,10 +290,19 @@ class _TenantRuntime:
                 active_names.add(container.name)
                 if container.name not in servers:
                     ready_at = container.ready_at if container.ready_at is not None else now
-                    servers[container.name] = ReplicaServer(container.name, ready_at=ready_at)
+                    servers[container.name] = ReplicaServer(
+                        container.name,
+                        ready_at=ready_at,
+                        max_batch=self.max_batch,
+                        batch_window_s=self.batch_window_s,
+                        batch_model=self.batch_models[deployment.name],
+                    )
             for name in list(servers):
                 if name not in active_names:
-                    del servers[name]
+                    retired = servers.pop(name)
+                    totals = self._retired_totals[deployment.name]
+                    totals[0] += retired.completed_queries
+                    totals[1] += retired.completed_batches
 
     # ------------------------------------------------------------------
     # Per-run lifecycle
@@ -261,6 +312,16 @@ class _TenantRuntime:
         self.pattern = pattern
         self.arrivals = pattern.arrivals(self.rng)
         self.policy.reset(np.random.default_rng([self.seed, 1]))
+        # Pre-sample every query's cost multiplier, vectorised, from a
+        # dedicated seed stream (the homogeneous model never draws, so it
+        # cannot perturb any other stream of the run).
+        if self.cost_model.is_homogeneous:
+            self.query_multipliers: list[float] | None = None
+        else:
+            cost_rng = np.random.default_rng([self.seed, 2])
+            self.query_multipliers = self.cost_model.sample(
+                self.arrivals.size, cost_rng
+            ).tolist()
         self.tracker = LatencyTracker()
         self.boundaries = np.arange(
             self.sample_interval_s,
@@ -277,6 +338,12 @@ class _TenantRuntime:
         self.interval_latencies: dict[str, list[float]] = {
             d.name: [] for d in self.deployments
         }
+        self.batch_occupancy_series: dict[str, list[float]] = {
+            d.name: [] for d in self.deployments
+        }
+        self._occupancy_marks: dict[str, tuple[int, int]] = {
+            d.name: self._served_totals(d.name) for d in self.deployments
+        }
         # Arrivals after the final sample boundary fall outside every recorded
         # interval and are never served (the seed loop behaved identically).
         self.num_served = (
@@ -286,26 +353,49 @@ class _TenantRuntime:
         )
         self.track_completions = self.policy.needs_completion_events
 
+    def _served_totals(self, deployment_name: str) -> tuple[int, int]:
+        """Lifetime (queries, batches) served by a deployment's replicas."""
+        queries, batches = self._retired_totals[deployment_name]
+        for server in self.servers[deployment_name].values():
+            queries += server.completed_queries
+            batches += server.completed_batches
+        return queries, batches
+
     def serve_query(
         self,
         arrival: float,
+        query_index: int,
         tenant_index: int,
         heap: list | None = None,
         seq: itertools.count | None = None,
     ) -> None:
         """Route one query through every deployment the tenant needs."""
+        multiplier = (
+            1.0 if self.query_multipliers is None else self.query_multipliers[query_index]
+        )
         completions: list[float] = []
         dense_names: list[str] = []
         for deployment in self.deployments:
-            servers = list(self.servers[deployment.name].values())
-            server = self.policy.select(deployment.name, servers, arrival)
+            name = deployment.name
+            servers = list(self.servers[name].values())
+            service = self.service_times[name]
+            cost = multiplier if self.cost_bearing[name] else 1.0
+            server = self.policy.select(name, servers, arrival, cost=(service, cost))
+            self.interval_counts[name] += 1
             if server is None:
-                # No capacity at all: count a full SLA violation.
-                completions.append(arrival + 2.0 * self.sla_s)
+                # No capacity at all: count a full SLA violation.  The
+                # rejection still lands in the interval metrics (count and
+                # latency), so the HPA can see the overload it most needs to
+                # react to.
+                completion = arrival + 2.0 * self.sla_s
+                completions.append(completion)
+                if self.dense_roles[name]:
+                    dense_names.append(name)
+                else:
+                    self.interval_latencies[name].append(completion - arrival)
                 continue
-            service = self.service_times[deployment.name]
-            completion = server.submit(arrival, service)
-            self.policy.on_submit(deployment.name, server)
+            completion = server.submit(arrival, service, multiplier=cost)
+            self.policy.on_submit(name, server)
             if heap is not None:
                 heapq.heappush(
                     heap,
@@ -313,15 +403,14 @@ class _TenantRuntime:
                         completion,
                         EventKind.COMPLETION,
                         next(seq),
-                        (tenant_index, deployment.name, server.name),
+                        (tenant_index, name, server.name),
                     ),
                 )
             completions.append(completion)
-            self.interval_counts[deployment.name] += 1
-            if self.dense_roles[deployment.name]:
-                dense_names.append(deployment.name)
+            if self.dense_roles[name]:
+                dense_names.append(name)
             else:
-                self.interval_latencies[deployment.name].append(completion - arrival)
+                self.interval_latencies[name].append(completion - arrival)
         query_completion = max(completions) + self.rpc_overhead_s
         latency = query_completion - arrival
         # End-to-end latency is what the dense (or monolithic) shard's HPA sees.
@@ -351,6 +440,19 @@ class _TenantRuntime:
             else:
                 utilization = 0.0
             self.utilization_series[deployment.name].append(utilization)
+            queries, batches = self._served_totals(deployment.name)
+            mark_queries, mark_batches = self._occupancy_marks[deployment.name]
+            batch_delta = batches - mark_batches
+            if batch_delta:
+                occupancy = (queries - mark_queries) / batch_delta
+                self._occupancy_marks[deployment.name] = (queries, batches)
+            else:
+                # No batch opened this interval: leave the query mark in
+                # place so queries that joined a straddling batch are
+                # attributed to the next batch-opening interval instead of
+                # being dropped from the occupancy accounting.
+                occupancy = 0.0
+            self.batch_occupancy_series[deployment.name].append(occupancy)
         for name in self.interval_counts:
             self.interval_counts[name] = 0
             self.interval_latencies[name] = []
@@ -371,6 +473,11 @@ class _TenantRuntime:
             routing=self.policy.name,
             tenant=self.name,
             utilization={k: np.asarray(v) for k, v in self.utilization_series.items()},
+            cost_model=self.cost_model.name,
+            max_batch=self.max_batch,
+            batch_occupancy={
+                k: np.asarray(v) for k, v in self.batch_occupancy_series.items()
+            },
         )
 
 
@@ -413,7 +520,9 @@ def _drive(
             if runtime.track_completions:
                 # One event per arrival so completion events interleave
                 # with arrivals in timestamp order.
-                runtime.serve_query(float(runtime.arrivals[index]), tenant_index, heap, seq)
+                runtime.serve_query(
+                    float(runtime.arrivals[index]), index, tenant_index, heap, seq
+                )
                 if index + 1 < runtime.num_served:
                     heapq.heappush(
                         heap,
@@ -431,7 +540,7 @@ def _drive(
                 stop = int(np.searchsorted(runtime.arrivals, horizon, side="right"))
                 stop = min(max(stop, index + 1), runtime.num_served)
                 for i in range(index, stop):
-                    runtime.serve_query(float(runtime.arrivals[i]), tenant_index)
+                    runtime.serve_query(float(runtime.arrivals[i]), i, tenant_index)
                 if stop < runtime.num_served:
                     heapq.heappush(
                         heap,
@@ -478,6 +587,9 @@ class ServingEngine:
         max_replicas: int = 256,
         sample_interval_s: float = 15.0,
         seed: int = 0,
+        cost_model: str | QueryCostModel = "homogeneous",
+        max_batch: int = 1,
+        batch_window_s: float = 0.0,
     ) -> None:
         if sample_interval_s <= 0:
             raise ValueError("sample_interval_s must be positive")
@@ -494,6 +606,9 @@ class ServingEngine:
             sla_s=plan.cluster.sla_s,
             sample_interval_s=sample_interval_s,
             seed=seed,
+            cost_model=make_cost_model(cost_model, plan.workload),
+            max_batch=max_batch,
+            batch_window_s=batch_window_s,
         )
         self._cluster.reconcile(0.0)
         if warm_start:
@@ -540,6 +655,9 @@ class TenantSpec:
     sample_interval_s: float = 15.0
     initial_replicas: int | None = None
     max_replicas: int = 256
+    cost_model: str | QueryCostModel = "homogeneous"
+    max_batch: int = 1
+    batch_window_s: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -550,6 +668,10 @@ class TenantSpec:
             raise ValueError("sla_s must be positive")
         if self.max_replicas <= 0:
             raise ValueError("max_replicas must be positive")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be non-negative")
 
 
 @dataclass
@@ -719,6 +841,9 @@ class MultiTenantEngine:
                     sla_s=tenant.sla_s if tenant.sla_s is not None else tenant.plan.cluster.sla_s,
                     sample_interval_s=tenant.sample_interval_s,
                     seed=tenant.seed,
+                    cost_model=make_cost_model(tenant.cost_model, tenant.plan.workload),
+                    max_batch=tenant.max_batch,
+                    batch_window_s=tenant.batch_window_s,
                 )
             )
         self._cluster.reconcile(0.0)

@@ -1,26 +1,69 @@
-"""Per-replica FIFO queueing."""
+"""Per-replica batch-queue serving.
+
+A replica is a FIFO queue that serves *batches*: queries that queue up behind
+the same busy period coalesce into one batch of up to ``max_batch`` queries
+(optionally held open for ``batch_window_s`` after the first arrival), and
+the whole batch's service time comes from a
+:class:`~repro.hardware.perf_model.BatchLatencyModel` — sub-linear in batch
+size for dense shards, per-gathered-vector for embedding shards.
+
+With the default ``max_batch=1`` every query is its own batch and
+``factor(1, multiplier=1.0) == 1.0`` exactly, so the server reproduces the
+historical single-query FIFO model bit-for-bit: a query submitted at
+``arrival`` completes at ``max(arrival, busy_until, ready_at) +
+service_time``.
+"""
 
 from __future__ import annotations
+
+from repro.hardware.perf_model import BatchLatencyModel
 
 __all__ = ["ReplicaServer"]
 
 
 class ReplicaServer:
-    """A single container replica modelled as a FIFO queue.
+    """A single container replica modelled as a FIFO batch queue.
 
-    Each replica serves one query at a time (its service time already assumes
-    the query uses the whole container's resources, matching how per-replica
-    QPS is defined throughout the planner), so a replica is an M/D/1-style
-    queue: a query submitted at ``arrival`` completes at
-    ``max(arrival, busy_until, ready_at) + service_time``.
+    Each replica serves one batch at a time (service times already assume a
+    query uses the whole container's resources, matching how per-replica QPS
+    is defined throughout the planner).  A query submitted at ``arrival``
+    either joins the batch currently forming (if the batch has room and has
+    not started service yet) or opens a new batch that starts at
+    ``max(arrival, busy_until, ready_at)`` — plus the batching window when
+    one is configured, giving later queries a chance to share the batch.
+
+    Joining a batch extends the batch's completion by the member's
+    incremental cost; every member's recorded completion is the batch
+    completion as of the moment it joined, so completions stay monotone.
     """
 
-    def __init__(self, name: str, ready_at: float = 0.0) -> None:
+    def __init__(
+        self,
+        name: str,
+        ready_at: float = 0.0,
+        max_batch: int = 1,
+        batch_window_s: float = 0.0,
+        batch_model: BatchLatencyModel | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be non-negative")
         self._name = name
         self._ready_at = float(ready_at)
         self._busy_until = float(ready_at)
+        self._max_batch = int(max_batch)
+        self._batch_window_s = float(batch_window_s)
+        self._batch_model = batch_model
         self._completed = 0
+        self._batches = 0
         self._busy_time = 0.0
+        # Forming-batch state: service-start time, member count, summed cost
+        # multipliers and the batch's base (mean per-query) service time.
+        self._batch_start = 0.0
+        self._batch_count = 0
+        self._batch_mult_sum = 0.0
+        self._batch_base = 0.0
         # Merged [start, end) busy runs; FIFO submits only ever extend the
         # last run or open a new one, so the list stays short (one entry per
         # idle gap, not per query).
@@ -47,6 +90,16 @@ class ReplicaServer:
         return self._completed
 
     @property
+    def completed_batches(self) -> int:
+        """Batches opened so far (each serves one or more queries)."""
+        return self._batches
+
+    @property
+    def max_batch(self) -> int:
+        """Largest number of queries one batch may coalesce."""
+        return self._max_batch
+
+    @property
     def busy_seconds(self) -> float:
         """Total service time accumulated (for utilization accounting)."""
         return self._busy_time
@@ -59,20 +112,93 @@ class ReplicaServer:
         """Seconds of queued work ahead of a query submitted at ``now``."""
         return max(0.0, self._busy_until - now)
 
-    def submit(self, arrival: float, service_time: float) -> float:
-        """Enqueue one query and return its completion time."""
+    # ------------------------------------------------------------------
+    # Batch mechanics
+    # ------------------------------------------------------------------
+    def _factor(self, count: int, mult_sum: float) -> float:
+        if self._batch_model is not None:
+            return self._batch_model.factor(count, mult_sum)
+        # No model: gather-style linear scaling in the summed multipliers
+        # (exactly 1.0 for a single average-cost query).
+        return mult_sum
+
+    def _can_join(self, arrival: float) -> bool:
+        return (
+            self._max_batch > 1
+            and 0 < self._batch_count < self._max_batch
+            and arrival <= self._batch_start
+        )
+
+    def submit(self, arrival: float, service_time: float, multiplier: float = 1.0) -> float:
+        """Enqueue one query and return its (batch's) completion time.
+
+        ``service_time`` is the deployment's mean per-query service time and
+        ``multiplier`` the query's sampled cost multiplier (1.0 for an
+        average query).
+        """
         if service_time <= 0:
             raise ValueError("service_time must be positive")
-        start = max(arrival, self._busy_until, self._ready_at)
-        completion = start + service_time
-        self._busy_until = completion
-        self._completed += 1
-        self._busy_time += service_time
-        if self._busy_runs and start <= self._busy_runs[-1][1]:
+        if multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+        if self._can_join(arrival):
+            self._batch_count += 1
+            # The batch's cost is accounted in units of its opener's base
+            # service time; a joiner with a different base contributes
+            # proportionally (ratio 1.0, and bit-exact, in the uniform case).
+            self._batch_mult_sum += multiplier * (service_time / self._batch_base)
+            completion = self._batch_start + self._batch_base * self._factor(
+                self._batch_count, self._batch_mult_sum
+            )
+            completion = max(completion, self._busy_until)
+            self._busy_time += completion - self._busy_until
+            self._busy_until = completion
             self._busy_runs[-1][1] = completion
         else:
-            self._busy_runs.append([start, completion])
+            start = max(arrival, self._busy_until, self._ready_at)
+            if self._max_batch > 1 and self._batch_window_s > 0:
+                # Hold the batch open so near-future queries can share it.
+                start = max(start, arrival + self._batch_window_s)
+            self._batch_start = start
+            self._batch_count = 1
+            self._batch_mult_sum = multiplier
+            self._batch_base = service_time
+            self._batches += 1
+            service = service_time * self._factor(1, multiplier)
+            completion = start + service
+            self._busy_until = completion
+            self._busy_time += service
+            if self._busy_runs and start <= self._busy_runs[-1][1]:
+                self._busy_runs[-1][1] = completion
+            else:
+                self._busy_runs.append([start, completion])
+        self._completed += 1
         return completion
+
+    def predicted_completion(
+        self, arrival: float, service_time: float, multiplier: float = 1.0
+    ) -> float:
+        """What :meth:`submit` would return, without mutating the queue.
+
+        Used by cost-aware routing policies: a replica with a joinable
+        forming batch can complete an extra query earlier than its
+        ``busy_until`` suggests.
+        """
+        if service_time <= 0:
+            raise ValueError("service_time must be positive")
+        if multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+        if self._can_join(arrival):
+            joined_sum = self._batch_mult_sum + multiplier * (
+                service_time / self._batch_base
+            )
+            completion = self._batch_start + self._batch_base * self._factor(
+                self._batch_count + 1, joined_sum
+            )
+            return max(completion, self._busy_until)
+        start = max(arrival, self._busy_until, self._ready_at)
+        if self._max_batch > 1 and self._batch_window_s > 0:
+            start = max(start, arrival + self._batch_window_s)
+        return start + service_time * self._factor(1, multiplier)
 
     def busy_seconds_between(self, start_s: float, end_s: float) -> float:
         """Service time accumulated inside ``[start_s, end_s)``."""

@@ -11,6 +11,11 @@ The selection mechanics are shared with :mod:`repro.cluster.loadbalancer`
 the :class:`~repro.serving.replica_server.ReplicaServer` queue model, adding
 readiness filtering and the engine's tie-breaking conventions.
 
+Policies receive an optional *cost hint* — the query's mean service seconds
+on the deployment plus its sampled cost multiplier — so cost-aware policies
+can weigh expensive queries differently from cheap ones.  Policies that do
+not care simply ignore the hint.
+
 Available policies (see :data:`ROUTING_POLICIES`):
 
 ``least-work``
@@ -28,6 +33,11 @@ Available policies (see :data:`ROUTING_POLICIES`):
 ``least-outstanding``
     Route to the replica with the fewest in-flight queries (completion events
     feed the counters), breaking ties by pending work.
+``cost-weighted``
+    Batch- and cost-aware least-work: route to the replica with the earliest
+    *predicted completion* for this specific query, using the cost hint and
+    each replica's forming batch (a replica with a joinable batch finishes an
+    extra query earlier than its queue-drain time suggests).
 """
 
 from __future__ import annotations
@@ -50,6 +60,7 @@ __all__ = [
     "PowerOfTwoPolicy",
     "ReadyOnlyPolicy",
     "LeastOutstandingPolicy",
+    "CostWeightedPolicy",
     "ROUTING_POLICIES",
     "make_routing_policy",
     "routing_policy_names",
@@ -82,9 +93,18 @@ class RoutingPolicy:
         """Clear per-run state; called by the engine before each run."""
 
     def select(
-        self, deployment_name: str, servers: Sequence[ReplicaServer], now: float
+        self,
+        deployment_name: str,
+        servers: Sequence[ReplicaServer],
+        now: float,
+        cost: tuple[float, float] | None = None,
     ) -> ReplicaServer | None:
-        """Pick the serving replica, or ``None`` to drop the query."""
+        """Pick the serving replica, or ``None`` to drop the query.
+
+        ``cost``, when given, is the query's cost hint: ``(service_s,
+        multiplier)`` — the deployment's mean per-query service seconds and
+        this query's sampled cost multiplier.  Policies may ignore it.
+        """
         raise NotImplementedError
 
     def on_submit(self, deployment_name: str, server: ReplicaServer) -> None:
@@ -103,7 +123,11 @@ class LeastWorkPolicy(RoutingPolicy):
         self._balancer = LeastOutstandingBalancer(_queue_drain_time)
 
     def select(
-        self, deployment_name: str, servers: Sequence[ReplicaServer], now: float
+        self,
+        deployment_name: str,
+        servers: Sequence[ReplicaServer],
+        now: float,
+        cost: tuple[float, float] | None = None,
     ) -> ReplicaServer | None:
         if not servers:
             return None
@@ -122,7 +146,11 @@ class RoundRobinPolicy(RoutingPolicy):
         self._balancer.reset()
 
     def select(
-        self, deployment_name: str, servers: Sequence[ReplicaServer], now: float
+        self,
+        deployment_name: str,
+        servers: Sequence[ReplicaServer],
+        now: float,
+        cost: tuple[float, float] | None = None,
     ) -> ReplicaServer | None:
         if not servers:
             return None
@@ -141,7 +169,11 @@ class PowerOfTwoPolicy(RoutingPolicy):
         self._balancer.reset(rng)
 
     def select(
-        self, deployment_name: str, servers: Sequence[ReplicaServer], now: float
+        self,
+        deployment_name: str,
+        servers: Sequence[ReplicaServer],
+        now: float,
+        cost: tuple[float, float] | None = None,
     ) -> ReplicaServer | None:
         if not servers:
             return None
@@ -157,7 +189,11 @@ class ReadyOnlyPolicy(RoutingPolicy):
         self._balancer = LeastOutstandingBalancer(_queue_drain_time)
 
     def select(
-        self, deployment_name: str, servers: Sequence[ReplicaServer], now: float
+        self,
+        deployment_name: str,
+        servers: Sequence[ReplicaServer],
+        now: float,
+        cost: tuple[float, float] | None = None,
     ) -> ReplicaServer | None:
         ready = [s for s in servers if s.is_ready(now)]
         if not ready:
@@ -189,7 +225,11 @@ class LeastOutstandingPolicy(RoutingPolicy):
         return (float(count), _queue_drain_time(server))
 
     def select(
-        self, deployment_name: str, servers: Sequence[ReplicaServer], now: float
+        self,
+        deployment_name: str,
+        servers: Sequence[ReplicaServer],
+        now: float,
+        cost: tuple[float, float] | None = None,
     ) -> ReplicaServer | None:
         if not servers:
             return None
@@ -209,6 +249,40 @@ class LeastOutstandingPolicy(RoutingPolicy):
             self._in_flight.pop(key, None)
 
 
+class CostWeightedPolicy(RoutingPolicy):
+    """Route to the replica with the earliest predicted completion.
+
+    Unlike least-work — which orders replicas by queue-drain time regardless
+    of what is being routed — this policy asks every ready replica what *this
+    query* would cost there, via
+    :meth:`~repro.serving.replica_server.ReplicaServer.predicted_completion`:
+    the prediction folds in the query's cost hint and the replica's forming
+    batch, so a cheap query prefers a replica it can batch into while an
+    expensive one prefers the emptiest queue.  Without a cost hint it
+    degenerates to least-work ordering.  Ties resolve to the replica listed
+    first (deterministic given the engine's stable server ordering).
+    """
+
+    name = "cost-weighted"
+
+    def select(
+        self,
+        deployment_name: str,
+        servers: Sequence[ReplicaServer],
+        now: float,
+        cost: tuple[float, float] | None = None,
+    ) -> ReplicaServer | None:
+        if not servers:
+            return None
+        pool = _ready_pool(servers, now)
+        if cost is None:
+            return min(pool, key=_queue_drain_time)
+        service_s, multiplier = cost
+        return min(
+            pool, key=lambda s: s.predicted_completion(now, service_s, multiplier)
+        )
+
+
 #: Registry of routing policies by CLI-facing name.
 ROUTING_POLICIES: dict[str, type[RoutingPolicy]] = {
     policy.name: policy
@@ -218,6 +292,7 @@ ROUTING_POLICIES: dict[str, type[RoutingPolicy]] = {
         PowerOfTwoPolicy,
         ReadyOnlyPolicy,
         LeastOutstandingPolicy,
+        CostWeightedPolicy,
     )
 }
 

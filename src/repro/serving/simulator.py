@@ -30,6 +30,7 @@ from repro.core.plan import DeploymentPlan
 from repro.serving.engine import ServingEngine, SimulationResult
 from repro.serving.routing import RoutingPolicy
 from repro.serving.traffic import TrafficPattern
+from repro.serving.workload import QueryCostModel
 
 __all__ = ["ServingSimulator", "SimulationResult"]
 
@@ -48,6 +49,9 @@ class ServingSimulator:
         sample_interval_s: float = 15.0,
         seed: int = 0,
         routing: str | RoutingPolicy = "least-work",
+        cost_model: str | QueryCostModel = "homogeneous",
+        max_batch: int = 1,
+        batch_window_s: float = 0.0,
     ) -> None:
         self._engine = ServingEngine(
             plan,
@@ -59,6 +63,9 @@ class ServingSimulator:
             max_replicas=max_replicas,
             sample_interval_s=sample_interval_s,
             seed=seed,
+            cost_model=cost_model,
+            max_batch=max_batch,
+            batch_window_s=batch_window_s,
         )
 
     @property

@@ -1,0 +1,234 @@
+"""Per-query cost models: the serve-time face of the access-skew data layer.
+
+ElasticRec's planning regression is fit over heterogeneous per-query costs:
+gather latency scales with the pooling factor and with where in the
+hot-sorted access distribution a query's lookups land (Figures 6 and 9 of
+the paper).  The serving engine historically collapsed every query to the
+deployment's mean service time; the models here put the heterogeneity back
+while keeping the planner's estimates as the *mean* of the sampled costs.
+
+A :class:`QueryCostModel` pre-samples one cost *multiplier* per query of a
+run, vectorised and seeded, so runs stay deterministic and the sampling adds
+O(num_queries) work, not O(num_queries * pooling):
+
+* :class:`HomogeneousCostModel` — the degenerate compatibility mode: every
+  multiplier is exactly ``1.0`` and the RNG is never touched, so an engine
+  run reproduces the pre-cost-model behaviour bit-for-bit.
+* :class:`SkewedCostModel` — samples per-query gather counts from an
+  :class:`~repro.data.distributions.AccessDistribution`: each query draws
+  ``pooling`` lookups, duplicate rows within one pooled lookup coalesce into
+  a single gather, and gathers that land in the hot prefix (cache-resident
+  rows) cost a fraction of a cold DRAM gather.  A pool of ``num_profiles``
+  query profiles is sampled exactly and queries draw from the pool, keeping
+  a 100k-query run within a few percent of the homogeneous engine's
+  wall-clock (``benchmarks/bench_query_costs.py`` tracks this).
+
+Multipliers are normalised to mean 1.0 over the profile pool, so the
+deployment's planned service time stays the mean service time for any skew.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.distributions import DEFAULT_TOP_FRACTION, AccessDistribution
+from repro.model.configs import DLRMConfig
+
+__all__ = [
+    "QueryCostModel",
+    "HomogeneousCostModel",
+    "SkewedCostModel",
+    "COST_MODELS",
+    "make_cost_model",
+    "cost_model_names",
+    "resolve_cost_model_name",
+]
+
+
+class QueryCostModel:
+    """Base class: pre-samples one service-cost multiplier per query."""
+
+    #: Registry name of the model.
+    name: str = ""
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Whether every multiplier is exactly 1.0 (the compatibility mode)."""
+        return False
+
+    def sample(self, num_queries: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``num_queries`` cost multipliers (float64, mean ~1.0)."""
+        raise NotImplementedError
+
+
+class HomogeneousCostModel(QueryCostModel):
+    """Every query costs exactly the planner's mean estimate.
+
+    ``sample`` never touches the RNG, so adding a cost model to an engine in
+    this mode cannot perturb any other random stream of the run.
+    """
+
+    name = "homogeneous"
+
+    @property
+    def is_homogeneous(self) -> bool:
+        return True
+
+    def sample(self, num_queries: int, rng: np.random.Generator) -> np.ndarray:
+        if num_queries < 0:
+            raise ValueError("num_queries must be non-negative")
+        return np.ones(num_queries, dtype=np.float64)
+
+
+class SkewedCostModel(QueryCostModel):
+    """Per-query gather counts and pooling factors from an access-skew distribution.
+
+    Two sources of heterogeneity, both rooted in the data layer's
+    distribution:
+
+    * **Gather counts** — each profile draws ``pooling`` lookups from
+      ``distribution``; duplicates coalesce (one gather per distinct row per
+      query) and distinct rows inside the hottest ``hot_fraction`` of the
+      table cost ``hot_cost_fraction`` of a cold gather.
+    * **Pooling factors** — multi-hot feature lengths in production
+      recommendation traces are heavy-tailed (the same user-activity power
+      law that skews the table's accesses), so each profile also draws a
+      mean-one log-normal pooling factor whose coefficient of variation is
+      ``pooling_spread`` — by default the distribution's locality ``P``, so
+      a more skewed table also serves a wider spread of query sizes.
+
+    Together they reproduce the Figure 9 heterogeneity the planner's QPS
+    regression is fit over: under high skew, most queries coalesce into
+    cheap, hot, short gathers while a tail of long cold-row queries costs
+    several times the mean.
+    """
+
+    name = "skewed"
+
+    def __init__(
+        self,
+        distribution: AccessDistribution,
+        pooling: int,
+        num_profiles: int = 2048,
+        hot_fraction: float = DEFAULT_TOP_FRACTION,
+        hot_cost_fraction: float = 0.25,
+        pooling_spread: float | None = None,
+    ) -> None:
+        if pooling <= 0:
+            raise ValueError("pooling must be positive")
+        if num_profiles <= 0:
+            raise ValueError("num_profiles must be positive")
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if not 0.0 <= hot_cost_fraction <= 1.0:
+            raise ValueError("hot_cost_fraction must be in [0, 1]")
+        if pooling_spread is not None and pooling_spread < 0:
+            raise ValueError("pooling_spread must be non-negative")
+        self._distribution = distribution
+        self._pooling = int(pooling)
+        self._num_profiles = int(num_profiles)
+        self._hot_fraction = float(hot_fraction)
+        self._hot_cost_fraction = float(hot_cost_fraction)
+        self._pooling_spread = (
+            float(pooling_spread)
+            if pooling_spread is not None
+            else distribution.locality(hot_fraction)
+        )
+        self._hot_rank_limit = max(
+            1, int(math.ceil(hot_fraction * distribution.num_items))
+        )
+
+    @property
+    def distribution(self) -> AccessDistribution:
+        """The access-skew distribution the gather counts are drawn from."""
+        return self._distribution
+
+    @property
+    def pooling(self) -> int:
+        """Mean lookups per query (the paper's pooling factor)."""
+        return self._pooling
+
+    @property
+    def pooling_spread(self) -> float:
+        """Coefficient of variation of the per-query pooling factors."""
+        return self._pooling_spread
+
+    def profile_gathers(self, rng: np.random.Generator) -> np.ndarray:
+        """Per-profile effective gather counts (before normalisation).
+
+        One row of the result is one query profile's cost in cold-gather
+        units: distinct cold rows plus ``hot_cost_fraction`` per distinct hot
+        row.
+        """
+        ranks = self._distribution.sample(self._num_profiles * self._pooling, rng)
+        ranks = np.sort(ranks.reshape(self._num_profiles, self._pooling), axis=1)
+        # A rank is a distinct gather where it differs from its predecessor.
+        distinct = np.ones_like(ranks, dtype=bool)
+        distinct[:, 1:] = ranks[:, 1:] != ranks[:, :-1]
+        hot = ranks < self._hot_rank_limit
+        hot_gathers = np.sum(distinct & hot, axis=1, dtype=np.float64)
+        cold_gathers = np.sum(distinct & ~hot, axis=1, dtype=np.float64)
+        return cold_gathers + self._hot_cost_fraction * hot_gathers
+
+    def sample(self, num_queries: int, rng: np.random.Generator) -> np.ndarray:
+        if num_queries < 0:
+            raise ValueError("num_queries must be non-negative")
+        costs = self.profile_gathers(rng)
+        if self._pooling_spread > 0:
+            # Mean-one log-normal pooling factor: sigma chosen so the factor's
+            # coefficient of variation equals pooling_spread.
+            sigma = math.sqrt(math.log1p(self._pooling_spread**2))
+            pooling_factors = np.exp(
+                rng.normal(-0.5 * sigma * sigma, sigma, size=self._num_profiles)
+            )
+            costs = costs * pooling_factors
+        mean = float(costs.mean())
+        if mean <= 0:
+            # Every gather free (hot_cost_fraction == 0 and all-hot table).
+            return np.ones(num_queries, dtype=np.float64)
+        multipliers = costs / mean
+        assignment = rng.integers(0, self._num_profiles, size=num_queries)
+        return multipliers[assignment]
+
+
+#: Registry of query-cost models by CLI-facing name.
+COST_MODELS: dict[str, type[QueryCostModel]] = {
+    model.name: model for model in (HomogeneousCostModel, SkewedCostModel)
+}
+
+
+def cost_model_names() -> list[str]:
+    """Registered cost-model names, in registration order."""
+    return list(COST_MODELS)
+
+
+def resolve_cost_model_name(name: str) -> str:
+    """Validate a cost-model name, raising :class:`ValueError` with the choices."""
+    if name not in COST_MODELS:
+        known = ", ".join(cost_model_names())
+        raise ValueError(f"unknown cost model {name!r}; choose from {known}")
+    return name
+
+
+def make_cost_model(
+    model: str | QueryCostModel, workload: DLRMConfig | None = None
+) -> QueryCostModel:
+    """Resolve a cost-model name against a workload (or pass an instance through).
+
+    ``"homogeneous"`` needs no workload; ``"skewed"`` derives its access
+    distribution and pooling factor from ``workload.embedding``.
+    """
+    if isinstance(model, QueryCostModel):
+        return model
+    resolve_cost_model_name(model)
+    if model == HomogeneousCostModel.name:
+        return HomogeneousCostModel()
+    if workload is None:
+        raise ValueError("the skewed cost model needs a workload to derive its skew from")
+    embedding = workload.embedding
+    return SkewedCostModel(
+        distribution=embedding.access_distribution(),
+        pooling=embedding.pooling,
+    )

@@ -45,6 +45,21 @@ class TestRegistry:
         assert {"tenant", "sla_violations"} <= set(result.rows[0])
         assert result.summary["tenants"] == 3.0
 
+    def test_skew_experiment_shows_p95_divergence(self, all_results):
+        result = all_results["skew"]
+        p95_by_model = {row["cost_model"]: row["p95_latency_ms"] for row in result.rows}
+        assert {"homogeneous", "skewed-low", "skewed-medium", "skewed-high"} <= set(
+            p95_by_model
+        )
+        # Identical plan, identical arrivals: the access skew alone must move
+        # the tail, monotonically in the locality P.
+        assert (
+            p95_by_model["skewed-high"]
+            > p95_by_model["skewed-medium"]
+            > p95_by_model["skewed-low"]
+        )
+        assert result.summary["p95_spread_ms"] > 10.0
+
     def test_unknown_experiment_id_lists_known_ids(self):
         with pytest.raises(KeyError, match="fig13"):
             run_experiment("fig99")

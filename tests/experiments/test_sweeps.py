@@ -68,6 +68,22 @@ class TestRunCell:
                                            base_seed=TINY.seed)[0])
         assert row["total_queries"] > 0.5 * single["total_queries"]
 
+    def test_skewed_batched_cell_changes_the_tail_only(self):
+        from dataclasses import replace
+
+        cells = build_grid(["constant"], ["least-work"], [8], base_seed=TINY.seed)
+        plain = run_cell(TINY, cells[0])
+        skewed = run_cell(replace(TINY, cost_model="skewed", max_batch=4), cells[0])
+        # Same arrivals (same cell seed), different service-time distribution.
+        assert skewed["total_queries"] == plain["total_queries"]
+        assert skewed["worst_p95_ms"] != plain["worst_p95_ms"]
+
+    def test_cost_model_validated_at_config_construction(self):
+        with pytest.raises(ValueError, match="cost model"):
+            SweepConfig(cost_model="zipfian")
+        with pytest.raises(ValueError):
+            SweepConfig(max_batch=0)
+
 
 class TestRunSweep:
     def test_rows_follow_grid_order(self):

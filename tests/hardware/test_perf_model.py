@@ -139,3 +139,63 @@ class TestLayerLevelRelations:
         """The paper keeps ElasticRec's average latency well inside the 400 ms SLA."""
         for config in (rm1(), rm2()):
             assert cpu_perf.elastic_query_latency(config) < cpu_perf.cluster.sla_s
+
+
+class TestBatchLatencyModel:
+    """The batch-aware latency API the serving engine's replicas consume."""
+
+    def test_single_average_query_is_the_base_latency_bit_for_bit(self, cpu_perf):
+        for role in ("dense", "embedding", "monolithic"):
+            assert cpu_perf.latency_for(1, 1.0, base_latency_s=0.125, role=role) == 0.125
+
+    def test_dense_batches_scale_sublinearly(self, cpu_perf):
+        base = 0.05
+        batched = cpu_perf.latency_for(8, base_latency_s=base, role="dense")
+        assert base < batched < 8 * base
+        exponent = cpu_perf.calibration.dense_batch_exponent
+        assert batched == pytest.approx(base * 8**exponent)
+
+    def test_sparse_batches_scale_per_vector(self, cpu_perf):
+        base = 0.05
+        f = cpu_perf.calibration.sparse_batch_overhead_fraction
+        batched = cpu_perf.latency_for(4, 4.0, base_latency_s=base, role="embedding")
+        assert batched == pytest.approx(base * (1.0 + (1.0 - f) * 3.0))
+        # The fixed overhead amortises: cheaper than four serial queries.
+        assert batched < 4 * base
+
+    def test_sparse_latency_tracks_the_gather_multiplier(self, cpu_perf):
+        base = 0.05
+        cheap = cpu_perf.latency_for(1, 0.5, base_latency_s=base, role="embedding")
+        expensive = cpu_perf.latency_for(1, 3.0, base_latency_s=base, role="embedding")
+        assert cheap < base < expensive
+
+    def test_dense_ignores_gather_multipliers(self, cpu_perf):
+        base = 0.05
+        assert cpu_perf.latency_for(2, 1.0, base_latency_s=base, role="dense") == (
+            cpu_perf.latency_for(2, 5.0, base_latency_s=base, role="dense")
+        )
+
+    def test_monolithic_combines_both_scalings(self, cpu_perf):
+        base = 0.05
+        dense = cpu_perf.latency_for(4, base_latency_s=base, role="dense")
+        mono_avg = cpu_perf.latency_for(4, 4.0, base_latency_s=base, role="monolithic")
+        assert mono_avg == pytest.approx(dense)
+        mono_hot = cpu_perf.latency_for(4, 8.0, base_latency_s=base, role="monolithic")
+        assert mono_hot > mono_avg
+
+    def test_batch_model_validation(self, cpu_perf):
+        from repro.hardware.perf_model import BatchLatencyModel
+
+        with pytest.raises(ValueError):
+            cpu_perf.batch_model("gpu")
+        with pytest.raises(ValueError):
+            BatchLatencyModel(kind="dense", batch_exponent=0.0, overhead_fraction=0.2)
+        with pytest.raises(ValueError):
+            BatchLatencyModel(kind="dense", batch_exponent=0.9, overhead_fraction=1.0)
+        model = cpu_perf.batch_model("embedding")
+        with pytest.raises(ValueError):
+            model.factor(0)
+        with pytest.raises(ValueError):
+            model.factor(1, 0.0)
+        with pytest.raises(ValueError):
+            model.latency_for(0.0, 1)

@@ -115,6 +115,99 @@ class TestEngineBehaviour:
         assert result.target_qps[-1] == 10.0
 
 
+class TestQueryCosts:
+    def test_homogeneous_compat_kwargs_reproduce_seed_summary(self, plan, pattern):
+        # The compatibility contract: homogeneous cost model + batch size one
+        # is bit-identical with the pre-cost-model engine.
+        result = ServingEngine(
+            plan, autoscale=False, seed=0, cost_model="homogeneous", max_batch=1
+        ).run(pattern)
+        assert repr(result.summary()) == repr(SEED_MICRO_SUMMARY)
+        assert result.cost_model == "homogeneous"
+        assert result.max_batch == 1
+
+    def test_skewed_costs_change_the_tail_not_the_arrivals(self, plan, pattern):
+        hom = ServingEngine(plan, autoscale=False, seed=0).run(pattern)
+        skew = ServingEngine(plan, autoscale=False, seed=0, cost_model="skewed").run(pattern)
+        # The arrival process is untouched (dedicated cost seed stream)...
+        assert skew.tracker.num_samples == hom.tracker.num_samples
+        # ...but per-query service times now spread around the planner mean.
+        assert skew.overall_p95_latency_ms != hom.overall_p95_latency_ms
+        assert skew.cost_model == "skewed"
+
+    def test_skewed_runs_deterministic_per_seed(self, plan, pattern):
+        runs = [
+            ServingEngine(plan, autoscale=False, seed=4, cost_model="skewed").run(pattern)
+            for _ in range(2)
+        ]
+        assert repr(runs[0].summary()) == repr(runs[1].summary())
+
+    def test_cost_weighted_routing_sustains_load(self, plan, pattern):
+        result = ServingEngine(
+            plan,
+            routing="cost-weighted",
+            autoscale=False,
+            seed=0,
+            cost_model="skewed",
+            max_batch=4,
+        ).run(pattern)
+        assert result.routing == "cost-weighted"
+        assert np.mean(result.achieved_qps[4:]) == pytest.approx(25.0, rel=0.1)
+
+    def test_unknown_cost_model_rejected(self, plan):
+        with pytest.raises(ValueError, match="cost model"):
+            ServingEngine(plan, cost_model="zipfian")
+
+
+class TestBatching:
+    def test_batch_occupancy_recorded_per_deployment(self, plan, pattern):
+        result = ServingEngine(plan, autoscale=False, seed=0, max_batch=4).run(pattern)
+        assert set(result.batch_occupancy) == {d.name for d in plan.deployments}
+        for series in result.batch_occupancy.values():
+            assert series.shape == result.sample_times.shape
+        assert result.max_batch == 4
+
+    def test_unbatched_occupancy_never_exceeds_one(self, plan, pattern):
+        result = ServingEngine(plan, autoscale=False, seed=0).run(pattern)
+        for series in result.batch_occupancy.values():
+            assert np.all(series <= 1.0)
+
+    def test_batching_absorbs_overload(self, plan):
+        heavy = TrafficPattern.constant(40.0, duration_s=180.0)
+        unbatched = ServingEngine(plan, autoscale=False, seed=0).run(heavy)
+        batched = ServingEngine(plan, autoscale=False, seed=0, max_batch=8).run(heavy)
+        # Sub-linear batch scaling buys real capacity under pressure...
+        assert batched.sla_violation_fraction() < unbatched.sla_violation_fraction()
+        # ...because backlogged queries actually coalesce.
+        assert max(series.max() for series in batched.batch_occupancy.values()) > 1.5
+
+    def test_invalid_max_batch_rejected(self, plan):
+        with pytest.raises(ValueError):
+            ServingEngine(plan, max_batch=0)
+        with pytest.raises(ValueError):
+            ServingEngine(plan, batch_window_s=-0.1)
+
+
+class TestRejectedQueryMetrics:
+    def test_rejections_are_visible_to_the_autoscaler(self, plan):
+        # A cold ready-only cluster drops every query until startup finishes;
+        # those rejections must land in the interval metrics the HPA reads.
+        short = TrafficPattern.constant(20.0, duration_s=120.0)
+        engine = ServingEngine(
+            plan, routing="ready-only", warm_start=False, autoscale=False, seed=0
+        )
+        engine.run(short)
+        metrics = engine.cluster.metrics
+        for deployment in plan.deployments:
+            samples = metrics.samples(f"{deployment.name}/queries")
+            assert samples and samples[0].value > 0
+        # The dropped queries carry their 2x-SLA penalty into the latency
+        # metric, so the overload is impossible for the HPA to miss.
+        dense = next(d for d in plan.deployments if d.role == "dense")
+        latency = metrics.samples(f"{dense.name}/latency_s")
+        assert latency and latency[0].value >= 2.0 * plan.cluster.sla_s
+
+
 class TestVectorisedSeries:
     def test_achieved_qps_counts_window_completions(self, plan, pattern):
         result = ServingEngine(plan, autoscale=False, seed=0).run(pattern)

@@ -1,0 +1,107 @@
+"""Edge-case tests for the latency bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.latency import LatencyTracker
+
+
+class TestEmptyTracker:
+    def test_no_samples(self):
+        tracker = LatencyTracker()
+        assert tracker.num_samples == 0
+        assert tracker.completion_times.size == 0
+        assert tracker.latencies_s.size == 0
+
+    def test_percentile_and_mean_raise(self):
+        tracker = LatencyTracker()
+        with pytest.raises(ValueError, match="no latency samples"):
+            tracker.percentile(95.0)
+        with pytest.raises(ValueError, match="no latency samples"):
+            tracker.mean()
+
+    def test_sla_violation_fraction_is_zero(self):
+        assert LatencyTracker().sla_violation_fraction(0.4) == 0.0
+
+    def test_windowed_reports_empty_buckets(self):
+        points = LatencyTracker().windowed(duration_s=120.0, bucket_s=60.0)
+        assert [p.time_s for p in points] == [0.0, 60.0]
+        assert all(p.completions == 0 for p in points)
+        assert all(p.p50_ms == p.p95_ms == p.p99_ms == p.mean_ms == 0.0 for p in points)
+
+
+class TestSingleSample:
+    def test_every_percentile_is_the_sample(self):
+        tracker = LatencyTracker()
+        tracker.record(completion_time=10.0, latency_s=0.25)
+        for percentile in (0.1, 50.0, 95.0, 99.0, 100.0):
+            assert tracker.percentile(percentile) == pytest.approx(0.25)
+        assert tracker.mean() == pytest.approx(0.25)
+
+    def test_windowed_single_sample(self):
+        tracker = LatencyTracker()
+        tracker.record(completion_time=30.0, latency_s=0.1)
+        points = tracker.windowed(duration_s=60.0, bucket_s=60.0)
+        assert len(points) == 1
+        assert points[0].completions == 1
+        assert points[0].p50_ms == pytest.approx(100.0)
+        assert points[0].p95_ms == pytest.approx(100.0)
+
+    def test_sla_boundary_is_not_a_violation(self):
+        tracker = LatencyTracker()
+        tracker.record(completion_time=1.0, latency_s=0.4)
+        # Strictly-greater comparison: exactly at the SLA is compliant.
+        assert tracker.sla_violation_fraction(0.4) == 0.0
+        assert tracker.sla_violation_fraction(0.39999) == 1.0
+
+
+class TestWindowBoundaries:
+    def test_completion_exactly_on_bucket_edge_lands_in_next_bucket(self):
+        tracker = LatencyTracker()
+        tracker.record(completion_time=60.0, latency_s=0.2)
+        points = tracker.windowed(duration_s=120.0, bucket_s=60.0)
+        # Buckets are [start, end): a completion at exactly 60.0 belongs to
+        # the second bucket, not the first.
+        assert points[0].completions == 0
+        assert points[1].completions == 1
+
+    def test_completion_at_time_zero_lands_in_first_bucket(self):
+        tracker = LatencyTracker()
+        tracker.record(completion_time=0.0, latency_s=0.05)
+        points = tracker.windowed(duration_s=60.0, bucket_s=60.0)
+        assert points[0].completions == 1
+
+    def test_completion_at_duration_end_falls_outside_every_bucket(self):
+        tracker = LatencyTracker()
+        tracker.record(completion_time=120.0, latency_s=0.05)
+        points = tracker.windowed(duration_s=120.0, bucket_s=60.0)
+        assert sum(p.completions for p in points) == 0
+
+    def test_mixed_boundary_and_interior_samples(self):
+        tracker = LatencyTracker()
+        for completion, latency in [(0.0, 0.1), (59.999, 0.2), (60.0, 0.3), (119.0, 0.4)]:
+            tracker.record(completion, latency)
+        points = tracker.windowed(duration_s=120.0, bucket_s=60.0)
+        assert points[0].completions == 2
+        assert points[1].completions == 2
+        assert points[1].mean_ms == pytest.approx(350.0)
+
+    def test_windowed_rejects_non_positive_buckets(self):
+        tracker = LatencyTracker()
+        with pytest.raises(ValueError):
+            tracker.windowed(duration_s=0.0)
+        with pytest.raises(ValueError):
+            tracker.windowed(duration_s=60.0, bucket_s=0.0)
+
+    def test_record_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            LatencyTracker().record(1.0, -0.1)
+
+    def test_completion_arrays_preserve_insertion_order(self):
+        tracker = LatencyTracker()
+        tracker.record(5.0, 0.2)
+        tracker.record(3.0, 0.1)
+        assert np.array_equal(tracker.completion_times, np.array([5.0, 3.0]))
+        assert np.array_equal(tracker.latencies_s, np.array([0.2, 0.1]))

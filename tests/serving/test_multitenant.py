@@ -162,6 +162,36 @@ class TestZeroTrafficTenant:
         assert result.tenant("busy").tracker.num_samples > 0
 
 
+class TestHeterogeneousCosts:
+    def test_tenants_may_mix_cost_models_and_batching(self, plan):
+        tenants = [
+            TenantSpec("flat", plan, TrafficPattern.constant(15.0, 180.0), seed=0),
+            TenantSpec(
+                "spiky",
+                plan,
+                TrafficPattern.constant(15.0, 180.0),
+                seed=0,
+                cost_model="skewed",
+                max_batch=4,
+            ),
+        ]
+        result = MultiTenantEngine(tenants).run()
+        flat, spiky = result.tenant("flat"), result.tenant("spiky")
+        assert flat.cost_model == "homogeneous" and flat.max_batch == 1
+        assert spiky.cost_model == "skewed" and spiky.max_batch == 4
+        # Same seed, same arrival process per tenant; different service costs.
+        assert flat.tracker.num_samples == spiky.tracker.num_samples
+        assert flat.overall_p95_latency_ms != spiky.overall_p95_latency_ms
+
+    def test_skewed_single_tenant_run_is_deterministic(self, plan, pattern):
+        def run():
+            return MultiTenantEngine(
+                [TenantSpec("t", plan, pattern, seed=2, cost_model="skewed")]
+            ).run()
+
+        assert repr(run().summary()) == repr(run().summary())
+
+
 class TestValidation:
     def test_rejects_empty_tenant_list(self):
         with pytest.raises(ValueError):
@@ -184,3 +214,7 @@ class TestValidation:
             TenantSpec("t", plan, pattern, sample_interval_s=0.0)
         with pytest.raises(ValueError):
             TenantSpec("t", plan, pattern, max_replicas=0)
+        with pytest.raises(ValueError):
+            TenantSpec("t", plan, pattern, max_batch=0)
+        with pytest.raises(ValueError):
+            TenantSpec("t", plan, pattern, batch_window_s=-1.0)

@@ -1,10 +1,16 @@
-"""Tests for the per-replica FIFO queue model."""
+"""Tests for the per-replica FIFO batch-queue model."""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.hardware.perf_model import BatchLatencyModel
 from repro.serving.replica_server import ReplicaServer
+
+
+def _sparse_server(name="r0", **kwargs) -> ReplicaServer:
+    model = BatchLatencyModel(kind="embedding", batch_exponent=0.85, overhead_fraction=0.2)
+    return ReplicaServer(name, batch_model=model, **kwargs)
 
 
 class TestReplicaServer:
@@ -81,3 +87,107 @@ class TestReplicaServer:
     def test_service_time_must_be_positive(self):
         with pytest.raises(ValueError):
             ReplicaServer("r0").submit(0.0, 0.0)
+
+    def test_multiplier_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ReplicaServer("r0").submit(0.0, 1.0, multiplier=0.0)
+
+
+class TestCostMultipliers:
+    def test_unit_multiplier_is_bit_exact_with_plain_submit(self):
+        plain = ReplicaServer("a")
+        costed = _sparse_server("b")
+        for arrival in (0.0, 0.3, 7.0):
+            assert plain.submit(arrival, 0.7) == costed.submit(arrival, 0.7, multiplier=1.0)
+
+    def test_expensive_query_scales_the_gather_share(self):
+        server = _sparse_server()
+        # f = 0.2: only the gather share (80%) scales with the multiplier.
+        completion = server.submit(0.0, 1.0, multiplier=2.0)
+        assert completion == pytest.approx(1.0 + 0.8 * 1.0)
+
+    def test_no_model_scales_linearly(self):
+        server = ReplicaServer("r0")
+        assert server.submit(0.0, 1.0, multiplier=3.0) == pytest.approx(3.0)
+
+
+class TestBatching:
+    def test_backlogged_queries_coalesce_into_one_batch(self):
+        server = _sparse_server(max_batch=3)
+        first = server.submit(0.0, 1.0)
+        second = server.submit(0.5, 1.0)  # queued: opens the next batch at 1.0
+        third = server.submit(0.7, 1.0)  # joins the forming batch
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(2.0)
+        # The joined batch serves two queries in 1 + 0.8 service units.
+        assert third == pytest.approx(1.0 + (1.0 + 0.8))
+        assert server.completed_queries == 3
+        assert server.completed_batches == 2
+
+    def test_batch_seals_at_max_batch(self):
+        server = _sparse_server(max_batch=2)
+        server.submit(0.0, 1.0)
+        server.submit(0.1, 1.0)  # batch 2 opens at 1.0
+        server.submit(0.2, 1.0)  # joins batch 2 (now full)
+        server.submit(0.3, 1.0)  # batch 2 sealed: opens batch 3
+        assert server.completed_batches == 3
+
+    def test_batching_window_holds_an_idle_server(self):
+        server = _sparse_server(max_batch=4, batch_window_s=0.5)
+        first = server.submit(0.0, 1.0)
+        second = server.submit(0.3, 1.0)  # arrives inside the window: joins
+        assert first == pytest.approx(1.5)  # 0.5 window + 1.0 service
+        assert second == pytest.approx(0.5 + 1.8)
+        assert server.completed_batches == 1
+
+    def test_no_window_no_backlog_means_no_batching(self):
+        server = _sparse_server(max_batch=8)
+        server.submit(0.0, 1.0)
+        server.submit(5.0, 1.0)  # idle again: nothing to coalesce with
+        assert server.completed_batches == 2
+
+    def test_dense_batches_scale_sublinearly(self):
+        model = BatchLatencyModel(kind="dense", batch_exponent=0.85, overhead_fraction=0.2)
+        server = ReplicaServer("r0", max_batch=2, batch_model=model)
+        server.submit(0.0, 1.0)
+        server.submit(0.1, 1.0)  # batch of 1 opening at 1.0
+        completion = server.submit(0.2, 1.0)  # joins: batch of 2
+        assert completion == pytest.approx(1.0 + 2.0**0.85)
+
+    def test_busy_time_counts_batch_service_once(self):
+        server = _sparse_server(max_batch=2)
+        server.submit(0.0, 1.0)
+        server.submit(0.5, 1.0)
+        server.submit(0.7, 1.0)
+        # Runs: [0, 1) then [1, 2.8): total busy 2.8 seconds.
+        assert server.busy_seconds == pytest.approx(2.8)
+        assert server.busy_seconds_between(0.0, 10.0) == pytest.approx(2.8)
+
+    def test_invalid_batch_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicaServer("r0", max_batch=0)
+        with pytest.raises(ValueError):
+            ReplicaServer("r0", batch_window_s=-1.0)
+
+
+class TestPredictedCompletion:
+    def test_matches_submit_without_mutation(self):
+        server = _sparse_server(max_batch=3)
+        server.submit(0.0, 1.0)
+        server.submit(0.5, 1.0)
+        predicted = server.predicted_completion(0.7, 1.0, multiplier=1.5)
+        before = (server.busy_until, server.completed_queries, server.completed_batches)
+        assert server.predicted_completion(0.7, 1.0, multiplier=1.5) == predicted
+        assert (server.busy_until, server.completed_queries, server.completed_batches) == before
+        assert server.submit(0.7, 1.0, multiplier=1.5) == pytest.approx(predicted)
+
+    def test_idle_server_prediction(self):
+        server = _sparse_server()
+        assert server.predicted_completion(2.0, 0.5) == pytest.approx(2.5)
+
+    def test_rejects_bad_inputs(self):
+        server = _sparse_server()
+        with pytest.raises(ValueError):
+            server.predicted_completion(0.0, 0.0)
+        with pytest.raises(ValueError):
+            server.predicted_completion(0.0, 1.0, multiplier=-1.0)

@@ -12,6 +12,7 @@ from repro.serving.engine import ServingEngine
 from repro.serving.replica_server import ReplicaServer
 from repro.serving.routing import (
     ROUTING_POLICIES,
+    CostWeightedPolicy,
     LeastOutstandingPolicy,
     LeastWorkPolicy,
     PowerOfTwoPolicy,
@@ -36,6 +37,7 @@ class TestRegistry:
             "power-of-two",
             "ready-only",
             "least-outstanding",
+            "cost-weighted",
         ]
 
     def test_make_by_name_and_passthrough(self):
@@ -75,6 +77,46 @@ class TestLeastWork:
 
     def test_empty_pool(self):
         assert LeastWorkPolicy().select("d", [], 0.0) is None
+
+
+class TestCostWeighted:
+    def test_degenerates_to_least_work_without_a_hint(self):
+        servers = _servers(3)
+        servers[0].submit(0.0, 5.0)
+        servers[1].submit(0.0, 1.0)
+        assert CostWeightedPolicy().select("d", servers, now=2.0) is servers[2]
+
+    def test_routes_by_predicted_completion(self):
+        servers = _servers(2)
+        servers[0].submit(0.0, 1.0)
+        policy = CostWeightedPolicy()
+        # Both idle by now=5: tie on completion, first replica wins.
+        assert policy.select("d", servers, 5.0, cost=(1.0, 1.0)) is servers[0]
+        # Replica 0 backlogged: the prediction routes around it.
+        servers[0].submit(5.0, 10.0)
+        assert policy.select("d", servers, 6.0, cost=(1.0, 1.0)) is servers[1]
+
+    def test_prefers_a_joinable_forming_batch(self):
+        from repro.hardware.perf_model import BatchLatencyModel
+
+        model = BatchLatencyModel(
+            kind="embedding", batch_exponent=0.85, overhead_fraction=0.2
+        )
+        batching = ReplicaServer("batching", max_batch=4, batch_model=model)
+        batching.submit(0.0, 1.0)
+        batching.submit(0.5, 1.0)  # forming batch starts service at 1.0
+        loaded = ReplicaServer("loaded", batch_model=model)
+        loaded.submit(0.0, 1.9)
+        # Least-work sees drain times 2.0 vs 1.9 and picks the loaded
+        # replica; the batch-aware prediction knows a cheap query can join
+        # the forming batch (completing at 2.24, vs 2.34 queued behind the
+        # loaded replica).
+        assert LeastWorkPolicy().select("d", [batching, loaded], 0.7) is loaded
+        policy = CostWeightedPolicy()
+        assert policy.select("d", [batching, loaded], 0.7, cost=(1.0, 0.3)) is batching
+
+    def test_empty_pool(self):
+        assert CostWeightedPolicy().select("d", [], 0.0, cost=(1.0, 1.0)) is None
 
 
 class TestRoundRobin:

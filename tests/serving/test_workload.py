@@ -1,0 +1,127 @@
+"""Tests for the per-query cost models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import UniformDistribution, ZipfDistribution
+from repro.model.configs import microbenchmark
+from repro.serving.workload import (
+    HomogeneousCostModel,
+    QueryCostModel,
+    SkewedCostModel,
+    cost_model_names,
+    make_cost_model,
+    resolve_cost_model_name,
+)
+
+ROWS = 100_000
+POOLING = 64
+
+
+def _skewed(locality: float, **kwargs) -> SkewedCostModel:
+    return SkewedCostModel(
+        ZipfDistribution.from_locality(ROWS, locality), POOLING, **kwargs
+    )
+
+
+class TestHomogeneous:
+    def test_all_multipliers_exactly_one(self):
+        out = HomogeneousCostModel().sample(1000, np.random.default_rng(0))
+        assert out.shape == (1000,)
+        assert np.all(out == 1.0)
+
+    def test_never_touches_the_rng(self):
+        rng = np.random.default_rng(42)
+        HomogeneousCostModel().sample(1000, rng)
+        # The next draw equals a fresh generator's first draw.
+        assert rng.random() == np.random.default_rng(42).random()
+
+    def test_is_homogeneous_flag(self):
+        assert HomogeneousCostModel().is_homogeneous
+        assert not _skewed(0.9).is_homogeneous
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            HomogeneousCostModel().sample(-1, np.random.default_rng(0))
+
+
+class TestSkewed:
+    def test_deterministic_for_same_seed(self):
+        model = _skewed(0.9)
+        first = model.sample(5000, np.random.default_rng(7))
+        second = model.sample(5000, np.random.default_rng(7))
+        assert first.tobytes() == second.tobytes()
+
+    def test_multipliers_positive_with_mean_near_one(self):
+        out = _skewed(0.9).sample(20_000, np.random.default_rng(0))
+        assert np.all(out > 0)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_higher_locality_widens_the_spread(self):
+        rng = np.random.default_rng(0)
+        low = _skewed(0.10).sample(20_000, np.random.default_rng(0))
+        high = _skewed(0.90).sample(20_000, rng)
+        assert np.std(high) > 2.0 * np.std(low)
+
+    def test_uniform_distribution_is_nearly_homogeneous(self):
+        model = SkewedCostModel(
+            UniformDistribution(ROWS), POOLING, pooling_spread=0.0
+        )
+        out = model.sample(10_000, np.random.default_rng(0))
+        # No skew and no pooling spread: only coalescing noise remains.
+        assert np.std(out) < 0.05
+
+    def test_pooling_spread_defaults_to_locality(self):
+        assert _skewed(0.9).pooling_spread == pytest.approx(0.9, abs=0.01)
+        assert _skewed(0.9, pooling_spread=0.3).pooling_spread == 0.3
+
+    def test_profile_gathers_bounded_by_pooling(self):
+        gathers = _skewed(0.5).profile_gathers(np.random.default_rng(0))
+        assert gathers.shape == (2048,)
+        assert np.all(gathers > 0)
+        assert np.all(gathers <= POOLING)
+
+    def test_invalid_parameters_rejected(self):
+        dist = UniformDistribution(ROWS)
+        with pytest.raises(ValueError):
+            SkewedCostModel(dist, pooling=0)
+        with pytest.raises(ValueError):
+            SkewedCostModel(dist, POOLING, num_profiles=0)
+        with pytest.raises(ValueError):
+            SkewedCostModel(dist, POOLING, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            SkewedCostModel(dist, POOLING, hot_cost_fraction=1.5)
+        with pytest.raises(ValueError):
+            SkewedCostModel(dist, POOLING, pooling_spread=-0.1)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert cost_model_names() == ["homogeneous", "skewed"]
+
+    def test_resolve_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="homogeneous"):
+            resolve_cost_model_name("zipfian")
+
+    def test_make_homogeneous_without_workload(self):
+        model = make_cost_model("homogeneous")
+        assert isinstance(model, HomogeneousCostModel)
+
+    def test_make_skewed_derives_from_workload(self):
+        model = make_cost_model("skewed", microbenchmark(num_tables=2))
+        assert isinstance(model, SkewedCostModel)
+        assert model.pooling == microbenchmark(num_tables=2).embedding.pooling
+
+    def test_make_skewed_requires_workload(self):
+        with pytest.raises(ValueError, match="workload"):
+            make_cost_model("skewed")
+
+    def test_instance_passthrough(self):
+        model = _skewed(0.5)
+        assert make_cost_model(model) is model
+
+    def test_base_class_sample_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            QueryCostModel().sample(1, np.random.default_rng(0))

@@ -36,6 +36,27 @@ class TestParser:
         assert args.routing == "power-of-two"
         assert args.strategy == "both"
         assert args.duration_s == 300.0
+        assert args.cost_model == "homogeneous"
+        assert args.max_batch == 1
+
+    def test_simulate_cost_model_arguments(self):
+        args = build_parser().parse_args(
+            ["simulate", "RM1", "--cost-model", "skewed", "--max-batch", "8"]
+        )
+        assert args.cost_model == "skewed"
+        assert args.max_batch == 8
+
+    def test_unknown_cost_model_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "RM1", "--cost-model", "zipfian"])
+
+    def test_version_flag(self, capsys):
+        from repro._version import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
 
     def test_sweep_arguments(self):
         args = build_parser().parse_args(
@@ -88,6 +109,24 @@ class TestCommands:
         assert "'ramp-and-hold' traffic" in output
         assert "round-robin" in output
         assert "elasticrec" in output
+
+    def test_simulate_skewed_batched_output(self, capsys):
+        assert main(
+            ["simulate", "RM1", "--num-shards", "2", "--num-nodes", "8",
+             "--cost-model", "skewed", "--max-batch", "4",
+             "--base-qps", "10", "--peak-qps", "30", "--duration-s", "120"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "skewed" in output
+
+    def test_simulate_bad_max_batch_rejected(self, capsys):
+        # Rejected at parse time (argparse usage error, exit code 2).
+        for argv in (["simulate", "RM1", "--max-batch", "0"],
+                     ["sweep", "RM1", "--max-batch", "-3"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+            assert "--max-batch: must be at least 1" in capsys.readouterr().err
 
     def test_sweep_command_output(self, capsys):
         assert main(
