@@ -1,0 +1,49 @@
+"""Repo-wide pytest configuration: markers and command-line options.
+
+The suite is split into a fast tier (the default: every test collected by
+``pytest -q``) and a slow tier (benchmark-scale runs such as the 100k-query
+determinism matrix) gated behind the ``slow`` marker:
+
+* ``pytest -q`` — fast tier only; ``slow``-marked tests are skipped.
+* ``pytest -q --runslow`` — everything.
+* ``pytest -q --runslow -m slow`` — slow tier only (the dedicated CI job).
+
+``--update-goldens`` refreshes the experiment golden digests; see
+``tests/experiments/test_goldens.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (benchmark-scale determinism runs)",
+    )
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/experiments/goldens.json from the current results",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers", "slow: benchmark-scale test, skipped unless --runslow is given"
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to include it")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -16,7 +16,10 @@ Usage (also available as ``python -m repro``):
     replica-routing policy and print the run's headline aggregates.
     ``--cost-model skewed`` samples heterogeneous per-query gather costs from
     the workload's access distribution; ``--max-batch N`` lets replicas
-    coalesce queued queries into batches of up to ``N``.
+    coalesce queued queries into batches of up to ``N``; ``--faults`` injects
+    failures from a named fault scenario (``crash-storm``, ``rolling-drain``,
+    ...) or an inline fault script such as
+    ``'crash@120:policy=drop;drain@300+60:node=1'``.
 
 ``python -m repro sweep RM1 --scenarios constant,flash-crowd --routings all --workers 4``
     Fan a scenario × routing × replica-budget grid across worker processes
@@ -42,6 +45,7 @@ from repro.core.planner import ElasticRecPlanner
 from repro.hardware.specs import ClusterSpec, cpu_gpu_cluster, cpu_only_cluster
 from repro.model.configs import DLRMConfig, workload_presets
 from repro.serving.engine import ServingEngine
+from repro.serving.faults import fault_scenario_names, validate_fault_spec
 from repro.serving.routing import resolve_routing_names, routing_policy_names
 from repro.serving.scenarios import build_scenario, resolve_scenario_names, scenario_names
 from repro.serving.workload import cost_model_names
@@ -68,6 +72,14 @@ def _check_names(scenarios: str, routings: str, seed: int) -> tuple[list[str], l
         raise SystemExit("seed must be non-negative")
     try:
         return resolve_scenario_names(scenarios), resolve_routing_names(routings)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+
+
+def _check_faults(spec: str) -> None:
+    """Exit with a one-line hint on an unknown fault scenario or a bad script."""
+    try:
+        validate_fault_spec(spec)
     except ValueError as error:
         raise SystemExit(str(error)) from None
 
@@ -163,6 +175,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="queries one replica may coalesce into a batch (default: 1, no batching)",
     )
+    simulate.add_argument(
+        "--faults",
+        default="none",
+        help=(
+            "fault scenario or fault script, one of: "
+            f"{', '.join(fault_scenario_names())} — or e.g. "
+            "'crash@120:policy=drop;drain@300+60:node=1' (default: none)"
+        ),
+    )
     simulate.add_argument("--base-qps", type=float, default=18.0, help="baseline query rate")
     simulate.add_argument("--peak-qps", type=float, default=90.0, help="peak query rate")
     simulate.add_argument(
@@ -211,6 +232,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=1,
         help="per-replica batch cap applied to every cell (default: 1)",
+    )
+    sweep.add_argument(
+        "--faults",
+        default="none",
+        help=(
+            "fault scenario or fault script applied to every cell "
+            f"({', '.join(fault_scenario_names())} or a script; default: none)"
+        ),
     )
     sweep.add_argument("--workers", type=int, default=1, help="worker processes")
     sweep.add_argument("--base-qps", type=float, default=18.0, help="baseline query rate")
@@ -279,6 +308,7 @@ def _command_manifests(args: argparse.Namespace) -> int:
 
 def _command_simulate(args: argparse.Namespace) -> int:
     _check_names(args.scenario, args.routing, args.seed)
+    _check_faults(args.faults)
     workload = _resolve_workload(args.workload)
     cluster = _resolve_cluster(args.system, args.num_nodes)
     try:
@@ -302,6 +332,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
             seed=args.seed,
             cost_model=args.cost_model,
             max_batch=args.max_batch,
+            faults=args.faults,
         )
         result = engine.run(pattern)
         summary = result.summary()
@@ -314,6 +345,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
                 "mean_latency_ms": summary["mean_latency_ms"],
                 "p95_latency_ms": summary["p95_latency_ms"],
                 "sla_violations_pct": 100.0 * summary["sla_violation_fraction"],
+                "availability": result.availability_fraction,
                 "queries": summary["total_queries"],
             }
         )
@@ -335,6 +367,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
     _resolve_workload(args.workload)
     scenarios, routings = _check_names(args.scenarios, args.routings, args.seed)
+    _check_faults(args.faults)
     try:
         budgets = [int(b) for b in args.replica_budgets.split(",") if b.strip()]
     except ValueError:
@@ -353,6 +386,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         cost_model=args.cost_model,
         max_batch=args.max_batch,
+        faults=args.faults,
     )
     result = run_sweep(
         config,

@@ -46,6 +46,7 @@ class HorizontalPodAutoscaler:
     tolerance: float = 0.05
     _last_evaluation: float = field(default=float("-inf"), init=False)
     _desired_history: dict[str, list[tuple[float, int]]] = field(default_factory=dict, init=False)
+    _capacity_loss: dict[str, float] = field(default_factory=dict, init=False)
 
     def __post_init__(self) -> None:
         if self.evaluation_interval_s <= 0 or self.metric_window_s <= 0:
@@ -58,6 +59,19 @@ class HorizontalPodAutoscaler:
     def should_evaluate(self, now: float) -> bool:
         """Whether the evaluation interval has elapsed since the last run."""
         return now - self._last_evaluation >= self.evaluation_interval_s
+
+    def notice_capacity_loss(self, deployment_name: str, now: float = 0.0) -> None:
+        """Flag a deployment whose capacity was lost to a failure.
+
+        While the flag is set the HPA never recommends below the current
+        desired count: a crash-induced throughput dip must not trigger a
+        scale-down on top of the failure.  The flag clears once the active
+        replicas catch back up with the desired count — or after one
+        downscale-stabilisation window, so replacements that can *never* be
+        placed (a permanently drained pool) do not pin the desired count for
+        the rest of the run.
+        """
+        self._capacity_loss[deployment_name] = now
 
     def evaluate(
         self,
@@ -93,6 +107,18 @@ class HorizontalPodAutoscaler:
             raw_desired = current
         else:
             raw_desired = max(1, math.ceil(current * ratio))
+
+        flagged_at = self._capacity_loss.get(deployment.name)
+        if flagged_at is not None:
+            caught_up = len(deployment.active_replicas) >= deployment.desired_replicas
+            expired = now - flagged_at > self.downscale_stabilization_s
+            if caught_up or expired:
+                self._capacity_loss.pop(deployment.name, None)
+            else:
+                # Replacements for failed capacity are still materialising:
+                # hold the desired count so the failure-induced metric dip
+                # cannot scale the deployment down on top of the outage.
+                raw_desired = max(raw_desired, deployment.desired_replicas)
 
         desired = self._stabilize(deployment.name, raw_desired, current, now)
         desired = min(max(desired, deployment.min_replicas), deployment.max_replicas)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.cluster.container import Container, ContainerSpec
+from repro.cluster.container import Container, ContainerSpec, ContainerState
 from repro.cluster.deployment import Deployment
 from repro.cluster.metrics import MetricsRegistry
 from repro.cluster.node import Node
@@ -136,6 +136,17 @@ class Cluster:
         except KeyError:
             raise KeyError(f"no deployment named {name!r}") from None
 
+    def node(self, key: int | str) -> Node:
+        """Node by pool index or by name."""
+        if isinstance(key, int):
+            if not 0 <= key < len(self._nodes):
+                raise KeyError(f"no node at index {key} (pool has {len(self._nodes)})")
+            return self._nodes[key]
+        for node in self._nodes:
+            if node.name == key:
+                return node
+        raise KeyError(f"no node named {key!r}")
+
     @property
     def allocated_memory_bytes(self) -> float:
         """Memory reserved by every active container replica."""
@@ -211,3 +222,52 @@ class Cluster:
     def nodes_in_use(self) -> int:
         """Number of nodes hosting at least one active container."""
         return sum(1 for node in self._nodes if node.containers)
+
+    # ------------------------------------------------------------------
+    # Fault handling: crashes, drains, recovery
+    # ------------------------------------------------------------------
+    def fail_replica(self, container_name: str, now: float) -> bool:
+        """Kill one replica by name (fault injection).
+
+        The container is terminated and its node resources released; the
+        owning deployment's desired count is untouched, so the next reconcile
+        re-creates the replica (which then sits through its cold start).
+        Returns whether a matching live replica was found.
+        """
+        for deployment in self._deployments.values():
+            for container in deployment.replicas:
+                if (
+                    container.name == container_name
+                    and container.state is not ContainerState.TERMINATED
+                ):
+                    self._remove_container(container, now)
+                    return True
+        return False
+
+    def evict_node(self, key: int | str, now: float) -> list[str]:
+        """Evict every container on one node (the end of a drain's grace).
+
+        Returns the names of the evicted containers so callers can settle
+        their in-flight work.  The evicted replicas are re-created by the
+        next reconcile and re-placed on the remaining schedulable nodes.
+        """
+        node = self.node(key)
+        evicted = []
+        for container in node.containers:
+            evicted.append(container.name)
+            node.evict(container, now)
+        return evicted
+
+    def drain_node(self, key: int | str, now: float) -> list[str]:
+        """Cordon one node and immediately evict everything on it.
+
+        The serving engine's :class:`~repro.serving.faults.NodeDrain` event
+        adds a graceful phase between the cordon and the eviction; this
+        method is the grace-free composition for direct cluster callers.
+        """
+        self.node(key).cordon()
+        return self.evict_node(key, now)
+
+    def uncordon_node(self, key: int | str) -> None:
+        """Return a drained node to the schedulable pool."""
+        self.node(key).uncordon()

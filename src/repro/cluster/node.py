@@ -23,6 +23,7 @@ class Node:
             gpus=spec.gpus_per_node,
         )
         self._containers: dict[str, Container] = {}
+        self._schedulable = True
 
     @property
     def name(self) -> str:
@@ -54,6 +55,19 @@ class Node:
         """Cores currently reserved by placed containers."""
         return sum(c.spec.resources.cores for c in self._containers.values())
 
+    @property
+    def schedulable(self) -> bool:
+        """Whether the scheduler may place new containers here."""
+        return self._schedulable
+
+    def cordon(self) -> None:
+        """Mark the node unschedulable (drain); running containers survive."""
+        self._schedulable = False
+
+    def uncordon(self) -> None:
+        """Return the node to the schedulable pool."""
+        self._schedulable = True
+
     def can_fit(self, request: ResourceRequest) -> bool:
         """Whether a request fits in the remaining capacity."""
         return self._capacity.fits(request)
@@ -61,6 +75,8 @@ class Node:
     def place(self, container: Container, now: float) -> None:
         """Reserve resources for a container and start it."""
         request = container.spec.resources
+        if not self._schedulable:
+            raise ValueError(f"node {self._name} is cordoned")
         if not self.can_fit(request):
             raise ValueError(f"container {container.name} does not fit on node {self._name}")
         self._capacity.allocate(request)

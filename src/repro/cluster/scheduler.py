@@ -51,7 +51,11 @@ class BinPackingScheduler:
         return 1.0 - self.free_memory_bytes / total if total > 0 else 0.0
 
     def _best_node(self, request: ResourceRequest) -> Node | None:
-        feasible = [node for node in self._nodes if node.can_fit(request)]
+        # Cordoned (draining) nodes keep their running containers but take no
+        # new placements until they are uncordoned.
+        feasible = [
+            node for node in self._nodes if node.schedulable and node.can_fit(request)
+        ]
         if not feasible:
             return None
         return min(feasible, key=lambda n: n.free.memory_bytes - request.memory_bytes)

@@ -21,6 +21,7 @@ from repro.experiments import (
     fig20,
     headline,
     multitenant,
+    resilience,
     skew_sensitivity,
 )
 from repro.experiments.base import ExperimentResult
@@ -45,6 +46,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "headline": headline.run,
     "ablation": ablation.run,
     "multitenant": multitenant.run,
+    "resilience": resilience.run,
     "skew": skew_sensitivity.run,
 }
 

@@ -36,6 +36,7 @@ from repro.core.plan import DeploymentPlan
 from repro.experiments.common import cluster_for_system, plan_elasticrec
 from repro.model.configs import DLRMConfig, workload_presets
 from repro.serving.engine import MultiTenantEngine, TenantSpec
+from repro.serving.faults import validate_fault_spec
 from repro.serving.routing import resolve_routing_names
 from repro.serving.scenarios import build_scenario, resolve_scenario_names
 from repro.serving.workload import resolve_cost_model_name
@@ -67,6 +68,9 @@ class SweepConfig:
     autoscale: bool = True
     cost_model: str = "homogeneous"
     max_batch: int = 1
+    #: Fault scenario name or fault script applied to every cell's tenants
+    #: ("none" keeps the sweep bit-exact with a fault-unaware one).
+    faults: str = "none"
 
     def __post_init__(self) -> None:
         if self.tenants < 1:
@@ -80,6 +84,7 @@ class SweepConfig:
         if self.max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         resolve_cost_model_name(self.cost_model)
+        validate_fault_spec(self.faults)
 
 
 @dataclass(frozen=True)
@@ -177,6 +182,7 @@ def run_cell(config: SweepConfig, cell: SweepCell) -> dict[str, float | int | st
                 max_replicas=cell.replica_budget,
                 cost_model=config.cost_model,
                 max_batch=config.max_batch,
+                faults=config.faults,
             )
         )
     result = MultiTenantEngine(tenants, cluster_spec=plan.cluster).run()
@@ -189,6 +195,9 @@ def run_cell(config: SweepConfig, cell: SweepCell) -> dict[str, float | int | st
         else 0.0
     )
     violations = float(sum(r.sla_violation_count() for r in per_tenant))
+    failed = float(
+        sum(r.rejected_queries + r.dropped_queries for r in per_tenant)
+    )
     series = result.cluster_series
     return {
         "scenario": cell.scenario,
@@ -199,6 +208,8 @@ def run_cell(config: SweepConfig, cell: SweepCell) -> dict[str, float | int | st
         "mean_latency_ms": weighted_mean,
         "worst_p95_ms": max(r.overall_p95_latency_ms for r in per_tenant),
         "sla_violation_fraction": violations / queries if queries else 0.0,
+        "availability": 1.0 - failed / queries if queries else 1.0,
+        "requeued": float(sum(r.requeued_queries for r in per_tenant)),
         "peak_memory_gb": series.peak_memory_gb,
         "mean_utilization": series.mean_memory_utilization,
         "peak_pending": series.peak_pending_placements,

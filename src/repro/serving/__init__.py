@@ -34,6 +34,11 @@ discrete-event engine with pluggable policies:
   (``max_batch``, batching window, batch service times from the hardware
   layer's :class:`~repro.hardware.perf_model.BatchLatencyModel`; the default
   ``max_batch=1`` reproduces single-query queueing bit-for-bit).
+* :mod:`repro.serving.faults` — fault injection: scripted and stochastic
+  failure/recovery events (replica crash, node drain, straggler windows,
+  transient degradation) scheduled as first-class engine events with seeded
+  determinism.  See :data:`FAULT_SCENARIOS` / :func:`make_fault_model` and
+  the ``faults=`` knob on :class:`ServingEngine` / :class:`TenantSpec`.
 * :mod:`repro.serving.rpc` — the cross-shard RPC latency model.
 * :mod:`repro.serving.latency` — latency bookkeeping and percentiles.
 * :mod:`repro.serving.simulator` — :class:`ServingSimulator`, the historical
@@ -82,6 +87,18 @@ from repro.serving.scenarios import (
     sinusoidal,
     with_noise,
 )
+from repro.serving.faults import (
+    FAULT_SCENARIOS,
+    FaultModel,
+    NodeDrain,
+    RandomCrashes,
+    ReplicaCrash,
+    StragglerSlowdown,
+    TransientDegradation,
+    fault_scenario_names,
+    make_fault_model,
+    parse_fault_script,
+)
 from repro.serving.simulator import ServingSimulator
 from repro.serving.stress import StressTestResult, find_qps_max
 from repro.serving.workload import (
@@ -122,6 +139,16 @@ __all__ = [
     "with_noise",
     "find_qps_max",
     "StressTestResult",
+    "FaultModel",
+    "ReplicaCrash",
+    "NodeDrain",
+    "StragglerSlowdown",
+    "TransientDegradation",
+    "RandomCrashes",
+    "FAULT_SCENARIOS",
+    "fault_scenario_names",
+    "make_fault_model",
+    "parse_fault_script",
     "QueryCostModel",
     "HomogeneousCostModel",
     "SkewedCostModel",

@@ -18,7 +18,19 @@ Event types, in tie-breaking order at equal timestamps:
 * ``RECONCILE`` — drive the cluster toward the desired replica counts and
   mirror the active containers into replica queue servers;
 * ``SAMPLE`` — append one point to every recorded time series and reset the
-  per-interval accumulators.
+  per-interval accumulators;
+* ``FAULT`` — inject one failure from the run's fault timeline (replica
+  crash, node drain, straggler window, transient degradation — see
+  :mod:`repro.serving.faults`);
+* ``RECOVERY`` — a fault's scheduled transition: the end of a drain's grace
+  period (evict the node's containers and settle their in-flight queries),
+  a node uncordon, or the end of a slowdown window.
+
+Fault timelines are materialised at the start of each run from the tenant's
+fault model (scripted events verbatim, stochastic processes sampled from the
+dedicated ``[seed, 3]`` stream), so a faulty run is exactly as deterministic
+as a healthy one — and a run with no faults pushes no fault events at all,
+keeping it bit-exact with the fault-unaware engine.
 
 The same event loop drives one deployment plan (:class:`ServingEngine`) or a
 whole *multi-tenant cluster* (:class:`MultiTenantEngine`): N tenants, each
@@ -55,11 +67,12 @@ seed.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import itertools
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -70,6 +83,15 @@ from repro.cluster.deployment import Deployment
 from repro.core.plan import DeploymentPlan, ROLE_DENSE, ROLE_MONOLITHIC
 from repro.hardware.perf_model import PerfModel
 from repro.hardware.specs import ClusterSpec
+from repro.serving.faults import (
+    FaultModel,
+    NodeDrain,
+    ReplicaCrash,
+    StragglerSlowdown,
+    TransientDegradation,
+    make_fault_model,
+    validate_fault_spec,
+)
 from repro.serving.latency import LatencyTracker
 from repro.serving.replica_server import ReplicaServer
 from repro.serving.routing import RoutingPolicy, make_routing_policy
@@ -95,6 +117,8 @@ class EventKind(IntEnum):
     AUTOSCALE = 2
     RECONCILE = 3
     SAMPLE = 4
+    FAULT = 5
+    RECOVERY = 6
 
 
 @dataclass
@@ -119,6 +143,70 @@ class SimulationResult:
     #: Per-deployment mean queries-per-batch over each sample interval
     #: (0.0 where the interval completed no batches).
     batch_occupancy: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Name of the fault model driving the run ("none" for a healthy fleet).
+    faults: str = "none"
+    #: Per-deployment fraction of the interval's queries that were served
+    #: (neither rejected for lack of capacity nor dropped by a crash).
+    availability: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Per-deployment count of crash-displaced queries re-queued per interval.
+    requeues: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Queries rejected outright because a deployment had no routable replica.
+    rejected_queries: int = 0
+    #: Queries killed mid-flight by a crash/drain under the ``drop`` policy
+    #: (or re-queued into a deployment with no survivors).
+    dropped_queries: int = 0
+    #: Crash-displaced queries successfully re-queued onto a surviving replica.
+    requeued_queries: int = 0
+    #: Fault events that actually struck this tenant: one per crash,
+    #: straggler window, degradation window, or node drain that hit at least
+    #: one of the tenant's replicas.  Misfires (a crash against an empty
+    #: deployment, a drain of a node hosting none of the tenant's replicas)
+    #: are not counted.
+    faults_injected: int = 0
+
+    @property
+    def completed_queries(self) -> int:
+        """Queries served to completion (arrivals minus rejections and drops)."""
+        return self.tracker.num_samples - self.rejected_queries - self.dropped_queries
+
+    @property
+    def availability_fraction(self) -> float:
+        """Fraction of all arrivals that were served (1.0 with no traffic)."""
+        if self.tracker.num_samples == 0:
+            return 1.0
+        return self.completed_queries / self.tracker.num_samples
+
+    def reliability_summary(self) -> dict[str, float]:
+        """Fault-facing aggregates of the run (all zeros for a healthy fleet)."""
+        return {
+            "availability": self.availability_fraction,
+            "completed_queries": float(self.completed_queries),
+            "rejected_queries": float(self.rejected_queries),
+            "dropped_queries": float(self.dropped_queries),
+            "requeued_queries": float(self.requeued_queries),
+            "faults_injected": float(self.faults_injected),
+        }
+
+    def digest(self) -> str:
+        """Deterministic fingerprint of the run's series and aggregates."""
+        hasher = hashlib.sha256()
+        for array in (
+            self.sample_times,
+            self.target_qps,
+            self.achieved_qps,
+            self.memory_gb,
+            self.p95_latency_ms,
+            self.tracker.completion_times,
+            self.tracker.latencies_s,
+        ):
+            hasher.update(np.ascontiguousarray(array).tobytes())
+        for mapping in (self.replica_counts, self.availability, self.requeues):
+            for name in sorted(mapping):
+                hasher.update(name.encode())
+                hasher.update(np.ascontiguousarray(mapping[name]).tobytes())
+        hasher.update(repr(sorted(self.summary().items())).encode())
+        hasher.update(repr(sorted(self.reliability_summary().items())).encode())
+        return hasher.hexdigest()
 
     @property
     def peak_memory_gb(self) -> float:
@@ -223,6 +311,7 @@ class _TenantRuntime:
         cost_model: QueryCostModel | None = None,
         max_batch: int = 1,
         batch_window_s: float = 0.0,
+        faults: str | FaultModel | None = None,
     ) -> None:
         if sample_interval_s <= 0:
             raise ValueError("sample_interval_s must be positive")
@@ -230,6 +319,7 @@ class _TenantRuntime:
             raise ValueError("max_batch must be at least 1")
         if batch_window_s < 0:
             raise ValueError("batch_window_s must be non-negative")
+        validate_fault_spec(faults)
         self.name = name
         self.plan = plan
         self.deployments = list(deployments)
@@ -245,6 +335,7 @@ class _TenantRuntime:
         )
         self.max_batch = int(max_batch)
         self.batch_window_s = float(batch_window_s)
+        self.faults_spec = faults
         self.servers: dict[str, dict[str, ReplicaServer]] = {
             d.name: {} for d in self.deployments
         }
@@ -352,6 +443,46 @@ class _TenantRuntime:
             else 0
         )
         self.track_completions = self.policy.needs_completion_events
+        # Fault state.  A run whose model resolves to nothing (including the
+        # default no-fault configuration) keeps ``faults_on`` False, skips
+        # the in-flight registry entirely, and never touches the fault RNG —
+        # so it stays bit-exact with the fault-unaware engine.
+        fault_model = make_fault_model(self.faults_spec, pattern.duration_s)
+        self.faults_name = "none"
+        self.fault_timeline: list[tuple[float, object]] = []
+        if fault_model is not None:
+            self.faults_name = fault_model.name
+            self.fault_rng = np.random.default_rng([self.seed, 3])
+            self.fault_timeline = fault_model.timeline(pattern.duration_s, self.fault_rng)
+        self.faults_on = bool(self.fault_timeline)
+        # In-flight tracking is wider than faults_on: a tenant with no fault
+        # model of its own still needs its in-flight registry when *another*
+        # tenant's node drain can evict its replicas, so the driver turns
+        # this on for every tenant as soon as any tenant has a timeline.
+        self.track_inflight = self.faults_on
+        self.faults_injected = 0
+        #: (deployment, replica) -> stack of active straggler factors.
+        #: Stacks (not scalars) so overlapping windows compose: each window
+        #: pushes its factor and its recovery removes that one occurrence,
+        #: leaving any still-open window in force.
+        self.slowdowns: dict[tuple[str, str], list[float]] = {}
+        #: deployment -> stack of active transient-degradation factors.
+        self.degradations: dict[str, list[float]] = {}
+        #: (deployment, replica) -> [arrival, tracker index, shard
+        #: completion, base service seconds, cost multiplier] per in-flight
+        #: query, maintained only while faults are active.
+        self.inflight: dict[tuple[str, str], list[list[float]]] = {}
+        self.rejected_indices: set[int] = set()
+        self.dropped_indices: set[int] = set()
+        self.requeued_count = 0
+        self.interval_failures: dict[str, int] = {d.name: 0 for d in self.deployments}
+        self.interval_requeues: dict[str, int] = {d.name: 0 for d in self.deployments}
+        self.availability_series: dict[str, list[float]] = {
+            d.name: [] for d in self.deployments
+        }
+        self.requeue_series: dict[str, list[int]] = {
+            d.name: [] for d in self.deployments
+        }
 
     def _served_totals(self, deployment_name: str) -> tuple[int, int]:
         """Lifetime (queries, batches) served by a deployment's replicas."""
@@ -375,6 +506,8 @@ class _TenantRuntime:
         )
         completions: list[float] = []
         dense_names: list[str] = []
+        tracker_index = self.tracker.num_samples
+        rejected = False
         for deployment in self.deployments:
             name = deployment.name
             servers = list(self.servers[name].values())
@@ -387,6 +520,8 @@ class _TenantRuntime:
                 # rejection still lands in the interval metrics (count and
                 # latency), so the HPA can see the overload it most needs to
                 # react to.
+                self.interval_failures[name] += 1
+                rejected = True
                 completion = arrival + 2.0 * self.sla_s
                 completions.append(completion)
                 if self.dense_roles[name]:
@@ -394,8 +529,16 @@ class _TenantRuntime:
                 else:
                     self.interval_latencies[name].append(completion - arrival)
                 continue
+            if self.faults_on:
+                # Stragglers and transient degradations stretch this shard's
+                # service time; a healthy run multiplies by nothing.
+                service = service * self._slowdown_factor(name, server.name)
             completion = server.submit(arrival, service, multiplier=cost)
             self.policy.on_submit(name, server)
+            if self.track_inflight:
+                self.inflight.setdefault((name, server.name), []).append(
+                    [arrival, tracker_index, completion, self.service_times[name], cost]
+                )
             if heap is not None:
                 heapq.heappush(
                     heap,
@@ -416,7 +559,265 @@ class _TenantRuntime:
         # End-to-end latency is what the dense (or monolithic) shard's HPA sees.
         for name in dense_names:
             self.interval_latencies[name].append(latency)
+        if rejected:
+            self.rejected_indices.add(tracker_index)
         self.tracker.record(arrival + latency, latency)
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def _slowdown_factor(self, deployment_name: str, server_name: str) -> float:
+        """Combined service-time stretch of every window active on a replica.
+
+        Overlapping windows compound multiplicatively (a straggler inside a
+        deployment-wide degradation is slow twice over).
+        """
+        factor = 1.0
+        for value in self.degradations.get(deployment_name, ()):
+            factor *= value
+        for value in self.slowdowns.get((deployment_name, server_name), ()):
+            factor *= value
+        return factor
+
+    def _pick_target(
+        self, deployment: str | None, replica: int | None
+    ) -> tuple[str, str] | None:
+        """Choose a (deployment, replica) fault victim, deterministically.
+
+        ``deployment`` narrows by name substring; ``replica`` picks by index
+        (wrapped) over the replicas in creation order; anything unspecified
+        is drawn from the dedicated fault RNG.  Replica order is the servers
+        dict's insertion order — creation order — NOT name order: replica
+        names embed a process-global container counter, so sorting by name
+        would make victim choice depend on what ran earlier in the process
+        (breaking the serial == parallel sweep contract).  Returns ``None``
+        when no matching live replica exists (the fault misfires).
+        """
+        candidates = [
+            d.name
+            for d in self.deployments
+            if (deployment is None or deployment in d.name) and self.servers[d.name]
+        ]
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            target = candidates[0]
+        else:
+            target = candidates[int(self.fault_rng.integers(len(candidates)))]
+        names = list(self.servers[target])
+        if replica is not None:
+            victim = names[replica % len(names)]
+        else:
+            victim = names[int(self.fault_rng.integers(len(names)))]
+        return target, victim
+
+    def crash_replica(
+        self,
+        now: float,
+        event: ReplicaCrash,
+        tenant_index: int,
+        cluster: Cluster,
+        heap: list,
+        seq: itertools.count,
+    ) -> None:
+        """Kill one replica: evict its container and settle in-flight work."""
+        target = self._pick_target(event.deployment, event.replica)
+        if target is None:
+            return
+        deployment_name, victim = target
+        self._kill_server(now, deployment_name, victim, event.policy, tenant_index, heap, seq)
+        cluster.fail_replica(victim, now)
+        self.faults_injected += 1
+
+    def mark_draining(self, names: set[str]) -> bool:
+        """Stop routing new traffic to the named replicas (drain grace phase).
+
+        Counts the drain once per *struck* tenant in ``faults_injected``
+        (a drain of a node hosting none of the tenant's replicas does not
+        count as having struck it).
+        """
+        struck = False
+        for deployment in self.deployments:
+            for name, server in self.servers[deployment.name].items():
+                if name in names:
+                    server.start_drain()
+                    struck = True
+        if struck:
+            self.faults_injected += 1
+        return struck
+
+    def on_replicas_lost(
+        self,
+        now: float,
+        lost_names: set[str],
+        policy: str,
+        tenant_index: int,
+        heap: list,
+        seq: itertools.count,
+    ) -> None:
+        """Settle the fallout of replicas evicted cluster-side (node drain)."""
+        for deployment in self.deployments:
+            # Iterate in the servers dict's insertion (creation) order, not
+            # name order — see _pick_target for why name order is unstable.
+            victims = [n for n in self.servers[deployment.name] if n in lost_names]
+            for victim in victims:
+                self._kill_server(
+                    now, deployment.name, victim, policy, tenant_index, heap, seq
+                )
+
+    def _kill_server(
+        self,
+        now: float,
+        deployment_name: str,
+        victim: str,
+        policy: str,
+        tenant_index: int,
+        heap: list,
+        seq: itertools.count,
+    ) -> None:
+        server = self.servers[deployment_name].pop(victim)
+        server.fail()
+        totals = self._retired_totals[deployment_name]
+        totals[0] += server.completed_queries
+        totals[1] += server.completed_batches
+        self.slowdowns.pop((deployment_name, victim), None)
+        # Hold the HPA's desired count steady while the replacement starts.
+        self.autoscaler.notice_capacity_loss(deployment_name, now)
+        self._reassign_inflight(now, deployment_name, victim, policy, tenant_index, heap, seq)
+
+    def _reassign_inflight(
+        self,
+        now: float,
+        deployment_name: str,
+        victim: str,
+        policy: str,
+        tenant_index: int,
+        heap: list,
+        seq: itertools.count,
+    ) -> None:
+        """Re-queue or drop the dead replica's unfinished queries."""
+        for entry in self.inflight.pop((deployment_name, victim), []):
+            arrival, tracker_index, completion, service, cost = entry
+            tracker_index = int(tracker_index)
+            if completion <= now:
+                continue  # finished before the failure
+            if tracker_index in self.dropped_indices or tracker_index in self.rejected_indices:
+                continue  # the query already failed elsewhere
+            new_server = None
+            if policy == "requeue":
+                survivors = list(self.servers[deployment_name].values())
+                if survivors:
+                    new_server = self.policy.select(
+                        deployment_name, survivors, now, cost=(service, cost)
+                    )
+            if new_server is None:
+                # Dropped: charge the rejection penalty (the query never
+                # completed, so its recorded latency becomes the penalty).
+                self.dropped_indices.add(tracker_index)
+                self.interval_failures[deployment_name] += 1
+                _, old_latency = self.tracker.sample(tracker_index)
+                latency = max(old_latency, 2.0 * self.sla_s)
+                self.tracker.update(tracker_index, arrival + latency, latency)
+                continue
+            effective = service * self._slowdown_factor(deployment_name, new_server.name)
+            new_completion = new_server.submit(now, effective, multiplier=cost)
+            self.policy.on_submit(deployment_name, new_server)
+            self.inflight.setdefault((deployment_name, new_server.name), []).append(
+                [arrival, tracker_index, new_completion, service, cost]
+            )
+            if self.track_completions:
+                heapq.heappush(
+                    heap,
+                    (
+                        new_completion,
+                        EventKind.COMPLETION,
+                        next(seq),
+                        (tenant_index, deployment_name, new_server.name),
+                    ),
+                )
+            self.requeued_count += 1
+            self.interval_requeues[deployment_name] += 1
+            # The re-queued shard finishes later than anything recorded for
+            # this query so far, so it now defines the end-to-end latency.
+            old_completion, _ = self.tracker.sample(tracker_index)
+            new_total = new_completion + self.rpc_overhead_s
+            if new_total > old_completion:
+                self.tracker.update(tracker_index, new_total, new_total - arrival)
+
+    def start_straggler(
+        self,
+        now: float,
+        event: StragglerSlowdown,
+        tenant_index: int,
+        heap: list,
+        seq: itertools.count,
+    ) -> None:
+        """Slow one replica down for the event's window."""
+        target = self._pick_target(event.deployment, event.replica)
+        if target is None:
+            return
+        deployment_name, victim = target
+        self.slowdowns.setdefault((deployment_name, victim), []).append(
+            float(event.factor)
+        )
+        self.faults_injected += 1
+        heapq.heappush(
+            heap,
+            (
+                now + event.duration_s,
+                EventKind.RECOVERY,
+                next(seq),
+                (tenant_index, ("straggler-end", deployment_name, victim, float(event.factor))),
+            ),
+        )
+
+    def start_degradation(
+        self,
+        now: float,
+        event: TransientDegradation,
+        tenant_index: int,
+        heap: list,
+        seq: itertools.count,
+    ) -> None:
+        """Slow every replica of the matched deployments down for a window."""
+        names = tuple(
+            d.name
+            for d in self.deployments
+            if event.deployment is None or event.deployment in d.name
+        )
+        if not names:
+            return
+        for name in names:
+            self.degradations.setdefault(name, []).append(float(event.factor))
+        self.faults_injected += 1
+        heapq.heappush(
+            heap,
+            (
+                now + event.duration_s,
+                EventKind.RECOVERY,
+                next(seq),
+                (tenant_index, ("degrade-end", names, float(event.factor))),
+            ),
+        )
+
+    @staticmethod
+    def _remove_factor(stacks: dict, key, factor: float) -> None:
+        """Remove one occurrence of a window's factor from a stack."""
+        stack = stacks.get(key)
+        if stack is None:
+            return  # the replica was killed (its stack was discarded)
+        if factor in stack:
+            stack.remove(factor)
+        if not stack:
+            del stacks[key]
+
+    def recover(self, action: tuple) -> None:
+        """End one windowed fault, leaving any overlapping windows in force."""
+        if action[0] == "straggler-end":
+            self._remove_factor(self.slowdowns, (action[1], action[2]), action[3])
+        elif action[0] == "degrade-end":
+            for name in action[1]:
+                self._remove_factor(self.degradations, name, action[2])
 
     def record_interval_metrics(self, now: float, metrics) -> None:
         for deployment in self.deployments:
@@ -453,9 +854,28 @@ class _TenantRuntime:
                 # being dropped from the occupancy accounting.
                 occupancy = 0.0
             self.batch_occupancy_series[deployment.name].append(occupancy)
+            offered = self.interval_counts[deployment.name]
+            failures = self.interval_failures[deployment.name]
+            if offered:
+                # Drops of queries offered in an earlier interval can push
+                # failures past this interval's offered count; availability
+                # is clamped at zero rather than going negative.
+                available = max(0.0, 1.0 - failures / offered)
+            else:
+                available = 1.0 if failures == 0 else 0.0
+            self.availability_series[deployment.name].append(available)
+            self.requeue_series[deployment.name].append(
+                self.interval_requeues[deployment.name]
+            )
+        if self.track_inflight:
+            # Prune settled in-flight entries so the registry stays bounded.
+            for key, entries in self.inflight.items():
+                self.inflight[key] = [e for e in entries if e[2] > now]
         for name in self.interval_counts:
             self.interval_counts[name] = 0
             self.interval_latencies[name] = []
+            self.interval_failures[name] = 0
+            self.interval_requeues[name] = 0
 
     def finish_run(self) -> SimulationResult:
         sample_times = np.asarray(self.sample_times)
@@ -478,7 +898,75 @@ class _TenantRuntime:
             batch_occupancy={
                 k: np.asarray(v) for k, v in self.batch_occupancy_series.items()
             },
+            faults=self.faults_name,
+            availability={
+                k: np.asarray(v) for k, v in self.availability_series.items()
+            },
+            requeues={
+                k: np.asarray(v, dtype=np.int64) for k, v in self.requeue_series.items()
+            },
+            rejected_queries=len(self.rejected_indices),
+            dropped_queries=len(self.dropped_indices),
+            requeued_queries=self.requeued_count,
+            faults_injected=self.faults_injected,
         )
+
+
+def _apply_fault(
+    now: float,
+    event,
+    tenant_index: int,
+    runtimes: Sequence[_TenantRuntime],
+    cluster: Cluster,
+    heap: list,
+    seq: itertools.count,
+) -> None:
+    """Dispatch one fault event from a tenant's timeline."""
+    runtime = runtimes[tenant_index]
+    if isinstance(event, ReplicaCrash):
+        runtime.crash_replica(now, event, tenant_index, cluster, heap, seq)
+    elif isinstance(event, NodeDrain):
+        # Draining hits the shared node pool, so *every* tenant's replicas on
+        # the node are affected — not just the tenant whose timeline fired.
+        # Phase 1 (now): cordon the node and mark its replicas draining, so
+        # routing stops sending them new queries while queued work keeps
+        # running.  Phase 2 (now + grace_s, scheduled below): evict the
+        # containers and settle still-unfinished queries per the in-flight
+        # policy.  A drain aimed past the pool misfires (like a crash aimed
+        # at an empty deployment) instead of aborting the run.
+        try:
+            node = cluster.node(event.node)
+        except KeyError:
+            return
+        node.cordon()
+        draining = {container.name for container in node.containers}
+        for affected in runtimes:
+            affected.mark_draining(draining)
+        heapq.heappush(
+            heap,
+            (
+                now + event.grace_s,
+                EventKind.RECOVERY,
+                next(seq),
+                (tenant_index, ("drain-evict", event.node, event.policy)),
+            ),
+        )
+        if event.duration_s > 0:
+            heapq.heappush(
+                heap,
+                (
+                    now + event.duration_s,
+                    EventKind.RECOVERY,
+                    next(seq),
+                    (tenant_index, ("uncordon", event.node)),
+                ),
+            )
+    elif isinstance(event, StragglerSlowdown):
+        runtime.start_straggler(now, event, tenant_index, heap, seq)
+    elif isinstance(event, TransientDegradation):
+        runtime.start_degradation(now, event, tenant_index, heap, seq)
+    else:  # pragma: no cover - the fault model only emits the types above
+        raise TypeError(f"unknown fault event {event!r}")
 
 
 def _drive(
@@ -486,12 +974,15 @@ def _drive(
     runtimes: Sequence[_TenantRuntime],
     patterns: Sequence[TrafficPattern],
     probe=None,
+    on_event: Callable[[float, int], None] | None = None,
 ) -> list[SimulationResult]:
     """Run every tenant's traffic through one shared event heap.
 
     ``probe``, if given, is called as ``probe(now)`` after each tenant sample
     point (at equal timestamps every reconcile precedes every sample, so the
-    probe always observes a settled cluster).
+    probe always observes a settled cluster).  ``on_event``, if given, is
+    called as ``on_event(now, kind)`` for every popped heap event — the
+    property-based tests use it to assert event-time monotonicity.
     """
     for runtime, pattern in zip(runtimes, patterns):
         runtime.begin_run(pattern)
@@ -511,9 +1002,23 @@ def _drive(
             heapq.heappush(
                 heap, (float(runtime.arrivals[0]), EventKind.ARRIVAL, next(seq), (tenant_index, 0))
             )
+    # Fault timelines are empty unless a tenant configured a fault model, so
+    # a healthy run pushes nothing here (and consumes no sequence numbers).
+    for tenant_index, runtime in enumerate(runtimes):
+        for at_s, event in runtime.fault_timeline:
+            heapq.heappush(
+                heap, (float(at_s), EventKind.FAULT, next(seq), (tenant_index, event))
+            )
+    if any(runtime.fault_timeline for runtime in runtimes):
+        # One tenant's node drain can evict any tenant's replicas, so every
+        # tenant must maintain its in-flight registry to settle the fallout.
+        for runtime in runtimes:
+            runtime.track_inflight = True
 
     while heap:
         now, kind, _, payload = heapq.heappop(heap)
+        if on_event is not None:
+            on_event(now, kind)
         if kind == EventKind.ARRIVAL:
             tenant_index, index = payload
             runtime = runtimes[tenant_index]
@@ -558,6 +1063,24 @@ def _drive(
             cluster.reconcile(now)
             for runtime in runtimes:
                 runtime.sync_servers(now)
+        elif kind == EventKind.FAULT:
+            tenant_index, event = payload
+            _apply_fault(now, event, tenant_index, runtimes, cluster, heap, seq)
+        elif kind == EventKind.RECOVERY:
+            tenant_index, action = payload
+            if action[0] == "uncordon":
+                cluster.uncordon_node(action[1])
+            elif action[0] == "drain-evict":
+                # End of a drain's grace period: evict whatever is still on
+                # the (cordoned) node and settle its in-flight queries.
+                lost = set(cluster.evict_node(action[1], now))
+                if lost:
+                    for index, affected in enumerate(runtimes):
+                        affected.on_replicas_lost(
+                            now, lost, action[2], index, heap, seq
+                        )
+            else:
+                runtimes[tenant_index].recover(action)
         else:  # EventKind.SAMPLE
             runtimes[payload].sample(now)
             if probe is not None:
@@ -590,6 +1113,7 @@ class ServingEngine:
         cost_model: str | QueryCostModel = "homogeneous",
         max_batch: int = 1,
         batch_window_s: float = 0.0,
+        faults: str | FaultModel | None = None,
     ) -> None:
         if sample_interval_s <= 0:
             raise ValueError("sample_interval_s must be positive")
@@ -609,6 +1133,7 @@ class ServingEngine:
             cost_model=make_cost_model(cost_model, plan.workload),
             max_batch=max_batch,
             batch_window_s=batch_window_s,
+            faults=faults,
         )
         self._cluster.reconcile(0.0)
         if warm_start:
@@ -625,9 +1150,17 @@ class ServingEngine:
         """The active replica-selection policy."""
         return self._runtime.policy
 
-    def run(self, pattern: TrafficPattern) -> SimulationResult:
-        """Simulate the plan under the given traffic pattern."""
-        return _drive(self._cluster, [self._runtime], [pattern])[0]
+    def run(
+        self,
+        pattern: TrafficPattern,
+        on_event: Callable[[float, int], None] | None = None,
+    ) -> SimulationResult:
+        """Simulate the plan under the given traffic pattern.
+
+        ``on_event``, if given, observes every popped heap event as
+        ``on_event(now, kind)`` (used by invariant tests).
+        """
+        return _drive(self._cluster, [self._runtime], [pattern], on_event=on_event)[0]
 
 
 # ----------------------------------------------------------------------
@@ -658,6 +1191,7 @@ class TenantSpec:
     cost_model: str | QueryCostModel = "homogeneous"
     max_batch: int = 1
     batch_window_s: float = 0.0
+    faults: str | FaultModel | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -672,6 +1206,7 @@ class TenantSpec:
             raise ValueError("max_batch must be at least 1")
         if self.batch_window_s < 0:
             raise ValueError("batch_window_s must be non-negative")
+        validate_fault_spec(self.faults)
 
 
 @dataclass
@@ -844,6 +1379,7 @@ class MultiTenantEngine:
                     cost_model=make_cost_model(tenant.cost_model, tenant.plan.workload),
                     max_batch=tenant.max_batch,
                     batch_window_s=tenant.batch_window_s,
+                    faults=tenant.faults,
                 )
             )
         self._cluster.reconcile(0.0)
@@ -862,7 +1398,9 @@ class MultiTenantEngine:
         """Tenant names, in registration order."""
         return [t.name for t in self._specs]
 
-    def run(self) -> MultiTenantResult:
+    def run(
+        self, on_event: Callable[[float, int], None] | None = None
+    ) -> MultiTenantResult:
         """Drive every tenant's traffic pattern through the shared event heap."""
         probe = _ClusterProbe(self._cluster)
         results = _drive(
@@ -870,6 +1408,7 @@ class MultiTenantEngine:
             self._runtimes,
             [tenant.pattern for tenant in self._specs],
             probe=probe,
+            on_event=on_event,
         )
         return MultiTenantResult(
             tenants={result.tenant: result for result in results},

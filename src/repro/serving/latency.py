@@ -35,6 +35,26 @@ class LatencyTracker:
         self._completion_times.append(completion_time)
         self._latencies.append(latency_s)
 
+    def sample(self, index: int) -> tuple[float, float]:
+        """The ``(completion_time, latency_s)`` pair of one recorded query."""
+        if not 0 <= index < len(self._latencies):
+            raise IndexError(f"no sample at index {index}")
+        return self._completion_times[index], self._latencies[index]
+
+    def update(self, index: int, completion_time: float, latency_s: float) -> None:
+        """Rewrite one recorded query in place.
+
+        Fault handling uses this to re-price queries whose replica died
+        mid-flight: a re-queued query completes later than first recorded,
+        and a dropped one is charged the rejection penalty.
+        """
+        if latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+        if not 0 <= index < len(self._latencies):
+            raise IndexError(f"no sample at index {index}")
+        self._completion_times[index] = completion_time
+        self._latencies[index] = latency_s
+
     @property
     def num_samples(self) -> int:
         """Number of recorded completions."""

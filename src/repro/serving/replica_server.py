@@ -58,6 +58,8 @@ class ReplicaServer:
         self._completed = 0
         self._batches = 0
         self._busy_time = 0.0
+        self._failed = False
+        self._draining = False
         # Forming-batch state: service-start time, member count, summed cost
         # multipliers and the batch's base (mean per-query) service time.
         self._batch_start = 0.0
@@ -104,9 +106,31 @@ class ReplicaServer:
         """Total service time accumulated (for utilization accounting)."""
         return self._busy_time
 
+    @property
+    def failed(self) -> bool:
+        """Whether the replica was killed by a fault event."""
+        return self._failed
+
+    @property
+    def draining(self) -> bool:
+        """Whether the replica is being drained (no new traffic)."""
+        return self._draining
+
+    def fail(self) -> None:
+        """Mark the replica dead (fault injection): it must not serve again."""
+        self._failed = True
+
+    def start_drain(self) -> None:
+        """Stop accepting new traffic ahead of an eviction."""
+        self._draining = True
+
     def is_ready(self, now: float) -> bool:
         """Whether the replica can accept traffic at ``now``."""
         return now >= self._ready_at
+
+    def is_available(self, now: float) -> bool:
+        """Ready *and* neither failed nor draining: routable at ``now``."""
+        return not self._failed and not self._draining and now >= self._ready_at
 
     def pending_work(self, now: float) -> float:
         """Seconds of queued work ahead of a query submitted at ``now``."""

@@ -38,6 +38,16 @@ Available policies (see :data:`ROUTING_POLICIES`):
     *predicted completion* for this specific query, using the cost hint and
     each replica's forming batch (a replica with a joinable batch finishes an
     extra query earlier than its queue-drain time suggests).
+``recovery-aware``
+    Least-work with a cold-replica penalty: a replica that (re)joined the
+    pool within the warm-up window looks ``warmup`` seconds busier than its
+    queue says, so traffic shifts back onto recently-recovered replicas
+    gradually instead of stampeding them while their caches are cold.
+
+Every policy excludes dead and draining replicas: a replica killed or
+cordoned by the fault layer (:mod:`repro.serving.faults`) never receives new
+traffic, even when the selection happens in the same event-loop step as the
+failure.
 """
 
 from __future__ import annotations
@@ -61,6 +71,7 @@ __all__ = [
     "ReadyOnlyPolicy",
     "LeastOutstandingPolicy",
     "CostWeightedPolicy",
+    "RecoveryAwarePolicy",
     "ROUTING_POLICIES",
     "make_routing_policy",
     "routing_policy_names",
@@ -76,9 +87,17 @@ def _queue_drain_time(server: ReplicaServer) -> float:
 def _ready_pool(
     servers: Sequence[ReplicaServer], now: float
 ) -> Sequence[ReplicaServer]:
-    """Ready replicas, falling back to all replicas when none is ready yet."""
-    ready = [s for s in servers if s.is_ready(now)]
-    return ready if ready else servers
+    """Routable replicas: available ones, else still-starting live ones.
+
+    Preference order mirrors the historical behaviour — ready replicas first,
+    falling back to replicas that have not finished starting — but dead and
+    draining replicas are excluded outright: an empty result means every
+    replica is gone and the query must be rejected.
+    """
+    ready = [s for s in servers if s.is_available(now)]
+    if ready:
+        return ready
+    return [s for s in servers if not s.failed and not s.draining]
 
 
 class RoutingPolicy:
@@ -129,9 +148,10 @@ class LeastWorkPolicy(RoutingPolicy):
         now: float,
         cost: tuple[float, float] | None = None,
     ) -> ReplicaServer | None:
-        if not servers:
+        pool = _ready_pool(servers, now)
+        if not pool:
             return None
-        return self._balancer.pick(deployment_name, _ready_pool(servers, now))
+        return self._balancer.pick(deployment_name, pool)
 
 
 class RoundRobinPolicy(RoutingPolicy):
@@ -152,9 +172,10 @@ class RoundRobinPolicy(RoutingPolicy):
         now: float,
         cost: tuple[float, float] | None = None,
     ) -> ReplicaServer | None:
-        if not servers:
+        pool = _ready_pool(servers, now)
+        if not pool:
             return None
-        return self._balancer.pick(deployment_name, _ready_pool(servers, now))
+        return self._balancer.pick(deployment_name, pool)
 
 
 class PowerOfTwoPolicy(RoutingPolicy):
@@ -175,9 +196,10 @@ class PowerOfTwoPolicy(RoutingPolicy):
         now: float,
         cost: tuple[float, float] | None = None,
     ) -> ReplicaServer | None:
-        if not servers:
+        pool = _ready_pool(servers, now)
+        if not pool:
             return None
-        return self._balancer.pick(deployment_name, _ready_pool(servers, now))
+        return self._balancer.pick(deployment_name, pool)
 
 
 class ReadyOnlyPolicy(RoutingPolicy):
@@ -195,7 +217,7 @@ class ReadyOnlyPolicy(RoutingPolicy):
         now: float,
         cost: tuple[float, float] | None = None,
     ) -> ReplicaServer | None:
-        ready = [s for s in servers if s.is_ready(now)]
+        ready = [s for s in servers if s.is_available(now)]
         if not ready:
             return None
         return self._balancer.pick(deployment_name, ready)
@@ -231,10 +253,11 @@ class LeastOutstandingPolicy(RoutingPolicy):
         now: float,
         cost: tuple[float, float] | None = None,
     ) -> ReplicaServer | None:
-        if not servers:
+        pool = _ready_pool(servers, now)
+        if not pool:
             return None
         self._deployment = deployment_name
-        return self._balancer.pick(deployment_name, _ready_pool(servers, now))
+        return self._balancer.pick(deployment_name, pool)
 
     def on_submit(self, deployment_name: str, server: ReplicaServer) -> None:
         key = (deployment_name, server.name)
@@ -272,15 +295,62 @@ class CostWeightedPolicy(RoutingPolicy):
         now: float,
         cost: tuple[float, float] | None = None,
     ) -> ReplicaServer | None:
-        if not servers:
-            return None
         pool = _ready_pool(servers, now)
+        if not pool:
+            return None
         if cost is None:
             return min(pool, key=_queue_drain_time)
         service_s, multiplier = cost
         return min(
             pool, key=lambda s: s.predicted_completion(now, service_s, multiplier)
         )
+
+
+class RecoveryAwarePolicy(RoutingPolicy):
+    """Least-work with a penalty on recently-recovered cold replicas.
+
+    A replica that just (re)joined the pool — the replacement for a crashed
+    replica, a re-placed drain victim, or a fresh scale-up — starts with cold
+    caches, so stampeding the whole backlog onto it the moment it turns ready
+    re-creates the very tail spike the recovery was meant to end.  This
+    policy makes a cold replica look a few *queries* busier than its queue
+    says: the penalty is ``cold_penalty_queries`` service times, scaled by
+    the fraction of the warm-up window still remaining, using the engine's
+    cost hint for the service time.  The penalty therefore fades linearly
+    over ``warmup_s`` and is proportional to real work — a cold replica is
+    deprioritised, not quarantined, so a long queue on the warm replicas
+    still overflows onto it.  Replicas ready for longer than ``warmup_s``
+    (and all replicas when no cost hint is supplied) rank exactly as under
+    least-work; ties resolve to the replica listed first.
+    """
+
+    name = "recovery-aware"
+
+    def __init__(self, warmup_s: float = 60.0, cold_penalty_queries: float = 4.0) -> None:
+        if warmup_s <= 0:
+            raise ValueError("warmup_s must be positive")
+        if cold_penalty_queries < 0:
+            raise ValueError("cold_penalty_queries must be non-negative")
+        self.warmup_s = float(warmup_s)
+        self.cold_penalty_queries = float(cold_penalty_queries)
+
+    def _key(self, server: ReplicaServer, now: float, service_s: float) -> float:
+        remaining_fraction = max(0.0, (server.ready_at + self.warmup_s - now)) / self.warmup_s
+        penalty = self.cold_penalty_queries * service_s * remaining_fraction
+        return _queue_drain_time(server) + penalty
+
+    def select(
+        self,
+        deployment_name: str,
+        servers: Sequence[ReplicaServer],
+        now: float,
+        cost: tuple[float, float] | None = None,
+    ) -> ReplicaServer | None:
+        pool = _ready_pool(servers, now)
+        if not pool:
+            return None
+        service_s = cost[0] * cost[1] if cost is not None else 0.0
+        return min(pool, key=lambda s: self._key(s, now, service_s))
 
 
 #: Registry of routing policies by CLI-facing name.
@@ -293,6 +363,7 @@ ROUTING_POLICIES: dict[str, type[RoutingPolicy]] = {
         ReadyOnlyPolicy,
         LeastOutstandingPolicy,
         CostWeightedPolicy,
+        RecoveryAwarePolicy,
     )
 }
 

@@ -28,6 +28,7 @@ from repro.cluster.autoscaler import HorizontalPodAutoscaler
 from repro.cluster.cluster import Cluster
 from repro.core.plan import DeploymentPlan
 from repro.serving.engine import ServingEngine, SimulationResult
+from repro.serving.faults import FaultModel
 from repro.serving.routing import RoutingPolicy
 from repro.serving.traffic import TrafficPattern
 from repro.serving.workload import QueryCostModel
@@ -52,6 +53,7 @@ class ServingSimulator:
         cost_model: str | QueryCostModel = "homogeneous",
         max_batch: int = 1,
         batch_window_s: float = 0.0,
+        faults: str | FaultModel | None = None,
     ) -> None:
         self._engine = ServingEngine(
             plan,
@@ -66,6 +68,7 @@ class ServingSimulator:
             cost_model=cost_model,
             max_batch=max_batch,
             batch_window_s=batch_window_s,
+            faults=faults,
         )
 
     @property

@@ -88,3 +88,57 @@ class TestReconciliation:
         cluster.reconcile(0.0)
         # Still starting (not ready) but memory is already allocated.
         assert cluster.allocated_memory_gb == pytest.approx(4.0)
+
+
+class TestFaultHandling:
+    """Drain, cordon and single-replica failure at the cluster layer."""
+
+    def test_node_accessor_by_index_and_name(self, cluster):
+        node = cluster.node(0)
+        assert cluster.node(node.name) is node
+        with pytest.raises(KeyError):
+            cluster.node(99)
+        with pytest.raises(KeyError):
+            cluster.node("nonexistent")
+
+    def test_drain_node_cordons_and_evicts(self, cluster):
+        # Best-fit packing puts both small replicas on one node; drain it.
+        deployment = cluster.create_deployment(small_spec(cores=16), desired_replicas=2)
+        cluster.reconcile(0.0)
+        victim_node = cluster.node(deployment.active_replicas[0].node_name)
+        before = {c.name for c in victim_node.containers}
+        evicted = cluster.drain_node(victim_node.name, 5.0)
+        assert set(evicted) == before and evicted
+        assert not victim_node.schedulable
+        assert not victim_node.containers
+        # The next reconcile re-creates the replicas on the other node only.
+        cluster.reconcile(6.0)
+        assert len(deployment.active_replicas) == 2
+        assert all(c.node_name != victim_node.name for c in deployment.active_replicas)
+
+    def test_uncordon_reopens_the_node(self, cluster):
+        cluster.drain_node(0, 0.0)
+        assert not cluster.node(0).schedulable
+        cluster.uncordon_node(0)
+        assert cluster.node(0).schedulable
+
+    def test_cordoned_node_rejects_direct_placement(self, cluster):
+        from repro.cluster.container import Container
+
+        cluster.node(0).cordon()
+        with pytest.raises(ValueError, match="cordoned"):
+            cluster.node(0).place(Container(spec=small_spec()), 0.0)
+
+    def test_fail_replica_releases_resources_and_reconcile_replaces(self, cluster):
+        deployment = cluster.create_deployment(small_spec(), desired_replicas=1)
+        cluster.reconcile(0.0)
+        container = deployment.active_replicas[0]
+        free_before = cluster.node(container.node_name).free.cores
+        assert cluster.fail_replica(container.name, 1.0)
+        assert cluster.node(container.node_name).free.cores > free_before
+        assert not deployment.active_replicas
+        cluster.reconcile(2.0)
+        assert len(deployment.active_replicas) == 1
+
+    def test_fail_replica_unknown_name_is_a_noop(self, cluster):
+        assert not cluster.fail_replica("ghost-1", 0.0)

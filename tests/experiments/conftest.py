@@ -1,0 +1,18 @@
+"""Shared fixtures for the experiment tests.
+
+``run_all()`` regenerates every registered experiment and is by far the most
+expensive call in the suite, so its results are computed once per session and
+shared between the registry smoke tests and the golden digest tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_all
+
+
+@pytest.fixture(scope="session")
+def all_results():
+    """Every registered experiment's result, computed once per session."""
+    return run_all()

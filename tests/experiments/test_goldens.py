@@ -1,0 +1,71 @@
+"""Golden regression tests: one locked summary digest per experiment.
+
+Every registered experiment's ``summary`` is reduced to a one-line digest
+(sorted keys, floats rounded to 10 significant digits, sha256-hashed) and
+compared against ``tests/experiments/goldens.json``.  Any behavioural change
+to an experiment — intended or not — shows up as a digest mismatch naming the
+experiment, so refactors that must preserve results (such as threading fault
+awareness through the engine) are locked to be bit-exact.
+
+Refreshing after an *intended* change::
+
+    python -m pytest tests/experiments/test_goldens.py --update-goldens
+
+then commit the rewritten ``goldens.json`` alongside the change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS
+
+GOLDENS_PATH = Path(__file__).parent / "goldens.json"
+
+
+def summary_digest(summary: dict[str, float]) -> str:
+    """One-line fingerprint of an experiment summary.
+
+    Floats are rounded to 10 significant digits before hashing, so the digest
+    survives representation noise while still catching any real change.
+    """
+    canonical = sorted((key, f"{float(value):.10g}") for key, value in summary.items())
+    return hashlib.sha256(repr(canonical).encode()).hexdigest()[:16]
+
+
+def current_digests(all_results) -> dict[str, str]:
+    return {
+        experiment_id: summary_digest(result.summary)
+        for experiment_id, result in sorted(all_results.items())
+    }
+
+
+class TestGoldenDigests:
+    def test_goldens_file_tracks_the_registry(self):
+        goldens = json.loads(GOLDENS_PATH.read_text())
+        assert set(goldens) == set(EXPERIMENTS), (
+            "goldens.json is out of sync with the experiment registry; "
+            "refresh it with: python -m pytest tests/experiments/test_goldens.py "
+            "--update-goldens"
+        )
+
+    def test_every_experiment_matches_its_golden_digest(self, all_results, request):
+        digests = current_digests(all_results)
+        if request.config.getoption("--update-goldens", default=False):
+            GOLDENS_PATH.write_text(json.dumps(digests, indent=2) + "\n")
+            pytest.skip(f"rewrote {GOLDENS_PATH.name} with {len(digests)} digests")
+        goldens = json.loads(GOLDENS_PATH.read_text())
+        mismatched = {
+            experiment_id: (goldens.get(experiment_id), digest)
+            for experiment_id, digest in digests.items()
+            if goldens.get(experiment_id) != digest
+        }
+        assert not mismatched, (
+            f"summary digests changed for {sorted(mismatched)} — if intended, "
+            "refresh with: python -m pytest tests/experiments/test_goldens.py "
+            "--update-goldens"
+        )

@@ -7,12 +7,10 @@ import math
 import pytest
 
 from repro.experiments.base import ExperimentResult
-from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.runner import EXPERIMENTS, run_experiment
 
-
-@pytest.fixture(scope="module")
-def all_results():
-    return run_all()
+# ``all_results`` comes from tests/experiments/conftest.py (session-scoped:
+# the golden digest tests share the same run).
 
 
 class TestRegistry:
@@ -59,6 +57,25 @@ class TestRegistry:
             > p95_by_model["skewed-low"]
         )
         assert result.summary["p95_spread_ms"] > 10.0
+
+    def test_resilience_experiment_degrades_under_crashes(self, all_results):
+        result = all_results["resilience"]
+        baselines = {
+            row["routing"]: row["p95_latency_ms"]
+            for row in result.rows
+            if row["crash_rate_per_min"] == 0.0
+        }
+        # Healthy cells reproduce the fault-free engine: perfect availability.
+        for row in result.rows:
+            if row["crash_rate_per_min"] == 0.0:
+                assert row["availability"] == 1.0
+            else:
+                # Crashes must cost something: availability dips below 1 and
+                # the p95 sits strictly above the same policy's baseline.
+                assert row["availability"] < 1.0
+                assert row["p95_latency_ms"] > baselines[row["routing"]]
+        assert result.summary["worst_availability"] < 1.0
+        assert result.summary["max_p95_inflation"] > 1.0
 
     def test_unknown_experiment_id_lists_known_ids(self):
         with pytest.raises(KeyError, match="fig13"):

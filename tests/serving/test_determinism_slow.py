@@ -1,0 +1,55 @@
+"""Slow tier: 100k-query determinism matrix across faults and routing.
+
+The fast-tier determinism tests run seconds-long traffic; this matrix drives
+benchmark-scale runs (>100k queries each) twice per configuration and
+asserts byte-identical digests, covering the regime where float accumulation
+or heap-ordering bugs would actually surface.  Marked ``slow``: skipped by
+default, run with ``pytest --runslow`` (the dedicated CI job uses
+``--runslow -m slow``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import ElasticRecPlanner
+from repro.hardware.specs import cpu_only_cluster
+from repro.model.configs import rm1
+from repro.serving.engine import ServingEngine
+from repro.serving.traffic import paper_dynamic_pattern
+
+MATRIX = [
+    ("least-work", None),
+    ("least-work", "crash-storm"),
+    ("power-of-two", "rolling-drain"),
+    ("recovery-aware", "crashes@0:rate=0.5,policy=drop"),
+]
+
+
+@pytest.fixture(scope="module")
+def plan():
+    cluster = cpu_only_cluster(num_nodes=8)
+    workload = rm1().scaled_tables(4).with_name("RM1-slow-matrix")
+    return ElasticRecPlanner(cluster).plan(workload, 18.0)
+
+
+@pytest.fixture(scope="module")
+def pattern():
+    # The Figure-19 profile at a scale that generates >100k arrivals.
+    return paper_dynamic_pattern(base_qps=50.0, peak_qps=250.0, duration_s=900.0)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("routing,faults", MATRIX)
+def test_100k_query_runs_are_byte_identical(plan, pattern, routing, faults):
+    runs = [
+        ServingEngine(plan, routing=routing, seed=0, faults=faults).run(pattern)
+        for _ in range(2)
+    ]
+    assert runs[0].tracker.num_samples > 100_000
+    assert runs[0].digest() == runs[1].digest()
+    total = runs[0].tracker.num_samples
+    assert (
+        runs[0].completed_queries + runs[0].rejected_queries + runs[0].dropped_queries
+        == total
+    )

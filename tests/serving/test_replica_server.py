@@ -191,3 +191,51 @@ class TestPredictedCompletion:
             server.predicted_completion(0.0, 0.0)
         with pytest.raises(ValueError):
             server.predicted_completion(0.0, 1.0, multiplier=-1.0)
+
+
+class TestUtilizationExactBoundaries:
+    """Exact window boundaries of ``utilization`` (half-open [start, now))."""
+
+    def test_window_start_equal_to_now_is_zero(self):
+        server = ReplicaServer("r0", ready_at=0.0)
+        server.submit(0.0, 10.0)
+        # An empty window has no elapsed time to be busy in; 0.0 by
+        # convention rather than a division by zero.
+        assert server.utilization(10.0, window_start=10.0) == 0.0
+
+    def test_now_equal_to_ready_at_is_zero(self):
+        server = ReplicaServer("r0", ready_at=50.0)
+        assert server.utilization(50.0, window_start=0.0) == 0.0
+
+    def test_service_ending_exactly_at_window_start_is_excluded(self):
+        server = ReplicaServer("r0", ready_at=0.0)
+        server.submit(0.0, 10.0)  # busy run [0, 10)
+        assert server.utilization(20.0, window_start=10.0) == 0.0
+
+    def test_service_starting_exactly_at_window_end_is_excluded(self):
+        server = ReplicaServer("r0", ready_at=0.0)
+        server.submit(10.0, 5.0)  # busy run [10, 15)
+        assert server.busy_seconds_between(0.0, 10.0) == 0.0
+
+    def test_fully_busy_window_is_exactly_one(self):
+        server = ReplicaServer("r0", ready_at=0.0)
+        server.submit(0.0, 30.0)
+        assert server.utilization(30.0, window_start=0.0) == 1.0
+        # Mid-service the elapsed window is fully busy too.
+        assert server.utilization(15.0, window_start=0.0) == 1.0
+
+    def test_replica_ready_mid_window_is_only_accountable_while_up(self):
+        server = ReplicaServer("r0", ready_at=50.0)
+        server.submit(50.0, 10.0)  # busy [50, 60)
+        # Window [0, 60) but the replica existed only for [50, 60): fully busy.
+        assert server.utilization(60.0, window_start=0.0) == 1.0
+
+    def test_window_straddling_a_run_counts_the_overlap_only(self):
+        server = ReplicaServer("r0", ready_at=0.0)
+        server.submit(0.0, 10.0)  # busy [0, 10)
+        assert server.utilization(15.0, window_start=5.0) == pytest.approx(0.5)
+
+    def test_future_window_is_zero(self):
+        server = ReplicaServer("r0", ready_at=0.0)
+        server.submit(0.0, 10.0)
+        assert server.utilization(5.0, window_start=8.0) == 0.0

@@ -38,6 +38,7 @@ class TestRegistry:
             "ready-only",
             "least-outstanding",
             "cost-weighted",
+            "recovery-aware",
         ]
 
     def test_make_by_name_and_passthrough(self):

@@ -84,3 +84,42 @@ class TestPaperDynamicPattern:
     def test_validation(self):
         with pytest.raises(ValueError):
             paper_dynamic_pattern(base_qps=100, peak_qps=50)
+
+
+class TestRateAtExactBoundaries:
+    """Exact window/phase boundaries of ``rate_at`` (no off-by-one drift)."""
+
+    @pytest.fixture()
+    def stepped(self) -> TrafficPattern:
+        return TrafficPattern.from_steps([(0.0, 10.0), (60.0, 20.0)], duration_s=120.0)
+
+    def test_phase_start_boundary_belongs_to_the_new_phase(self, stepped):
+        # A phase owns its start instant: [start, next_start).
+        assert stepped.rate_at(60.0) == 20.0
+        assert stepped.rate_at(59.999999) == 10.0
+
+    def test_t_equal_to_duration_reads_the_final_rate(self, stepped):
+        assert stepped.rate_at(stepped.duration_s) == 20.0
+
+    def test_past_duration_clamps_to_the_final_rate(self, stepped):
+        # Sample grids may overshoot duration_s (engine boundary arithmetic);
+        # the clamp keeps them on the final phase instead of raising.
+        assert stepped.rate_at(stepped.duration_s + 1e-9) == 20.0
+        assert stepped.rate_at(stepped.duration_s + 1e6) == 20.0
+
+    def test_time_zero_reads_the_first_phase(self, stepped):
+        assert stepped.rate_at(0.0) == 10.0
+
+    def test_negative_time_rejected(self, stepped):
+        with pytest.raises(ValueError):
+            stepped.rate_at(-1e-9)
+
+    def test_boundary_exactness_with_float_phase_starts(self):
+        # Phase starts produced by float arithmetic (the scenario builders'
+        # arange grids) must stay exact at their own boundaries.
+        starts = [i * 0.1 for i in range(5)]
+        pattern = TrafficPattern.from_steps(
+            [(start, float(i)) for i, start in enumerate(starts)], duration_s=1.0
+        )
+        for i, start in enumerate(starts):
+            assert pattern.rate_at(start) == float(i)

@@ -46,6 +46,16 @@ class TestParser:
         assert args.cost_model == "skewed"
         assert args.max_batch == 8
 
+    def test_faults_arguments_default_to_none(self):
+        simulate = build_parser().parse_args(["simulate", "RM1"])
+        sweep = build_parser().parse_args(["sweep", "RM1"])
+        assert simulate.faults == "none"
+        assert sweep.faults == "none"
+        scripted = build_parser().parse_args(
+            ["simulate", "RM1", "--faults", "crash@120:policy=drop"]
+        )
+        assert scripted.faults == "crash@120:policy=drop"
+
     def test_unknown_cost_model_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "RM1", "--cost-model", "zipfian"])
@@ -109,6 +119,15 @@ class TestCommands:
         assert "'ramp-and-hold' traffic" in output
         assert "round-robin" in output
         assert "elasticrec" in output
+
+    def test_simulate_with_fault_scenario_output(self, capsys):
+        assert main(
+            ["simulate", "RM1", "--num-shards", "2", "--num-nodes", "8",
+             "--faults", "single-crash", "--scenario", "constant",
+             "--base-qps", "10", "--peak-qps", "30", "--duration-s", "120"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "availability" in output
 
     def test_simulate_skewed_batched_output(self, capsys):
         assert main(
@@ -178,3 +197,16 @@ class TestUnknownNameHints:
         for argv in (["simulate", "RM1", "--seed", "-1"], ["sweep", "RM1", "--seed", "-1"]):
             message = self._exit_message(argv)
             assert "seed must be non-negative" in message
+
+    def test_unknown_fault_scenario(self):
+        for command in ("simulate", "sweep"):
+            message = self._exit_message([command, "RM1", "--faults", "tsunami"])
+            assert "unknown fault scenario 'tsunami'" in message
+            assert "crash-storm" in message and "\n" not in message
+
+    def test_malformed_fault_script(self):
+        for script in ("crash@", "crash@10:policy=retry", "flood@10", "crashes@0"):
+            for command in ("simulate", "sweep"):
+                message = self._exit_message([command, "RM1", "--faults", script])
+                assert "malformed fault spec" in message or "unknown" in message
+                assert "\n" not in message
