@@ -1,0 +1,88 @@
+"""Profile the serving engine's hot path and lock its vectorized shape.
+
+Runs a mid-size dynamic-traffic simulation under ``cProfile`` and reports the
+top cumulative hot spots through ``benchmark.extra_info``, so the recorded
+benchmark artifacts show *where* the time went, not just how much there was.
+
+Beyond reporting, the profile is used as a structural regression test of the
+hot path itself:
+
+* the engine must route through the vectorized ``select_index`` path (one
+  call per query per deployment) — if a change silently knocks the engine
+  back onto the scalar per-server loop, the assertion fails before any
+  wall-clock regression shows up in CI timing noise;
+* ``serve_query`` must be called exactly once per served query, guarding the
+  chunked arrival drain against double-serving or skipping.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+
+from repro.core.planner import ElasticRecPlanner
+from repro.hardware.specs import cpu_only_cluster
+from repro.model.configs import rm1
+from repro.serving.engine import ServingEngine
+from repro.serving.traffic import paper_dynamic_pattern
+
+
+def _reduced_plan():
+    cluster = cpu_only_cluster(num_nodes=8)
+    workload = rm1().scaled_tables(4).with_name("RM1-profile")
+    return ElasticRecPlanner(cluster).plan(workload, 18.0)
+
+
+def _stats_by_name(stats: pstats.Stats) -> dict[str, tuple[int, float]]:
+    """Map ``filename:function`` to summed (primitive calls, cumulative secs).
+
+    cProfile keys entries by (filename, lineno, funcname); same-named
+    functions at different lines (``select_index`` on every policy class,
+    the policies' ``__init__``\\ s) are *summed*, not overwritten, so call
+    totals stay meaningful.
+    """
+    table: dict[str, tuple[int, float]] = {}
+    for (filename, _, function), (pcalls, _, _, cumulative, _) in stats.stats.items():
+        key = f"{filename.rsplit('/', 1)[-1]}:{function}"
+        calls, seconds = table.get(key, (0, 0.0))
+        table[key] = (calls + pcalls, seconds + cumulative)
+    return table
+
+
+def test_bench_profile_hot_path(benchmark):
+    """Profile a mid-size run; assert the vectorized hot path carried it."""
+    pattern = paper_dynamic_pattern(base_qps=30.0, peak_qps=110.0, duration_s=600.0)
+    profiler = cProfile.Profile()
+
+    def run():
+        engine = ServingEngine(_reduced_plan(), seed=0)
+        profiler.enable()
+        result = engine.run(pattern)
+        profiler.disable()
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    queries = result.tracker.num_samples
+    assert queries > 10_000
+
+    stats = pstats.Stats(profiler)
+    table = _stats_by_name(stats)
+    deployments = len(result.replica_counts)
+
+    serve_calls = table["engine.py:serve_query"][0]
+    assert serve_calls == queries, "serve_query must run exactly once per query"
+
+    select_calls = table.get("routing.py:select_index", (0, 0.0))[0]
+    assert select_calls == queries * deployments, (
+        "the vectorized select_index path must carry every routing decision "
+        f"(saw {select_calls}, expected {queries * deployments})"
+    )
+    assert "routing.py:_ready_pool" not in table, (
+        "the scalar _ready_pool loop leaked into a vectorized run"
+    )
+
+    top = sorted(table.items(), key=lambda item: item[1][1], reverse=True)
+    benchmark.extra_info["queries"] = queries
+    benchmark.extra_info["deployments"] = deployments
+    for rank, (name, (calls, cumulative)) in enumerate(top[:8]):
+        benchmark.extra_info[f"hot_{rank}"] = f"{name} calls={calls} cum={cumulative:.3f}s"

@@ -190,6 +190,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration-s", type=float, default=900.0, help="simulated duration in seconds"
     )
     simulate.add_argument("--seed", type=int, default=0, help="random seed")
+    simulate.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the simulation under cProfile and print the top-20 cumulative hot spots",
+    )
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -324,6 +329,11 @@ def _command_simulate(args: argparse.Namespace) -> int:
         "model-wise": lambda: ModelWisePlanner(cluster).plan(workload, args.base_qps),
     }
     strategies = list(planners) if args.strategy == "both" else [args.strategy]
+    profiler = None
+    if getattr(args, "profile", False):
+        import cProfile
+
+        profiler = cProfile.Profile()
     rows = []
     for strategy in strategies:
         engine = ServingEngine(
@@ -334,7 +344,10 @@ def _command_simulate(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             faults=args.faults,
         )
-        result = engine.run(pattern)
+        if profiler is not None:
+            result = profiler.runcall(engine.run, pattern)
+        else:
+            result = engine.run(pattern)
         summary = result.summary()
         rows.append(
             {
@@ -359,6 +372,11 @@ def _command_simulate(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if profiler is not None:
+        import pstats
+
+        print("\ntop-20 hot spots by cumulative time:")
+        pstats.Stats(profiler, stream=sys.stdout).sort_stats("cumulative").print_stats(20)
     return 0
 
 

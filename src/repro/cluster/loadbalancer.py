@@ -31,13 +31,21 @@ class RoundRobinBalancer:
     def __init__(self) -> None:
         self._cursors: dict[str, int] = {}
 
+    def pick_index(self, deployment_name: str, pool_size: int) -> int:
+        """Advance the deployment's cursor and return the pick's pool index.
+
+        Shared by the scalar and vectorized routing paths so both consume the
+        cursor identically.
+        """
+        if pool_size < 1:
+            raise ValueError(f"deployment {deployment_name!r} has no ready replicas")
+        cursor = self._cursors.get(deployment_name, 0) % pool_size
+        self._cursors[deployment_name] = cursor + 1
+        return cursor
+
     def pick(self, deployment_name: str, replicas: Sequence[ReplicaT]) -> ReplicaT:
         """Select the next replica for the deployment."""
-        if not replicas:
-            raise ValueError(f"deployment {deployment_name!r} has no ready replicas")
-        cursor = self._cursors.get(deployment_name, 0) % len(replicas)
-        self._cursors[deployment_name] = cursor + 1
-        return replicas[cursor]
+        return replicas[self.pick_index(deployment_name, len(replicas))]
 
     def reset(self) -> None:
         """Forget every deployment's cursor."""
@@ -76,12 +84,21 @@ class PowerOfTwoBalancer:
         """Swap in a fresh random source (for reproducible runs)."""
         self._rng = rng
 
+    def pick_pair(self, pool_size: int) -> tuple[int, int]:
+        """Draw two distinct pool indices from the balancer's RNG.
+
+        Shared by the scalar and vectorized routing paths so both consume the
+        random stream identically.
+        """
+        first, second = self._rng.choice(pool_size, size=2, replace=False)
+        return int(first), int(second)
+
     def pick(self, deployment_name: str, replicas: Sequence[ReplicaT]) -> ReplicaT:
         """Select the better of two uniformly sampled replicas."""
         if not replicas:
             raise ValueError(f"deployment {deployment_name!r} has no ready replicas")
         if len(replicas) == 1:
             return replicas[0]
-        first, second = self._rng.choice(len(replicas), size=2, replace=False)
-        a, b = replicas[int(first)], replicas[int(second)]
+        first, second = self.pick_pair(len(replicas))
+        a, b = replicas[first], replicas[second]
         return a if self._outstanding(a) <= self._outstanding(b) else b

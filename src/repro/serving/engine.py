@@ -10,15 +10,21 @@ Event types, in tie-breaking order at equal timestamps:
 * ``COMPLETION`` — a query finished on one replica (scheduled only when the
   routing policy tracks in-flight queries, e.g. ``least-outstanding``);
 * ``ARRIVAL`` — the next pending query arrival.  Arrivals are pre-generated
-  as one sorted vector per tenant per run and consumed in *batches*: one heap
-  event covers every arrival up to the next control event, so a 100k-query
-  run costs thousands — not hundreds of thousands — of heap operations;
-* ``AUTOSCALE`` — the control-plane tick: flush the interval's metrics into
-  the registry and run the HPA evaluation;
+  as one sorted vector per tenant per run and consumed in *chunked drains*:
+  one heap event covers every arrival up to the next control event, so a
+  100k-query run costs thousands — not hundreds of thousands — of heap
+  operations;
+* ``AUTOSCALE`` — the coalesced control tick: every control phase that lands
+  on one boundary timestamp — per-tenant interval-metric flushes and HPA
+  evaluations, the shared cluster ``RECONCILE``, per-tenant ``SAMPLE``
+  points — runs from a single heap event, in exactly the order the
+  historical per-phase events popped at that timestamp (``on_event``
+  observers still see the individual phases);
 * ``RECONCILE`` — drive the cluster toward the desired replica counts and
-  mirror the active containers into replica queue servers;
+  mirror the active containers into replica queue servers (runs inside the
+  coalesced control tick);
 * ``SAMPLE`` — append one point to every recorded time series and reset the
-  per-interval accumulators;
+  per-interval accumulators (runs inside the coalesced control tick);
 * ``FAULT`` — inject one failure from the run's fault timeline (replica
   crash, node drain, straggler window, transient degradation — see
   :mod:`repro.serving.faults`);
@@ -55,9 +61,22 @@ cost-weighted selection.  The default configuration — ``homogeneous`` cost
 model, ``max_batch=1`` — reproduces the historical constant-service-time
 engine bit-for-bit.
 
+The per-query hot path is vectorised end to end: every deployment keeps a
+:class:`~repro.serving.routing.ReplicaPool` — numpy arrays of queue-drain
+times, readiness and availability with dirty-flag invalidation — so routing
+policies rank replicas with one ``argmin`` instead of a Python pass, the
+:class:`~repro.serving.latency.LatencyTracker` records into pre-allocated
+buffers, and per-deployment interval accounting lives in slotted lane
+structs rather than dict lookups.  ``vectorized=False`` selects the
+historical scalar routing path; both paths are bit-exact (locked by
+``tests/serving/test_vectorized_equivalence.py`` and the experiment golden
+digests).
+
 Series post-processing (achieved QPS, windowed p95) is vectorised with a
-single sort plus ``np.searchsorted`` window lookups, replacing the seed
-simulator's per-window boolean masks over the full completion array.
+*single shared* stable sort of the completion times (via
+:meth:`~repro.serving.latency.LatencyTracker.completion_order`) plus
+``np.searchsorted`` window lookups, replacing the seed simulator's
+per-window boolean masks over the full completion array.
 
 The historical :class:`~repro.serving.simulator.ServingSimulator` API is a
 thin façade over this engine; with the default ``least-work`` routing policy
@@ -94,7 +113,7 @@ from repro.serving.faults import (
 )
 from repro.serving.latency import LatencyTracker
 from repro.serving.replica_server import ReplicaServer
-from repro.serving.routing import RoutingPolicy, make_routing_policy
+from repro.serving.routing import ReplicaPool, RoutingPolicy, make_routing_policy
 from repro.serving.traffic import TrafficPattern
 from repro.serving.workload import QueryCostModel, make_cost_model
 
@@ -233,7 +252,7 @@ class SimulationResult:
 
     def sla_violation_count(self) -> int:
         """Number of queries whose latency exceeded the SLA."""
-        return int(np.sum(self.tracker.latencies_s > self.sla_s))
+        return self.tracker.count_exceeding(self.sla_s)
 
     def summary(self) -> dict[str, float]:
         """Headline aggregates of the run."""
@@ -249,35 +268,35 @@ class SimulationResult:
 # ----------------------------------------------------------------------
 # Series post-processing (vectorised)
 # ----------------------------------------------------------------------
-def _achieved_qps_series(
+def _metric_series(
     tracker: LatencyTracker, sample_times: np.ndarray, interval_s: float
-) -> np.ndarray:
-    completions = np.sort(tracker.completion_times)
-    counts = np.searchsorted(completions, sample_times) - np.searchsorted(
-        completions, sample_times - interval_s
-    )
-    return counts / interval_s
+) -> tuple[np.ndarray, np.ndarray]:
+    """Achieved-QPS and rolling-p95 series sharing one completion sort.
 
-
-def _p95_series(
-    tracker: LatencyTracker, sample_times: np.ndarray, interval_s: float
-) -> np.ndarray:
-    completions = tracker.completion_times
-    order = np.argsort(completions, kind="stable")
-    sorted_completions = completions[order]
+    The tracker's cached stable argsort orders completions and latencies
+    once; both series then reduce to binary searches over the sorted arrays
+    (the historical implementation sorted the completion array independently
+    per series).
+    """
+    order = tracker.completion_order()
+    sorted_completions = tracker.completion_times[order]
     sorted_latencies = (tracker.latencies_s * 1000.0)[order]
+    counts = np.searchsorted(sorted_completions, sample_times) - np.searchsorted(
+        sorted_completions, sample_times - interval_s
+    )
+    achieved_qps = counts / interval_s
     window = max(interval_s, 30.0)
-    # Each window is (end - window, end]; one sort plus two binary
-    # searches per sample replaces a full boolean mask per sample.
+    # Each window is (end - window, end]; two binary searches per sample
+    # replace a full boolean mask per sample.
     hi = np.searchsorted(sorted_completions, sample_times, side="right")
     lo = np.searchsorted(sorted_completions, sample_times - window, side="right")
-    series = np.zeros_like(sample_times)
+    p95_series = np.zeros_like(sample_times)
     for index in range(sample_times.size):
         if hi[index] > lo[index]:
-            series[index] = float(
+            p95_series[index] = float(
                 np.percentile(sorted_latencies[lo[index] : hi[index]], 95)
             )
-    return series
+    return achieved_qps, p95_series
 
 
 def _force_ready(cluster: Cluster, now: float) -> None:
@@ -287,6 +306,37 @@ def _force_ready(cluster: Cluster, now: float) -> None:
             if container.state is ContainerState.STARTING:
                 container.ready_at = now
                 container.maybe_become_ready(now)
+
+
+class _DeploymentLane:
+    """Hot per-deployment state walked once per query by ``serve_query``.
+
+    A lane bundles everything the routing loop needs — the deployment name,
+    its replica pool, the mean service time, the role flags and the
+    per-interval accumulators — into one slotted struct, so the per-query
+    path does no dict lookups.
+    """
+
+    __slots__ = ("name", "pool", "service_s", "cost_bearing", "dense", "count", "latencies")
+
+    def __init__(
+        self,
+        name: str,
+        pool: ReplicaPool,
+        service_s: float,
+        cost_bearing: bool,
+        dense: bool,
+    ) -> None:
+        self.name = name
+        self.pool = pool
+        self.service_s = service_s
+        self.cost_bearing = cost_bearing
+        self.dense = dense
+        #: Queries offered to the deployment this sample interval.
+        self.count = 0
+        #: Shard latencies recorded this sample interval (end-to-end for
+        #: dense/monolithic lanes).
+        self.latencies: list[float] = []
 
 
 class _TenantRuntime:
@@ -312,6 +362,7 @@ class _TenantRuntime:
         max_batch: int = 1,
         batch_window_s: float = 0.0,
         faults: str | FaultModel | None = None,
+        vectorized: bool = True,
     ) -> None:
         if sample_interval_s <= 0:
             raise ValueError("sample_interval_s must be positive")
@@ -361,6 +412,26 @@ class _TenantRuntime:
         self._retired_totals: dict[str, list[int]] = {
             d.name: [0, 0] for d in self.deployments
         }
+        self.vectorized = bool(vectorized)
+        # Vectorized routing state: one replica pool per deployment, mirroring
+        # its servers dict; membership and failed/draining changes invalidate
+        # the pool, accepted queries update its queue-drain array in place.
+        self.pools: dict[str, ReplicaPool] = {
+            d.name: ReplicaPool(self.servers[d.name]) for d in self.deployments
+        }
+        self._lanes = [
+            _DeploymentLane(
+                name=d.name,
+                pool=self.pools[d.name],
+                service_s=self.service_times[d.name],
+                cost_bearing=self.cost_bearing[d.name],
+                dense=self.dense_roles[d.name],
+            )
+            for d in self.deployments
+        ]
+        # Dense/monolithic lanes receive the query's end-to-end latency (the
+        # signal their HPA scales on); the set is fixed by the plan.
+        self._dense_lanes = [lane for lane in self._lanes if lane.dense]
 
     # ------------------------------------------------------------------
     # Cluster/replica bookkeeping
@@ -375,6 +446,7 @@ class _TenantRuntime:
         for deployment in self.deployments:
             servers = self.servers[deployment.name]
             active_names = set()
+            changed = False
             for container in deployment.replicas:
                 if not container.is_active:
                     continue
@@ -388,12 +460,16 @@ class _TenantRuntime:
                         batch_window_s=self.batch_window_s,
                         batch_model=self.batch_models[deployment.name],
                     )
+                    changed = True
             for name in list(servers):
                 if name not in active_names:
                     retired = servers.pop(name)
                     totals = self._retired_totals[deployment.name]
                     totals[0] += retired.completed_queries
                     totals[1] += retired.completed_batches
+                    changed = True
+            if changed:
+                self.pools[deployment.name].invalidate()
 
     # ------------------------------------------------------------------
     # Per-run lifecycle
@@ -402,6 +478,9 @@ class _TenantRuntime:
         """Reset the per-run accumulators and draw this run's arrivals."""
         self.pattern = pattern
         self.arrivals = pattern.arrivals(self.rng)
+        # The chunked arrival drain walks Python floats; one bulk conversion
+        # replaces a per-element numpy-scalar unboxing in the hot loop.
+        self.arrival_list: list[float] = self.arrivals.tolist()
         self.policy.reset(np.random.default_rng([self.seed, 1]))
         # Pre-sample every query's cost multiplier, vectorised, from a
         # dedicated seed stream (the homogeneous model never draws, so it
@@ -425,10 +504,11 @@ class _TenantRuntime:
         self.utilization_series: dict[str, list[float]] = {
             d.name: [] for d in self.deployments
         }
-        self.interval_counts: dict[str, int] = {d.name: 0 for d in self.deployments}
-        self.interval_latencies: dict[str, list[float]] = {
-            d.name: [] for d in self.deployments
-        }
+        for lane in self._lanes:
+            lane.count = 0
+            lane.latencies = []
+        for pool in self.pools.values():
+            pool.invalidate()
         self.batch_occupancy_series: dict[str, list[float]] = {
             d.name: [] for d in self.deployments
         }
@@ -504,17 +584,26 @@ class _TenantRuntime:
         multiplier = (
             1.0 if self.query_multipliers is None else self.query_multipliers[query_index]
         )
-        completions: list[float] = []
-        dense_names: list[str] = []
-        tracker_index = self.tracker.num_samples
+        tracker = self.tracker
+        tracker_index = tracker.num_samples
         rejected = False
-        for deployment in self.deployments:
-            name = deployment.name
-            servers = list(self.servers[name].values())
-            service = self.service_times[name]
-            cost = multiplier if self.cost_bearing[name] else 1.0
-            server = self.policy.select(name, servers, arrival, cost=(service, cost))
-            self.interval_counts[name] += 1
+        worst_completion = -np.inf
+        policy = self.policy
+        vectorized = self.vectorized
+        faults_on = self.faults_on
+        track_inflight = self.track_inflight
+        for lane in self._lanes:
+            name = lane.name
+            service = lane.service_s
+            cost = multiplier if lane.cost_bearing else 1.0
+            lane.count += 1
+            if vectorized:
+                pool = lane.pool
+                index = policy.select_index(name, pool, arrival, (service, cost))
+                server = pool.servers[index] if index is not None else None
+            else:
+                servers = list(self.servers[name].values())
+                server = policy.select(name, servers, arrival, cost=(service, cost))
             if server is None:
                 # No capacity at all: count a full SLA violation.  The
                 # rejection still lands in the interval metrics (count and
@@ -523,21 +612,22 @@ class _TenantRuntime:
                 self.interval_failures[name] += 1
                 rejected = True
                 completion = arrival + 2.0 * self.sla_s
-                completions.append(completion)
-                if self.dense_roles[name]:
-                    dense_names.append(name)
-                else:
-                    self.interval_latencies[name].append(completion - arrival)
+                if completion > worst_completion:
+                    worst_completion = completion
+                if not lane.dense:
+                    lane.latencies.append(completion - arrival)
                 continue
-            if self.faults_on:
+            if faults_on:
                 # Stragglers and transient degradations stretch this shard's
                 # service time; a healthy run multiplies by nothing.
                 service = service * self._slowdown_factor(name, server.name)
-            completion = server.submit(arrival, service, multiplier=cost)
-            self.policy.on_submit(name, server)
-            if self.track_inflight:
+            completion = server.submit(arrival, service, cost)
+            if vectorized:
+                pool.note_submit(index, completion)
+            policy.on_submit(name, server)
+            if track_inflight:
                 self.inflight.setdefault((name, server.name), []).append(
-                    [arrival, tracker_index, completion, self.service_times[name], cost]
+                    [arrival, tracker_index, completion, lane.service_s, cost]
                 )
             if heap is not None:
                 heapq.heappush(
@@ -549,19 +639,18 @@ class _TenantRuntime:
                         (tenant_index, name, server.name),
                     ),
                 )
-            completions.append(completion)
-            if self.dense_roles[name]:
-                dense_names.append(name)
-            else:
-                self.interval_latencies[name].append(completion - arrival)
-        query_completion = max(completions) + self.rpc_overhead_s
+            if completion > worst_completion:
+                worst_completion = completion
+            if not lane.dense:
+                lane.latencies.append(completion - arrival)
+        query_completion = worst_completion + self.rpc_overhead_s
         latency = query_completion - arrival
         # End-to-end latency is what the dense (or monolithic) shard's HPA sees.
-        for name in dense_names:
-            self.interval_latencies[name].append(latency)
+        for lane in self._dense_lanes:
+            lane.latencies.append(latency)
         if rejected:
             self.rejected_indices.add(tracker_index)
-        self.tracker.record(arrival + latency, latency)
+        tracker.record(arrival + latency, latency)
 
     # ------------------------------------------------------------------
     # Fault handling
@@ -638,10 +727,14 @@ class _TenantRuntime:
         """
         struck = False
         for deployment in self.deployments:
+            hit = False
             for name, server in self.servers[deployment.name].items():
                 if name in names:
                     server.start_drain()
-                    struck = True
+                    hit = True
+            if hit:
+                self.pools[deployment.name].invalidate()
+                struck = True
         if struck:
             self.faults_injected += 1
         return struck
@@ -677,6 +770,7 @@ class _TenantRuntime:
     ) -> None:
         server = self.servers[deployment_name].pop(victim)
         server.fail()
+        self.pools[deployment_name].invalidate()
         totals = self._retired_totals[deployment_name]
         totals[0] += server.completed_queries
         totals[1] += server.completed_batches
@@ -704,12 +798,21 @@ class _TenantRuntime:
             if tracker_index in self.dropped_indices or tracker_index in self.rejected_indices:
                 continue  # the query already failed elsewhere
             new_server = None
+            new_index = None
             if policy == "requeue":
-                survivors = list(self.servers[deployment_name].values())
-                if survivors:
-                    new_server = self.policy.select(
-                        deployment_name, survivors, now, cost=(service, cost)
+                if self.vectorized:
+                    pool = self.pools[deployment_name]
+                    new_index = self.policy.select_index(
+                        deployment_name, pool, now, (service, cost)
                     )
+                    if new_index is not None:
+                        new_server = pool.servers[new_index]
+                else:
+                    survivors = list(self.servers[deployment_name].values())
+                    if survivors:
+                        new_server = self.policy.select(
+                            deployment_name, survivors, now, cost=(service, cost)
+                        )
             if new_server is None:
                 # Dropped: charge the rejection penalty (the query never
                 # completed, so its recorded latency becomes the penalty).
@@ -721,6 +824,8 @@ class _TenantRuntime:
                 continue
             effective = service * self._slowdown_factor(deployment_name, new_server.name)
             new_completion = new_server.submit(now, effective, multiplier=cost)
+            if new_index is not None:
+                self.pools[deployment_name].note_submit(new_index, new_completion)
             self.policy.on_submit(deployment_name, new_server)
             self.inflight.setdefault((deployment_name, new_server.name), []).append(
                 [arrival, tracker_index, new_completion, service, cost]
@@ -820,42 +925,43 @@ class _TenantRuntime:
                 self._remove_factor(self.degradations, name, action[2])
 
     def record_interval_metrics(self, now: float, metrics) -> None:
-        for deployment in self.deployments:
-            name = deployment.name
-            metrics.record(f"{name}/queries", float(self.interval_counts[name]), now)
-            latencies = self.interval_latencies[name]
-            if latencies:
-                metrics.record(f"{name}/latency_s", float(np.percentile(latencies, 95)), now)
+        for lane in self._lanes:
+            metrics.record(f"{lane.name}/queries", float(lane.count), now)
+            if lane.latencies:
+                metrics.record(
+                    f"{lane.name}/latency_s", float(np.percentile(lane.latencies, 95)), now
+                )
 
     def sample(self, now: float) -> None:
         self.sample_times.append(now)
         self.memory_series.append(self.allocated_memory_gb)
         window_start = now - self.sample_interval_s
-        for deployment in self.deployments:
-            self.replica_series[deployment.name].append(len(deployment.active_replicas))
-            servers = self.servers[deployment.name].values()
+        for deployment, lane in zip(self.deployments, self._lanes):
+            name = lane.name
+            self.replica_series[name].append(len(deployment.active_replicas))
+            servers = self.servers[name].values()
             if servers:
                 utilization = float(
                     np.mean([s.utilization(now, window_start=window_start) for s in servers])
                 )
             else:
                 utilization = 0.0
-            self.utilization_series[deployment.name].append(utilization)
-            queries, batches = self._served_totals(deployment.name)
-            mark_queries, mark_batches = self._occupancy_marks[deployment.name]
+            self.utilization_series[name].append(utilization)
+            queries, batches = self._served_totals(name)
+            mark_queries, mark_batches = self._occupancy_marks[name]
             batch_delta = batches - mark_batches
             if batch_delta:
                 occupancy = (queries - mark_queries) / batch_delta
-                self._occupancy_marks[deployment.name] = (queries, batches)
+                self._occupancy_marks[name] = (queries, batches)
             else:
                 # No batch opened this interval: leave the query mark in
                 # place so queries that joined a straddling batch are
                 # attributed to the next batch-opening interval instead of
                 # being dropped from the occupancy accounting.
                 occupancy = 0.0
-            self.batch_occupancy_series[deployment.name].append(occupancy)
-            offered = self.interval_counts[deployment.name]
-            failures = self.interval_failures[deployment.name]
+            self.batch_occupancy_series[name].append(occupancy)
+            offered = lane.count
+            failures = self.interval_failures[name]
             if offered:
                 # Drops of queries offered in an earlier interval can push
                 # failures past this interval's offered count; availability
@@ -863,31 +969,32 @@ class _TenantRuntime:
                 available = max(0.0, 1.0 - failures / offered)
             else:
                 available = 1.0 if failures == 0 else 0.0
-            self.availability_series[deployment.name].append(available)
-            self.requeue_series[deployment.name].append(
-                self.interval_requeues[deployment.name]
-            )
+            self.availability_series[name].append(available)
+            self.requeue_series[name].append(self.interval_requeues[name])
+            lane.count = 0
+            lane.latencies = []
         if self.track_inflight:
             # Prune settled in-flight entries so the registry stays bounded.
             for key, entries in self.inflight.items():
                 self.inflight[key] = [e for e in entries if e[2] > now]
-        for name in self.interval_counts:
-            self.interval_counts[name] = 0
-            self.interval_latencies[name] = []
+        for name in self.interval_failures:
             self.interval_failures[name] = 0
             self.interval_requeues[name] = 0
 
     def finish_run(self) -> SimulationResult:
         sample_times = np.asarray(self.sample_times)
+        achieved_qps, p95_latency_ms = _metric_series(
+            self.tracker, sample_times, self.sample_interval_s
+        )
         return SimulationResult(
             plan_name=self.plan.name,
             strategy=self.plan.strategy,
             sla_s=self.sla_s,
             sample_times=sample_times,
-            target_qps=np.array([self.pattern.rate_at(t) for t in sample_times]),
-            achieved_qps=_achieved_qps_series(self.tracker, sample_times, self.sample_interval_s),
+            target_qps=self.pattern.rate_at(sample_times),
+            achieved_qps=achieved_qps,
             memory_gb=np.asarray(self.memory_series),
-            p95_latency_ms=_p95_series(self.tracker, sample_times, self.sample_interval_s),
+            p95_latency_ms=p95_latency_ms,
             replica_counts={k: np.asarray(v) for k, v in self.replica_series.items()},
             tracker=self.tracker,
             routing=self.policy.name,
@@ -981,22 +1088,29 @@ def _drive(
     ``probe``, if given, is called as ``probe(now)`` after each tenant sample
     point (at equal timestamps every reconcile precedes every sample, so the
     probe always observes a settled cluster).  ``on_event``, if given, is
-    called as ``on_event(now, kind)`` for every popped heap event — the
-    property-based tests use it to assert event-time monotonicity.
+    called as ``on_event(now, kind)`` for every *logical* event — control
+    ticks are coalesced into one heap event per boundary timestamp, but the
+    observer still sees the individual AUTOSCALE/RECONCILE/SAMPLE phases in
+    the historical order; the property-based tests use this to assert
+    event-time monotonicity.
     """
     for runtime, pattern in zip(runtimes, patterns):
         runtime.begin_run(pattern)
 
     heap: list[tuple[float, int, int, object]] = []
     seq = itertools.count()
+    # Coalesced control ticks: one heap event per unique boundary timestamp
+    # carries every control phase landing there — each resident tenant's
+    # AUTOSCALE evaluation, the shared cluster RECONCILE, each tenant's
+    # SAMPLE point — in exactly the order the historical per-phase events
+    # popped at that timestamp (tenants in registration order, reconcile
+    # between the autoscale and sample phases).
+    boundary_tenants: dict[float, list[int]] = {}
     for tenant_index, runtime in enumerate(runtimes):
         for boundary in runtime.boundaries:
-            heapq.heappush(heap, (float(boundary), EventKind.AUTOSCALE, next(seq), tenant_index))
-            heapq.heappush(heap, (float(boundary), EventKind.SAMPLE, next(seq), tenant_index))
-    # One reconcile per unique boundary timestamp: tenants sharing a sample
-    # grid would otherwise trigger N redundant full-cluster packing passes.
-    for boundary in sorted({float(b) for r in runtimes for b in r.boundaries}):
-        heapq.heappush(heap, (boundary, EventKind.RECONCILE, next(seq), None))
+            boundary_tenants.setdefault(float(boundary), []).append(tenant_index)
+    for boundary, resident_tenants in boundary_tenants.items():
+        heapq.heappush(heap, (boundary, EventKind.AUTOSCALE, next(seq), resident_tenants))
     for tenant_index, runtime in enumerate(runtimes):
         if runtime.num_served:
             heapq.heappush(
@@ -1017,56 +1131,78 @@ def _drive(
 
     while heap:
         now, kind, _, payload = heapq.heappop(heap)
-        if on_event is not None:
-            on_event(now, kind)
         if kind == EventKind.ARRIVAL:
+            if on_event is not None:
+                on_event(now, kind)
             tenant_index, index = payload
             runtime = runtimes[tenant_index]
             if runtime.track_completions:
                 # One event per arrival so completion events interleave
                 # with arrivals in timestamp order.
                 runtime.serve_query(
-                    float(runtime.arrivals[index]), index, tenant_index, heap, seq
+                    runtime.arrival_list[index], index, tenant_index, heap, seq
                 )
                 if index + 1 < runtime.num_served:
                     heapq.heappush(
                         heap,
                         (
-                            float(runtime.arrivals[index + 1]),
+                            runtime.arrival_list[index + 1],
                             EventKind.ARRIVAL,
                             next(seq),
                             (tenant_index, index + 1),
                         ),
                     )
             else:
-                # Batch every arrival up to (and including) the next control
-                # event of *any* tenant; nothing can preempt them in between.
+                # Chunked drain: serve every arrival up to (and including)
+                # the next control event of *any* tenant; nothing can
+                # preempt them in between.
                 horizon = heap[0][0] if heap else float("inf")
                 stop = int(np.searchsorted(runtime.arrivals, horizon, side="right"))
                 stop = min(max(stop, index + 1), runtime.num_served)
+                arrival_list = runtime.arrival_list
+                serve = runtime.serve_query
                 for i in range(index, stop):
-                    runtime.serve_query(float(runtime.arrivals[i]), i, tenant_index)
+                    serve(arrival_list[i], i, tenant_index)
                 if stop < runtime.num_served:
                     heapq.heappush(
                         heap,
-                        (float(runtime.arrivals[stop]), EventKind.ARRIVAL, next(seq), (tenant_index, stop)),
+                        (arrival_list[stop], EventKind.ARRIVAL, next(seq), (tenant_index, stop)),
                     )
         elif kind == EventKind.COMPLETION:
+            if on_event is not None:
+                on_event(now, kind)
             tenant_index, deployment_name, server_name = payload
             runtimes[tenant_index].policy.on_complete(deployment_name, server_name)
         elif kind == EventKind.AUTOSCALE:
-            runtime = runtimes[payload]
-            runtime.record_interval_metrics(now, cluster.metrics)
-            if runtime.autoscale and runtime.autoscaler.should_evaluate(now):
-                runtime.autoscaler.evaluate(runtime.deployments, cluster.metrics, now)
-        elif kind == EventKind.RECONCILE:
+            # Coalesced control tick: autoscale each resident tenant, run the
+            # shared reconcile, then sample each resident tenant — the exact
+            # order the historical AUTOSCALE/RECONCILE/SAMPLE events popped.
+            for tenant_index in payload:
+                if on_event is not None:
+                    on_event(now, EventKind.AUTOSCALE)
+                runtime = runtimes[tenant_index]
+                runtime.record_interval_metrics(now, cluster.metrics)
+                if runtime.autoscale and runtime.autoscaler.should_evaluate(now):
+                    runtime.autoscaler.evaluate(runtime.deployments, cluster.metrics, now)
+            if on_event is not None:
+                on_event(now, EventKind.RECONCILE)
             cluster.reconcile(now)
             for runtime in runtimes:
                 runtime.sync_servers(now)
+            for tenant_index in payload:
+                if on_event is not None:
+                    on_event(now, EventKind.SAMPLE)
+                runtimes[tenant_index].sample(now)
+                if probe is not None:
+                    probe(now)
         elif kind == EventKind.FAULT:
+            if on_event is not None:
+                on_event(now, kind)
             tenant_index, event = payload
             _apply_fault(now, event, tenant_index, runtimes, cluster, heap, seq)
-        elif kind == EventKind.RECOVERY:
+        else:  # EventKind.RECOVERY
+            if on_event is not None:
+                on_event(now, kind)
             tenant_index, action = payload
             if action[0] == "uncordon":
                 cluster.uncordon_node(action[1])
@@ -1081,10 +1217,6 @@ def _drive(
                         )
             else:
                 runtimes[tenant_index].recover(action)
-        else:  # EventKind.SAMPLE
-            runtimes[payload].sample(now)
-            if probe is not None:
-                probe(now)
 
     return [runtime.finish_run() for runtime in runtimes]
 
@@ -1114,6 +1246,7 @@ class ServingEngine:
         max_batch: int = 1,
         batch_window_s: float = 0.0,
         faults: str | FaultModel | None = None,
+        vectorized: bool = True,
     ) -> None:
         if sample_interval_s <= 0:
             raise ValueError("sample_interval_s must be positive")
@@ -1134,6 +1267,7 @@ class ServingEngine:
             max_batch=max_batch,
             batch_window_s=batch_window_s,
             faults=faults,
+            vectorized=vectorized,
         )
         self._cluster.reconcile(0.0)
         if warm_start:
@@ -1192,6 +1326,9 @@ class TenantSpec:
     max_batch: int = 1
     batch_window_s: float = 0.0
     faults: str | FaultModel | None = None
+    #: Route via the vectorized replica pools (the default); ``False``
+    #: selects the bit-exact historical scalar path (equivalence testing).
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -1380,6 +1517,7 @@ class MultiTenantEngine:
                     max_batch=tenant.max_batch,
                     batch_window_s=tenant.batch_window_s,
                     faults=tenant.faults,
+                    vectorized=tenant.vectorized,
                 )
             )
         self._cluster.reconcile(0.0)

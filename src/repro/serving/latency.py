@@ -1,4 +1,27 @@
-"""Latency bookkeeping: percentiles and windowed time series."""
+"""Latency bookkeeping: percentiles and windowed time series.
+
+:class:`LatencyTracker` is on the serving engine's per-query hot path, so it
+stores samples in pre-allocated numpy buffers with amortized doubling growth
+instead of Python lists: a ``record`` is two array stores and an integer
+bump, and the aggregate views (``completion_times``, ``latencies_s``) are
+buffer slices rather than list-to-array conversions.
+
+Two sort caches keep the post-run aggregations cheap:
+
+* :meth:`completion_order` — one stable argsort of the completion times,
+  shared by every windowed series the engine derives (achieved QPS and the
+  rolling p95 both consume it, so the run pays for a single sort);
+* a sorted copy of the latencies backing :meth:`count_exceeding`, so SLA
+  violation counts are one binary search instead of a full boolean scan.
+
+Both caches are versioned: any :meth:`record` or :meth:`update` (fault
+handling rewrites samples in place when a replica dies mid-flight)
+invalidates them, so a stale sort can never leak into a result.
+
+The numbers produced are bit-for-bit identical to the historical list-based
+implementation: the buffers hold the same float64 values the lists did, and
+every aggregate runs the same numpy computation over them.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +30,9 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = ["LatencyTracker", "LatencyWindowPoint"]
+
+#: Initial per-buffer capacity; doubles whenever the buffer fills.
+_INITIAL_CAPACITY = 512
 
 
 @dataclass(frozen=True)
@@ -24,22 +50,58 @@ class LatencyWindowPoint:
 class LatencyTracker:
     """Collects (completion time, latency) samples and aggregates them."""
 
+    __slots__ = (
+        "_times",
+        "_lats",
+        "_size",
+        "_version",
+        "_order",
+        "_order_version",
+        "_sorted_lats",
+        "_sorted_lats_version",
+    )
+
     def __init__(self) -> None:
-        self._completion_times: list[float] = []
-        self._latencies: list[float] = []
+        self._times = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._lats = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._size = 0
+        self._version = 0
+        self._order: np.ndarray | None = None
+        self._order_version = -1
+        self._sorted_lats: np.ndarray | None = None
+        self._sorted_lats_version = -1
+
+    def _grow(self) -> None:
+        capacity = self._times.size * 2
+        times = np.empty(capacity, dtype=np.float64)
+        lats = np.empty(capacity, dtype=np.float64)
+        times[: self._size] = self._times[: self._size]
+        lats[: self._size] = self._lats[: self._size]
+        self._times = times
+        self._lats = lats
+
+    @property
+    def capacity(self) -> int:
+        """Allocated buffer slots (always at least :attr:`num_samples`)."""
+        return int(self._times.size)
 
     def record(self, completion_time: float, latency_s: float) -> None:
         """Record one completed query."""
         if latency_s < 0:
             raise ValueError("latency_s must be non-negative")
-        self._completion_times.append(completion_time)
-        self._latencies.append(latency_s)
+        size = self._size
+        if size == self._times.size:
+            self._grow()
+        self._times[size] = completion_time
+        self._lats[size] = latency_s
+        self._size = size + 1
+        self._version += 1
 
     def sample(self, index: int) -> tuple[float, float]:
         """The ``(completion_time, latency_s)`` pair of one recorded query."""
-        if not 0 <= index < len(self._latencies):
+        if not 0 <= index < self._size:
             raise IndexError(f"no sample at index {index}")
-        return self._completion_times[index], self._latencies[index]
+        return float(self._times[index]), float(self._lats[index])
 
     def update(self, index: int, completion_time: float, latency_s: float) -> None:
         """Rewrite one recorded query in place.
@@ -50,53 +112,81 @@ class LatencyTracker:
         """
         if latency_s < 0:
             raise ValueError("latency_s must be non-negative")
-        if not 0 <= index < len(self._latencies):
+        if not 0 <= index < self._size:
             raise IndexError(f"no sample at index {index}")
-        self._completion_times[index] = completion_time
-        self._latencies[index] = latency_s
+        self._times[index] = completion_time
+        self._lats[index] = latency_s
+        self._version += 1
 
     @property
     def num_samples(self) -> int:
         """Number of recorded completions."""
-        return len(self._latencies)
+        return self._size
 
     @property
     def completion_times(self) -> np.ndarray:
-        """Completion timestamps of every recorded query."""
-        return np.asarray(self._completion_times, dtype=np.float64)
+        """Completion timestamps of every recorded query (a fresh copy)."""
+        return self._times[: self._size].copy()
 
     @property
     def latencies_s(self) -> np.ndarray:
-        """Latencies (seconds) of every recorded query."""
-        return np.asarray(self._latencies, dtype=np.float64)
+        """Latencies (seconds) of every recorded query (a fresh copy)."""
+        return self._lats[: self._size].copy()
+
+    def completion_order(self) -> np.ndarray:
+        """Stable argsort of the completion times, cached until the next write.
+
+        The engine's series assembly sorts the completion times once through
+        this method and shares the order between the achieved-QPS and rolling
+        p95 series instead of re-sorting per series.
+        """
+        if self._order_version != self._version:
+            self._order = np.argsort(self._times[: self._size], kind="stable")
+            self._order_version = self._version
+        return self._order
+
+    def _latencies_sorted(self) -> np.ndarray:
+        if self._sorted_lats_version != self._version:
+            self._sorted_lats = np.sort(self._lats[: self._size])
+            self._sorted_lats_version = self._version
+        return self._sorted_lats
+
+    def count_exceeding(self, threshold_s: float) -> int:
+        """Number of recorded latencies strictly above ``threshold_s``.
+
+        One binary search over the cached sorted latencies — identical to
+        ``np.sum(latencies_s > threshold_s)`` but O(log n) per call once the
+        sort is cached.
+        """
+        sorted_lats = self._latencies_sorted()
+        return int(self._size - np.searchsorted(sorted_lats, threshold_s, side="right"))
 
     def percentile(self, percentile: float) -> float:
         """Overall latency percentile in seconds."""
-        if not self._latencies:
+        if not self._size:
             raise ValueError("no latency samples recorded")
-        return float(np.percentile(self._latencies, percentile))
+        return float(np.percentile(self._latencies_sorted(), percentile))
 
     def mean(self) -> float:
         """Overall mean latency in seconds."""
-        if not self._latencies:
+        if not self._size:
             raise ValueError("no latency samples recorded")
-        return float(np.mean(self._latencies))
+        return float(np.mean(self._lats[: self._size]))
 
     def sla_violation_fraction(self, sla_s: float) -> float:
         """Fraction of completions whose latency exceeded the SLA."""
         if sla_s <= 0:
             raise ValueError("sla_s must be positive")
-        if not self._latencies:
+        if not self._size:
             return 0.0
-        latencies = np.asarray(self._latencies)
-        return float(np.mean(latencies > sla_s))
+        return self.count_exceeding(sla_s) / self._size
 
     def windowed(self, duration_s: float, bucket_s: float = 60.0) -> list[LatencyWindowPoint]:
         """Per-bucket percentiles over ``[0, duration_s)`` (empty buckets report zeros)."""
         if bucket_s <= 0 or duration_s <= 0:
             raise ValueError("duration_s and bucket_s must be positive")
-        times = np.asarray(self._completion_times)
-        latencies = np.asarray(self._latencies) * 1000.0
+        times = self._times[: self._size]
+        latencies = self._lats[: self._size] * 1000.0
         points = []
         edges = np.arange(0.0, duration_s + bucket_s, bucket_s)
         for start, end in zip(edges[:-1], edges[1:]):

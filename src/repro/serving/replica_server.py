@@ -12,9 +12,18 @@ With the default ``max_batch=1`` every query is its own batch and
 historical single-query FIFO model bit-for-bit: a query submitted at
 ``arrival`` completes at ``max(arrival, busy_until, ready_at) +
 service_time``.
+
+The class sits on the serving engine's per-query hot path, so it is slotted,
+``submit`` short-circuits the batch bookkeeping in the single-query-batch
+configuration (and skips the latency model entirely for an average-cost
+query, where the factor is exactly 1.0), and the merged busy runs are kept as
+parallel start/end lists so windowed utilization lookups bisect into them
+instead of scanning the whole history.
 """
 
 from __future__ import annotations
+
+from bisect import bisect_right
 
 from repro.hardware.perf_model import BatchLatencyModel
 
@@ -35,7 +44,32 @@ class ReplicaServer:
     Joining a batch extends the batch's completion by the member's
     incremental cost; every member's recorded completion is the batch
     completion as of the moment it joined, so completions stay monotone.
+
+    Invariant relied on by the vectorized routing layer: ``busy_until``
+    starts at ``ready_at`` and only ever increases, so ``busy_until`` *is*
+    the queue-drain time ``max(busy_until, ready_at)``.
     """
+
+    __slots__ = (
+        "_name",
+        "_ready_at",
+        "_busy_until",
+        "_max_batch",
+        "_single",
+        "_batch_window_s",
+        "_batch_model",
+        "_completed",
+        "_batches",
+        "_busy_time",
+        "_failed",
+        "_draining",
+        "_batch_start",
+        "_batch_count",
+        "_batch_mult_sum",
+        "_batch_base",
+        "_run_starts",
+        "_run_ends",
+    )
 
     def __init__(
         self,
@@ -53,6 +87,7 @@ class ReplicaServer:
         self._ready_at = float(ready_at)
         self._busy_until = float(ready_at)
         self._max_batch = int(max_batch)
+        self._single = self._max_batch == 1
         self._batch_window_s = float(batch_window_s)
         self._batch_model = batch_model
         self._completed = 0
@@ -66,10 +101,12 @@ class ReplicaServer:
         self._batch_count = 0
         self._batch_mult_sum = 0.0
         self._batch_base = 0.0
-        # Merged [start, end) busy runs; FIFO submits only ever extend the
-        # last run or open a new one, so the list stays short (one entry per
-        # idle gap, not per query).
-        self._busy_runs: list[list[float]] = []
+        # Merged [start, end) busy runs as parallel lists; FIFO submits only
+        # ever extend the last run or open a new one, so both stay short (one
+        # entry per idle gap, not per query) and the ends stay sorted —
+        # windowed lookups bisect into them.
+        self._run_starts: list[float] = []
+        self._run_ends: list[float] = []
 
     @property
     def name(self) -> str:
@@ -100,6 +137,11 @@ class ReplicaServer:
     def max_batch(self) -> int:
         """Largest number of queries one batch may coalesce."""
         return self._max_batch
+
+    @property
+    def batch_model(self) -> BatchLatencyModel | None:
+        """The latency model scaling this replica's batch service times."""
+        return self._batch_model
 
     @property
     def busy_seconds(self) -> float:
@@ -146,6 +188,15 @@ class ReplicaServer:
         # (exactly 1.0 for a single average-cost query).
         return mult_sum
 
+    def unit_service(self, service_time: float, multiplier: float = 1.0) -> float:
+        """Service seconds of a fresh single-query batch (no queue effects).
+
+        The vectorized cost-weighted routing path uses this shared scalar:
+        with uniform single-query batches, every replica's predicted
+        completion is ``max(arrival, busy_until) + unit_service(...)``.
+        """
+        return service_time * self._factor(1, multiplier)
+
     def _can_join(self, arrival: float) -> bool:
         return (
             self._max_batch > 1
@@ -176,25 +227,40 @@ class ReplicaServer:
             completion = max(completion, self._busy_until)
             self._busy_time += completion - self._busy_until
             self._busy_until = completion
-            self._busy_runs[-1][1] = completion
+            self._run_ends[-1] = completion
         else:
-            start = max(arrival, self._busy_until, self._ready_at)
-            if self._max_batch > 1 and self._batch_window_s > 0:
-                # Hold the batch open so near-future queries can share it.
-                start = max(start, arrival + self._batch_window_s)
-            self._batch_start = start
-            self._batch_count = 1
-            self._batch_mult_sum = multiplier
-            self._batch_base = service_time
+            busy = self._busy_until
+            # busy_until >= ready_at always, so the two-way comparison is the
+            # historical three-way max(arrival, busy_until, ready_at).
+            start = arrival if arrival > busy else busy
+            if self._single:
+                # Single-query batches: no forming-batch state to maintain,
+                # and an average-cost query has a factor of exactly 1.0.
+                if multiplier == 1.0:
+                    service = service_time
+                else:
+                    service = service_time * self._factor(1, multiplier)
+            else:
+                if self._batch_window_s > 0:
+                    # Hold the batch open so near-future queries can share it.
+                    window_start = arrival + self._batch_window_s
+                    if window_start > start:
+                        start = window_start
+                self._batch_start = start
+                self._batch_count = 1
+                self._batch_mult_sum = multiplier
+                self._batch_base = service_time
+                service = service_time * self._factor(1, multiplier)
             self._batches += 1
-            service = service_time * self._factor(1, multiplier)
             completion = start + service
             self._busy_until = completion
             self._busy_time += service
-            if self._busy_runs and start <= self._busy_runs[-1][1]:
-                self._busy_runs[-1][1] = completion
+            run_ends = self._run_ends
+            if run_ends and start <= run_ends[-1]:
+                run_ends[-1] = completion
             else:
-                self._busy_runs.append([start, completion])
+                self._run_starts.append(start)
+                run_ends.append(completion)
         self._completed += 1
         return completion
 
@@ -225,13 +291,21 @@ class ReplicaServer:
         return start + service_time * self._factor(1, multiplier)
 
     def busy_seconds_between(self, start_s: float, end_s: float) -> float:
-        """Service time accumulated inside ``[start_s, end_s)``."""
+        """Service time accumulated inside ``[start_s, end_s)``.
+
+        The run ends are strictly increasing, so the first overlapping run is
+        found by binary search and only the runs intersecting the window are
+        walked — O(log runs + overlap) rather than a scan of the full busy
+        history per sample tick.
+        """
+        run_starts = self._run_starts
+        run_ends = self._run_ends
         total = 0.0
-        for run_start, run_end in self._busy_runs:
-            if run_end <= start_s:
-                continue
+        for index in range(bisect_right(run_ends, start_s), len(run_ends)):
+            run_start = run_starts[index]
             if run_start >= end_s:
                 break
+            run_end = run_ends[index]
             total += min(run_end, end_s) - max(run_start, start_s)
         return total
 

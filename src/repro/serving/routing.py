@@ -48,6 +48,21 @@ Every policy excludes dead and draining replicas: a replica killed or
 cordoned by the fault layer (:mod:`repro.serving.faults`) never receives new
 traffic, even when the selection happens in the same event-loop step as the
 failure.
+
+Two selection paths
+-------------------
+
+Each policy exposes the historical *scalar* path — :meth:`RoutingPolicy.select`
+over a list of replica servers — and a *vectorized* path,
+:meth:`RoutingPolicy.select_index` over a :class:`ReplicaPool`: per-deployment
+numpy state arrays (queue-drain times, readiness, availability mask) kept in
+sync by the engine with dirty-flag invalidation, so the hot policies pick
+replicas via an ``argmin`` over arrays instead of a Python loop.  The two
+paths are bit-exact: identical pools, identical tie-breaking (first replica in
+creation order) and identical RNG consumption, locked by the equivalence
+suite in ``tests/serving/test_vectorized_equivalence.py``.  Policies that do
+not override the vectorized path (``least-outstanding``) transparently fall
+back to their scalar implementation.
 """
 
 from __future__ import annotations
@@ -64,6 +79,7 @@ from repro.cluster.loadbalancer import (
 from repro.serving.replica_server import ReplicaServer
 
 __all__ = [
+    "ReplicaPool",
     "RoutingPolicy",
     "LeastWorkPolicy",
     "RoundRobinPolicy",
@@ -100,6 +116,138 @@ def _ready_pool(
     return [s for s in servers if not s.failed and not s.draining]
 
 
+class ReplicaPool:
+    """Vectorized routing state of one deployment's replica servers.
+
+    The pool mirrors a deployment's ``name -> ReplicaServer`` dict (insertion
+    order, i.e. replica creation order) into parallel numpy arrays so routing
+    policies can rank every replica with one array expression:
+
+    * ``busy`` — each replica's queue-drain time.  ``ReplicaServer``
+      guarantees ``busy_until >= ready_at`` from construction onward, so this
+      single array *is* the least-work key ``max(busy_until, ready_at)``;
+    * ``ready`` — each replica's ``ready_at``;
+    * ``blocked`` — replicas that are failed or draining (never routable).
+
+    The arrays are rebuilt lazily: the engine calls :meth:`invalidate` on any
+    membership or flag change (reconcile adds/removes, crashes, drains) and
+    :meth:`note_submit` after every accepted query, so between changes a
+    selection costs one argmin rather than a Python pass over the servers.
+
+    ``refresh`` also caches two fast-path facts: whether any replica is
+    blocked, and the latest ``ready_at`` — once ``now`` passes it on an
+    unblocked pool, every replica is routable and policies skip the masking
+    entirely.
+    """
+
+    __slots__ = (
+        "_source",
+        "_dirty",
+        "servers",
+        "busy",
+        "ready",
+        "blocked",
+        "size",
+        "index_of",
+        "has_blocked",
+        "ready_threshold",
+        "single_batch",
+    )
+
+    def __init__(self, source: dict[str, ReplicaServer]) -> None:
+        self._source = source
+        self.servers: list[ReplicaServer] = []
+        self.busy = np.empty(0, dtype=np.float64)
+        self.ready = np.empty(0, dtype=np.float64)
+        self.blocked = np.empty(0, dtype=bool)
+        self.size = 0
+        self.index_of: dict[str, int] = {}
+        self.has_blocked = False
+        self.ready_threshold = 0.0
+        self.single_batch = True
+        self._dirty = True
+
+    def invalidate(self) -> None:
+        """Mark the arrays stale (membership or failed/draining flag change)."""
+        self._dirty = True
+
+    def refresh(self) -> "ReplicaPool":
+        """Rebuild the arrays from the source dict if they are stale."""
+        if self._dirty:
+            self._rebuild()
+        return self
+
+    def _rebuild(self) -> None:
+        servers = list(self._source.values())
+        self.servers = servers
+        size = len(servers)
+        self.size = size
+        busy = np.empty(size, dtype=np.float64)
+        ready = np.empty(size, dtype=np.float64)
+        blocked = np.empty(size, dtype=bool)
+        single_batch = True
+        model = None
+        for index, server in enumerate(servers):
+            busy[index] = server.busy_until
+            ready[index] = server.ready_at
+            blocked[index] = server.failed or server.draining
+            if server.max_batch != 1:
+                single_batch = False
+            if index == 0:
+                model = server.batch_model
+            elif server.batch_model is not model:
+                single_batch = False
+        self.busy = busy
+        self.ready = ready
+        self.blocked = blocked
+        self.index_of = {server.name: index for index, server in enumerate(servers)}
+        self.has_blocked = bool(blocked.any())
+        if size and not self.has_blocked:
+            self.ready_threshold = float(ready.max())
+        else:
+            self.ready_threshold = np.inf
+        # Cost-weighted routing vectorizes only the uniform single-query-batch
+        # configuration (every replica max_batch == 1, one shared model): the
+        # unit-batch service time is then one shared scalar.
+        self.single_batch = single_batch
+        self._dirty = False
+
+    def note_submit(self, index: int, busy_until: float) -> None:
+        """Record a replica's new queue-drain time after an accepted query."""
+        self.busy[index] = busy_until
+
+    def all_ready(self, now: float) -> bool:
+        """Fast-path test: every replica routable and past its ready time."""
+        return now >= self.ready_threshold
+
+    def routable_mask(self, now: float) -> np.ndarray | None:
+        """Boolean mask of the scalar path's ``_ready_pool`` over the arrays.
+
+        Available replicas first; if none, live-but-starting replicas;
+        ``None`` when nothing is routable (the query must be rejected).
+        """
+        ready_now = self.ready <= now
+        if self.has_blocked:
+            live = ~self.blocked
+            available = ready_now & live
+        else:
+            live = None
+            available = ready_now
+        if available.any():
+            return available
+        if live is None:
+            # Nothing blocked, nothing ready: every replica is still starting.
+            return np.ones(self.size, dtype=bool) if self.size else None
+        if live.any():
+            return live
+        return None
+
+
+def _masked_argmin(keys: np.ndarray, mask: np.ndarray) -> int:
+    """Index of the first minimal key among the masked entries."""
+    return int(np.where(mask, keys, np.inf).argmin())
+
+
 class RoutingPolicy:
     """Base class for per-deployment replica selection."""
 
@@ -125,6 +273,25 @@ class RoutingPolicy:
         this query's sampled cost multiplier.  Policies may ignore it.
         """
         raise NotImplementedError
+
+    def select_index(
+        self,
+        deployment_name: str,
+        pool: ReplicaPool,
+        now: float,
+        cost: tuple[float, float] | None = None,
+    ) -> int | None:
+        """Vectorized selection: the chosen replica's pool index, or ``None``.
+
+        The default implementation delegates to the scalar :meth:`select`
+        over the pool's server list, so policies without a vectorized path
+        behave identically on both engine code paths.
+        """
+        pool.refresh()
+        server = self.select(deployment_name, pool.servers, now, cost)
+        if server is None:
+            return None
+        return pool.index_of[server.name]
 
     def on_submit(self, deployment_name: str, server: ReplicaServer) -> None:
         """Notification that a query was enqueued on ``server``."""
@@ -153,6 +320,23 @@ class LeastWorkPolicy(RoutingPolicy):
             return None
         return self._balancer.pick(deployment_name, pool)
 
+    def select_index(
+        self,
+        deployment_name: str,
+        pool: ReplicaPool,
+        now: float,
+        cost: tuple[float, float] | None = None,
+    ) -> int | None:
+        pool.refresh()
+        if not pool.size:
+            return None
+        if pool.all_ready(now):
+            return int(pool.busy.argmin())
+        mask = pool.routable_mask(now)
+        if mask is None:
+            return None
+        return _masked_argmin(pool.busy, mask)
+
 
 class RoundRobinPolicy(RoutingPolicy):
     """Cycle through ready replicas regardless of their load."""
@@ -176,6 +360,24 @@ class RoundRobinPolicy(RoutingPolicy):
         if not pool:
             return None
         return self._balancer.pick(deployment_name, pool)
+
+    def select_index(
+        self,
+        deployment_name: str,
+        pool: ReplicaPool,
+        now: float,
+        cost: tuple[float, float] | None = None,
+    ) -> int | None:
+        pool.refresh()
+        if not pool.size:
+            return None
+        if pool.all_ready(now):
+            return self._balancer.pick_index(deployment_name, pool.size)
+        mask = pool.routable_mask(now)
+        if mask is None:
+            return None
+        candidates = np.flatnonzero(mask)
+        return int(candidates[self._balancer.pick_index(deployment_name, candidates.size)])
 
 
 class PowerOfTwoPolicy(RoutingPolicy):
@@ -201,6 +403,32 @@ class PowerOfTwoPolicy(RoutingPolicy):
             return None
         return self._balancer.pick(deployment_name, pool)
 
+    def select_index(
+        self,
+        deployment_name: str,
+        pool: ReplicaPool,
+        now: float,
+        cost: tuple[float, float] | None = None,
+    ) -> int | None:
+        pool.refresh()
+        if not pool.size:
+            return None
+        busy = pool.busy
+        if pool.all_ready(now):
+            if pool.size == 1:
+                return 0
+            first, second = self._balancer.pick_pair(pool.size)
+            return first if busy[first] <= busy[second] else second
+        mask = pool.routable_mask(now)
+        if mask is None:
+            return None
+        candidates = np.flatnonzero(mask)
+        if candidates.size == 1:
+            return int(candidates[0])
+        first, second = self._balancer.pick_pair(candidates.size)
+        a, b = int(candidates[first]), int(candidates[second])
+        return a if busy[a] <= busy[b] else b
+
 
 class ReadyOnlyPolicy(RoutingPolicy):
     """Least-work over ready replicas only; drop if nothing is ready."""
@@ -221,6 +449,25 @@ class ReadyOnlyPolicy(RoutingPolicy):
         if not ready:
             return None
         return self._balancer.pick(deployment_name, ready)
+
+    def select_index(
+        self,
+        deployment_name: str,
+        pool: ReplicaPool,
+        now: float,
+        cost: tuple[float, float] | None = None,
+    ) -> int | None:
+        pool.refresh()
+        if not pool.size:
+            return None
+        if pool.all_ready(now):
+            return int(pool.busy.argmin())
+        available = pool.ready <= now
+        if pool.has_blocked:
+            available &= ~pool.blocked
+        if not available.any():
+            return None
+        return _masked_argmin(pool.busy, available)
 
 
 class LeastOutstandingPolicy(RoutingPolicy):
@@ -305,6 +552,47 @@ class CostWeightedPolicy(RoutingPolicy):
             pool, key=lambda s: s.predicted_completion(now, service_s, multiplier)
         )
 
+    def select_index(
+        self,
+        deployment_name: str,
+        pool: ReplicaPool,
+        now: float,
+        cost: tuple[float, float] | None = None,
+    ) -> int | None:
+        pool.refresh()
+        if not pool.size:
+            return None
+        if cost is None or not pool.single_batch:
+            # Batch-forming replicas need the per-server prediction (batch
+            # join state is replica-local); fall back to the scalar ranking
+            # over the routable subset.
+            mask = pool.routable_mask(now)
+            if mask is None:
+                return None
+            servers = pool.servers
+            candidates = np.flatnonzero(mask)
+            if cost is None:
+                key = _queue_drain_time
+            else:
+                service_s, multiplier = cost
+
+                def key(server: ReplicaServer) -> float:
+                    return server.predicted_completion(now, service_s, multiplier)
+
+            return int(min((int(i) for i in candidates), key=lambda i: key(servers[i])))
+        # Uniform single-query batches: the prediction decomposes into
+        # max(arrival, busy_until) plus one shared unit-batch service time,
+        # so the whole pool ranks with one array expression.
+        service_s, multiplier = cost
+        unit = pool.servers[0].unit_service(service_s, multiplier)
+        keys = np.maximum(pool.busy, now) + unit
+        if pool.all_ready(now):
+            return int(keys.argmin())
+        mask = pool.routable_mask(now)
+        if mask is None:
+            return None
+        return _masked_argmin(keys, mask)
+
 
 class RecoveryAwarePolicy(RoutingPolicy):
     """Least-work with a penalty on recently-recovered cold replicas.
@@ -351,6 +639,30 @@ class RecoveryAwarePolicy(RoutingPolicy):
             return None
         service_s = cost[0] * cost[1] if cost is not None else 0.0
         return min(pool, key=lambda s: self._key(s, now, service_s))
+
+    def select_index(
+        self,
+        deployment_name: str,
+        pool: ReplicaPool,
+        now: float,
+        cost: tuple[float, float] | None = None,
+    ) -> int | None:
+        pool.refresh()
+        if not pool.size:
+            return None
+        if pool.all_ready(now) and now >= pool.ready_threshold + self.warmup_s:
+            # Every replica is warm: the penalty term is exactly zero and the
+            # ranking degenerates to least-work.
+            return int(pool.busy.argmin())
+        service_s = cost[0] * cost[1] if cost is not None else 0.0
+        remaining = np.maximum(0.0, (pool.ready + self.warmup_s) - now) / self.warmup_s
+        keys = pool.busy + (self.cold_penalty_queries * service_s) * remaining
+        if pool.all_ready(now):
+            return int(keys.argmin())
+        mask = pool.routable_mask(now)
+        if mask is None:
+            return None
+        return _masked_argmin(keys, mask)
 
 
 #: Registry of routing policies by CLI-facing name.

@@ -42,6 +42,11 @@ class TrafficPattern:
             raise ValueError("phase start times must increase strictly")
         if self.duration_s <= starts[-1]:
             raise ValueError("duration_s must extend past the last phase start")
+        # Cached phase arrays backing the vectorized rate_at lookup.
+        object.__setattr__(self, "_starts", np.asarray(starts, dtype=np.float64))
+        object.__setattr__(
+            self, "_rates", np.asarray([p.rate_qps for p in phases], dtype=np.float64)
+        )
 
     @classmethod
     def constant(cls, rate_qps: float, duration_s: float) -> "TrafficPattern":
@@ -58,23 +63,30 @@ class TrafficPattern:
             duration_s=duration_s,
         )
 
-    def rate_at(self, time_s: float) -> float:
-        """Target query rate at an instant.
+    def rate_at(self, time_s: "float | np.ndarray") -> "float | np.ndarray":
+        """Target query rate at an instant — or at a whole array of instants.
 
         Times past the end of the pattern are clamped to the final rate, so
         samplers whose grid overshoots ``duration_s`` (e.g. a sample boundary
         landing just beyond the last arrival) read a well-defined value.
+
+        Given an array, the lookup is one vectorized ``searchsorted`` over
+        the phase starts and returns a float64 array — the engine builds the
+        ``target_qps`` series this way instead of a per-sample Python loop.
         """
-        if time_s < 0:
-            raise ValueError(f"time {time_s} outside the pattern duration")
-        time_s = min(time_s, self.duration_s)
-        rate = self.phases[0].rate_qps
-        for phase in self.phases:
-            if time_s >= phase.start_s:
-                rate = phase.rate_qps
-            else:
-                break
-        return rate
+        if np.ndim(time_s) == 0:
+            if time_s < 0:
+                raise ValueError(f"time {time_s} outside the pattern duration")
+            time_s = min(time_s, self.duration_s)
+            # The active phase is the last one whose start is <= time_s.
+            index = int(np.searchsorted(self._starts, time_s, side="right")) - 1
+            return float(self._rates[index])
+        times = np.asarray(time_s, dtype=np.float64)
+        if times.size and float(times.min()) < 0:
+            raise ValueError(f"time {float(times.min())} outside the pattern duration")
+        clamped = np.minimum(times, self.duration_s)
+        indices = np.searchsorted(self._starts, clamped, side="right") - 1
+        return self._rates[indices]
 
     @property
     def peak_rate(self) -> float:

@@ -1,0 +1,263 @@
+"""Equivalence suite: the vectorized hot path == the historical scalar path.
+
+PR5's throughput work rebuilt the engine's per-query path — numpy replica
+pools with argmin selection, a buffered :class:`LatencyTracker`, coalesced
+control events — under a bit-exactness contract: none of it may change a
+single float of any result.  This module locks the contract from two sides:
+
+* engine-level — for every scenario x routing x fault configuration (plus
+  skewed-cost and batched variants), a ``vectorized=True`` run and a
+  ``vectorized=False`` (scalar reference) run must produce identical result
+  digests *and* element-identical series arrays;
+* tracker-level — Hypothesis drives the buffered ``LatencyTracker`` and a
+  list-based reference implementation (the pre-PR5 code, preserved below)
+  through the same record/update/sample interleavings — including the
+  requeue-style in-place rewrites fault handling performs — and every
+  aggregate must match bit-for-bit while the buffer's amortized-growth
+  invariants hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.planner import ElasticRecPlanner
+from repro.hardware.specs import cpu_only_cluster
+from repro.model.configs import microbenchmark
+from repro.serving.engine import ServingEngine
+from repro.serving.latency import LatencyTracker
+from repro.serving.routing import routing_policy_names
+from repro.serving.scenarios import build_scenario
+
+_PLAN_FACTORY = ElasticRecPlanner(cpu_only_cluster(num_nodes=4))
+
+
+def _plan():
+    return _PLAN_FACTORY.plan(microbenchmark(num_tables=2), target_qps=30.0)
+
+
+def _run(routing, scenario="flash-crowd", faults=None, seed=0, vectorized=True, **kwargs):
+    pattern = build_scenario(scenario, 8.0, 24.0, 120.0, seed=seed)
+    engine = ServingEngine(
+        _plan(),
+        routing=routing,
+        seed=seed,
+        faults=faults,
+        vectorized=vectorized,
+        **kwargs,
+    )
+    return engine.run(pattern)
+
+
+def _assert_equivalent(vectorized, scalar):
+    assert vectorized.digest() == scalar.digest()
+    for attribute in (
+        "sample_times",
+        "target_qps",
+        "achieved_qps",
+        "memory_gb",
+        "p95_latency_ms",
+    ):
+        assert np.array_equal(getattr(vectorized, attribute), getattr(scalar, attribute)), attribute
+    assert np.array_equal(vectorized.tracker.completion_times, scalar.tracker.completion_times)
+    assert np.array_equal(vectorized.tracker.latencies_s, scalar.tracker.latencies_s)
+    for mapping_name in ("replica_counts", "utilization", "availability", "requeues"):
+        vectorized_map = getattr(vectorized, mapping_name)
+        scalar_map = getattr(scalar, mapping_name)
+        assert set(vectorized_map) == set(scalar_map), mapping_name
+        for key in vectorized_map:
+            assert np.array_equal(vectorized_map[key], scalar_map[key]), (mapping_name, key)
+    assert vectorized.rejected_queries == scalar.rejected_queries
+    assert vectorized.dropped_queries == scalar.dropped_queries
+    assert vectorized.requeued_queries == scalar.requeued_queries
+    assert vectorized.faults_injected == scalar.faults_injected
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("routing", routing_policy_names())
+    @pytest.mark.parametrize("scenario", ["constant", "flash-crowd"])
+    def test_every_routing_policy_matches_the_scalar_path(self, routing, scenario):
+        vectorized = _run(routing, scenario=scenario)
+        scalar = _run(routing, scenario=scenario, vectorized=False)
+        _assert_equivalent(vectorized, scalar)
+
+    @pytest.mark.parametrize("routing", ["least-work", "power-of-two", "recovery-aware"])
+    @pytest.mark.parametrize(
+        "faults",
+        [
+            "single-crash",
+            "crash-storm",
+            "stragglers",
+            "rolling-drain",
+            "crash@20:policy=drop;drain@60+30:node=1",
+        ],
+    )
+    def test_fault_configs_match_the_scalar_path(self, routing, faults):
+        vectorized = _run(routing, faults=faults, seed=5)
+        scalar = _run(routing, faults=faults, seed=5, vectorized=False)
+        _assert_equivalent(vectorized, scalar)
+
+    @pytest.mark.parametrize("routing", ["cost-weighted", "least-work"])
+    def test_skewed_costs_and_batching_match_the_scalar_path(self, routing):
+        kwargs = dict(cost_model="skewed", max_batch=4, batch_window_s=0.002, seed=3)
+        vectorized = _run(routing, **kwargs)
+        scalar = _run(routing, vectorized=False, **kwargs)
+        _assert_equivalent(vectorized, scalar)
+
+    def test_vectorized_is_the_default(self):
+        pattern = build_scenario("constant", 5.0, 5.0, 60.0, seed=0)
+        engine = ServingEngine(_plan(), seed=0)
+        assert engine._runtime.vectorized is True
+        engine.run(pattern)
+
+
+# ----------------------------------------------------------------------
+# Tracker-level equivalence (Hypothesis)
+# ----------------------------------------------------------------------
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+class _ReferenceTracker:
+    """The pre-PR5 list-based LatencyTracker, kept verbatim as the oracle."""
+
+    def __init__(self) -> None:
+        self._completion_times: list[float] = []
+        self._latencies: list[float] = []
+
+    def record(self, completion_time: float, latency_s: float) -> None:
+        if latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+        self._completion_times.append(completion_time)
+        self._latencies.append(latency_s)
+
+    def sample(self, index: int) -> tuple[float, float]:
+        return self._completion_times[index], self._latencies[index]
+
+    def update(self, index: int, completion_time: float, latency_s: float) -> None:
+        self._completion_times[index] = completion_time
+        self._latencies[index] = latency_s
+
+    @property
+    def completion_times(self) -> np.ndarray:
+        return np.asarray(self._completion_times, dtype=np.float64)
+
+    @property
+    def latencies_s(self) -> np.ndarray:
+        return np.asarray(self._latencies, dtype=np.float64)
+
+    def percentile(self, percentile: float) -> float:
+        return float(np.percentile(self._latencies, percentile))
+
+    def mean(self) -> float:
+        return float(np.mean(self._latencies))
+
+    def sla_violation_fraction(self, sla_s: float) -> float:
+        if not self._latencies:
+            return 0.0
+        return float(np.mean(np.asarray(self._latencies) > sla_s))
+
+    def count_exceeding(self, threshold_s: float) -> int:
+        return int(np.sum(np.asarray(self._latencies) > threshold_s))
+
+
+_SAMPLES = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        st.floats(min_value=0.0, max_value=60.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+# Requeue-style rewrites: (victim index fraction, completion delta, latency).
+_REWRITES = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=0.999),
+        st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+        st.floats(min_value=0.0, max_value=120.0, allow_nan=False),
+    ),
+    max_size=50,
+)
+
+_SETTINGS = dict(
+    max_examples=60,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestTrackerEquivalence:
+    @given(samples=_SAMPLES, rewrites=_REWRITES, sla=st.floats(min_value=0.01, max_value=30.0))
+    @settings(**_SETTINGS)
+    def test_buffered_tracker_matches_the_list_reference(self, samples, rewrites, sla):
+        tracker = LatencyTracker()
+        reference = _ReferenceTracker()
+        for completion, latency in samples:
+            tracker.record(completion, latency)
+            reference.record(completion, latency)
+        # Interleave in-place rewrites the way fault requeues/drops do:
+        # read the sample, then overwrite it with a later completion.
+        for fraction, delta, latency in rewrites:
+            index = int(fraction * tracker.num_samples)
+            assert tracker.sample(index) == tuple(
+                map(float, reference.sample(index))
+            )
+            old_completion, _ = tracker.sample(index)
+            tracker.update(index, old_completion + delta, latency)
+            reference.update(index, old_completion + delta, latency)
+
+        assert tracker.num_samples == len(samples)
+        assert np.array_equal(tracker.completion_times, reference.completion_times)
+        assert np.array_equal(tracker.latencies_s, reference.latencies_s)
+        assert tracker.percentile(95.0) == reference.percentile(95.0)
+        assert tracker.percentile(50.0) == reference.percentile(50.0)
+        assert tracker.mean() == reference.mean()
+        assert tracker.sla_violation_fraction(sla) == reference.sla_violation_fraction(sla)
+        assert tracker.count_exceeding(sla) == reference.count_exceeding(sla)
+        # The shared-sort view must equal an independent stable argsort.
+        order = tracker.completion_order()
+        assert np.array_equal(
+            order, np.argsort(reference.completion_times, kind="stable")
+        )
+        assert np.array_equal(
+            tracker.completion_times[order], np.sort(reference.completion_times)
+        )
+
+    @given(samples=_SAMPLES)
+    @settings(**_SETTINGS)
+    def test_amortized_growth_invariants(self, samples):
+        tracker = LatencyTracker()
+        capacities = set()
+        for index, (completion, latency) in enumerate(samples):
+            tracker.record(completion, latency)
+            assert tracker.num_samples == index + 1
+            assert tracker.capacity >= tracker.num_samples
+            capacities.add(tracker.capacity)
+        # Doubling growth: every observed capacity is the initial one times a
+        # power of two, and at most O(log n) distinct capacities appear.
+        smallest = min(capacities)
+        for capacity in capacities:
+            ratio = capacity / smallest
+            assert ratio == int(ratio) and int(ratio) & (int(ratio) - 1) == 0
+        assert len(capacities) <= int(np.log2(max(len(samples), 1))) + 2
+        # Snapshots are stable copies: growing or rewriting the buffer must
+        # not mutate a previously taken view.
+        snapshot = tracker.completion_times
+        tracker.record(1.0, 1.0)
+        tracker.update(0, 2.0, 2.0)
+        assert np.array_equal(snapshot, np.asarray([s[0] for s in samples]))
+
+    def test_update_out_of_range_raises(self):
+        tracker = LatencyTracker()
+        tracker.record(1.0, 0.1)
+        with pytest.raises(IndexError):
+            tracker.update(1, 1.0, 0.1)
+        with pytest.raises(IndexError):
+            tracker.sample(-1)
+        with pytest.raises(ValueError):
+            tracker.update(0, 1.0, -0.5)

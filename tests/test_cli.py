@@ -120,6 +120,19 @@ class TestCommands:
         assert "round-robin" in output
         assert "elasticrec" in output
 
+    def test_simulate_profile_flag_prints_hot_spots(self, capsys):
+        assert main(
+            ["simulate", "RM1", "--num-shards", "2", "--num-nodes", "8",
+             "--scenario", "constant", "--base-qps", "8", "--peak-qps", "8",
+             "--duration-s", "60", "--profile"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "top-20 hot spots by cumulative time" in output
+        assert "cumulative" in output  # the pstats column header
+        assert "serve_query" in output  # the engine hot path made the table
+        # The result table still prints ahead of the profile.
+        assert "'constant' traffic" in output
+
     def test_simulate_with_fault_scenario_output(self, capsys):
         assert main(
             ["simulate", "RM1", "--num-shards", "2", "--num-nodes", "8",
