@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""CI smoke for the sharded/streamed run executor: digests plus an RSS ceiling.
+
+Two checks, both against the contracts :mod:`repro.serving.sharding`
+documents:
+
+1. **Digest equivalence** — a 2-worker streamed run must reproduce the
+   serial in-process run tenant for tenant, digest for digest.  The
+   per-tenant digests from both runs land in the JSON artifact so a CI
+   failure shows *which* tenant diverged, and the spool's manifests are
+   left on disk for upload.
+
+2. **Memory-boundedness** — a streamed 24-hour run must not hold whole-run
+   arrays: its peak RSS has to stay within ``--ceiling-ratio`` (default
+   2.0) of a 1-hour run of the same configuration, even though it serves
+   ~24x the queries.  Each horizon runs in a fresh child process because
+   ``ru_maxrss`` is a lifetime high-water mark — measuring both in one
+   process would make the second measurement meaningless.  An absolute
+   ``--rss-ceiling-mb`` backstop catches a runaway allocation that scales
+   both horizons equally.
+
+Usage (the slow CI job)::
+
+    PYTHONPATH=src python scripts/sharded_smoke.py \
+        --spool-dir smoke-spool --output sharded_smoke.json
+
+``--quick`` shrinks the horizons (10 min vs 2 h) for local iteration; the
+ratio contract is the same, only the statistics are noisier.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.planner import ElasticRecPlanner  # noqa: E402
+from repro.hardware.specs import cpu_only_cluster  # noqa: E402
+from repro.model.configs import microbenchmark  # noqa: E402
+from repro.parallel import peak_rss_mb, pool_context  # noqa: E402
+from repro.serving.engine import MultiTenantEngine, TenantSpec  # noqa: E402
+from repro.serving.scenarios import build_scenario  # noqa: E402
+from repro.serving.sharding import run_sharded  # noqa: E402
+
+NUM_TENANTS = 4
+
+
+def _tenants(duration_s: float) -> tuple[list[TenantSpec], object]:
+    """The smoke fleet: four capped tenants on an uncontended 16-node pool."""
+    cluster = cpu_only_cluster(num_nodes=16)
+    plan = ElasticRecPlanner(cluster).plan(microbenchmark(num_tables=2), target_qps=30.0)
+    tenants = [
+        TenantSpec(
+            name=f"user-{index:02d}",
+            plan=plan,
+            pattern=build_scenario("diurnal", 2.0, 6.0, duration_s),
+            seed=index,
+            max_replicas=4,
+            faults="crash-storm" if index == 1 else None,
+        )
+        for index in range(NUM_TENANTS)
+    ]
+    return tenants, cluster
+
+
+def check_digests(spool_dir: Path, duration_s: float) -> dict:
+    """Serial vs 2-worker streamed: every tenant digest must match."""
+    tenants, cluster = _tenants(duration_s)
+    serial = MultiTenantEngine(tenants, cluster_spec=cluster).run()
+    sharded = run_sharded(tenants, cluster, workers=2, stream_dir=spool_dir)
+    record = {
+        "duration_s": duration_s,
+        "queries": serial.total_queries,
+        "workers": sharded.sharding_stats["workers"],
+        "worker_peak_rss_mb": sharded.sharding_stats["peak_rss_mb"],
+        "tenants": {},
+    }
+    mismatched = []
+    for name, expected in serial.tenants.items():
+        serial_digest = expected.digest()
+        sharded_digest = sharded.tenants[name].digest()
+        record["tenants"][name] = {
+            "serial_digest": serial_digest,
+            "sharded_digest": sharded_digest,
+            "match": serial_digest == sharded_digest,
+        }
+        if serial_digest != sharded_digest:
+            mismatched.append(name)
+    if mismatched:
+        raise SystemExit(f"sharded digests diverged from serial for {mismatched}")
+    return record
+
+
+def _horizon_child(conn, duration_s: float, spool_dir: str) -> None:
+    """Run one streamed horizon and report engine-worker and merge peak RSS.
+
+    The memory-boundedness contract is about the *engine*: a worker spooling
+    its series must not hold whole-run arrays, so its ``ru_maxrss`` (reported
+    through ``sharding_stats``) is what the horizon ratio gates on.  This
+    process additionally merges the spool back into a full in-memory result —
+    that is linear in the run length by definition (it *is* the whole-run
+    arrays) and is reported separately, policed only by the absolute ceiling.
+    """
+    try:
+        tenants, cluster = _tenants(duration_s)
+        started = time.perf_counter()
+        result = run_sharded(tenants, cluster, workers=2, stream_dir=spool_dir)
+        conn.send(
+            (
+                "ok",
+                {
+                    "duration_s": duration_s,
+                    "queries": result.total_queries,
+                    "wall_s": round(time.perf_counter() - started, 3),
+                    "peak_rss_mb": round(max(result.sharding_stats["peak_rss_mb"]), 1),
+                    "merge_peak_rss_mb": round(peak_rss_mb(), 1),
+                },
+            )
+        )
+    except BaseException as error:  # noqa: BLE001 - report, do not hang the pipe
+        conn.send(("error", f"{type(error).__name__}: {error}"))
+    finally:
+        conn.close()
+
+
+def measure_horizon(duration_s: float, spool_dir: Path) -> dict:
+    context = pool_context()
+    receiver, sender = context.Pipe(duplex=False)
+    child = context.Process(target=_horizon_child, args=(sender, duration_s, str(spool_dir)))
+    child.start()
+    sender.close()
+    try:
+        status, payload = receiver.recv()
+    except EOFError:
+        child.join()
+        raise SystemExit(f"{duration_s:.0f}s horizon: worker died without reporting")
+    child.join()
+    if status != "ok":
+        raise SystemExit(f"{duration_s:.0f}s horizon failed: {payload}")
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--spool-dir", default="smoke-spool", metavar="PATH",
+                        help="where the streamed runs spool (kept for artifact upload)")
+    parser.add_argument("--output", default="sharded_smoke.json", metavar="PATH",
+                        help="JSON record of digests and RSS measurements")
+    parser.add_argument("--ceiling-ratio", type=float, default=2.0,
+                        help="max allowed long-horizon/short-horizon peak-RSS ratio")
+    parser.add_argument("--rss-ceiling-mb", type=float, default=1024.0,
+                        help="absolute peak-RSS backstop for any child (MB)")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink horizons to 10min/2h for local iteration")
+    args = parser.parse_args(argv)
+
+    short_s, long_s = (600.0, 7200.0) if args.quick else (3600.0, 86400.0)
+    spool_root = Path(args.spool_dir)
+    if spool_root.exists():
+        shutil.rmtree(spool_root)
+
+    digest_record = check_digests(spool_root / "digest-check", duration_s=600.0)
+    print(f"digest check: {len(digest_record['tenants'])} tenant(s) identical "
+          f"across serial and 2-worker streamed runs "
+          f"({digest_record['queries']} queries)")
+
+    short = measure_horizon(short_s, spool_root / "horizon-short")
+    print(f"{short_s:.0f}s horizon: {short['queries']} queries, "
+          f"peak worker RSS {short['peak_rss_mb']:.0f} MB "
+          f"(merge {short['merge_peak_rss_mb']:.0f} MB) in {short['wall_s']:.1f}s")
+    long = measure_horizon(long_s, spool_root / "horizon-long")
+    print(f"{long_s:.0f}s horizon: {long['queries']} queries, "
+          f"peak worker RSS {long['peak_rss_mb']:.0f} MB "
+          f"(merge {long['merge_peak_rss_mb']:.0f} MB) in {long['wall_s']:.1f}s")
+
+    ratio = long["peak_rss_mb"] / short["peak_rss_mb"]
+    record = {
+        "schema": 1,
+        "digest_check": digest_record,
+        "short_horizon": short,
+        "long_horizon": long,
+        "rss_ratio": round(ratio, 3),
+        "ceiling_ratio": args.ceiling_ratio,
+        "rss_ceiling_mb": args.rss_ceiling_mb,
+    }
+    Path(args.output).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"worker RSS ratio {ratio:.2f}x over a {long_s / short_s:.0f}x horizon "
+          f"(ceiling {args.ceiling_ratio:.1f}x); wrote {args.output}")
+
+    worst = max(
+        [
+            short["peak_rss_mb"],
+            long["peak_rss_mb"],
+            short["merge_peak_rss_mb"],
+            long["merge_peak_rss_mb"],
+            *digest_record["worker_peak_rss_mb"],
+        ]
+    )
+    if worst > args.rss_ceiling_mb:
+        raise SystemExit(
+            f"peak RSS {worst:.0f} MB exceeds the {args.rss_ceiling_mb:.0f} MB ceiling"
+        )
+    if ratio > args.ceiling_ratio:
+        raise SystemExit(
+            f"streamed long-horizon RSS grew {ratio:.2f}x over the short horizon "
+            f"(ceiling {args.ceiling_ratio:.1f}x): the run is not memory-bounded"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,14 @@ Usage (also available as ``python -m repro``):
     ...) or an inline fault script such as
     ``'crash@120:policy=drop;drain@300+60:node=1'``.
 
+``python -m repro simulate RM1 --tenants 8 --shard-workers 4 --stream-dir /tmp/spool``
+    Serve N co-located tenants (seeds fanned out deterministically from
+    ``--seed``) sharded across worker processes, streaming per-interval
+    series and latency samples to an on-disk spool so memory stays bounded
+    at any horizon.  Sharded runs are bit-exact with single-process runs
+    whenever tenants do not contend for the shared pool (node-drain fault
+    scenarios are rejected with a hint).
+
 ``python -m repro sweep RM1 --scenarios constant,flash-crowd --routings all --workers 4``
     Fan a scenario × routing × replica-budget grid across worker processes
     (deterministic per-cell seeding: the merged table is identical for any
@@ -191,6 +199,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--seed", type=int, default=0, help="random seed")
     simulate.add_argument(
+        "--tenants",
+        type=_positive_int,
+        default=1,
+        help=(
+            "co-located tenants sharing the node pool (seeds fan out "
+            "deterministically from --seed; default: 1)"
+        ),
+    )
+    simulate.add_argument(
+        "--shard-workers",
+        type=_positive_int,
+        default=1,
+        help=(
+            "worker processes to shard the run across, one disjoint tenant "
+            "subset each (bit-exact with a single process; default: 1)"
+        ),
+    )
+    simulate.add_argument(
+        "--stream-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "stream per-interval series and latency samples to an on-disk "
+            "spool at PATH instead of holding whole-run arrays in memory"
+        ),
+    )
+    simulate.add_argument(
+        "--max-replicas",
+        type=_positive_int,
+        default=256,
+        help="per-tenant replica budget (default: 256)",
+    )
+    simulate.add_argument(
         "--profile",
         action="store_true",
         help="run the simulation under cProfile and print the top-20 cumulative hot spots",
@@ -329,6 +370,8 @@ def _command_simulate(args: argparse.Namespace) -> int:
         "model-wise": lambda: ModelWisePlanner(cluster).plan(workload, args.base_qps),
     }
     strategies = list(planners) if args.strategy == "both" else [args.strategy]
+    if args.tenants > 1 or args.shard_workers > 1 or args.stream_dir is not None:
+        return _simulate_sharded(args, workload, cluster, planners, strategies, pattern)
     profiler = None
     if getattr(args, "profile", False):
         import cProfile
@@ -377,6 +420,95 @@ def _command_simulate(args: argparse.Namespace) -> int:
 
         print("\ntop-20 hot spots by cumulative time:")
         pstats.Stats(profiler, stream=sys.stdout).sort_stats("cumulative").print_stats(20)
+    return 0
+
+
+def _simulate_sharded(
+    args: argparse.Namespace,
+    workload: DLRMConfig,
+    cluster: ClusterSpec,
+    planners: dict,
+    strategies: list[str],
+    pattern,
+) -> int:
+    """The multi-tenant / sharded / streamed variant of ``simulate``."""
+    from repro.parallel import spawn_seeds
+    from repro.serving.engine import TenantSpec
+    from repro.serving.sharding import run_sharded
+
+    if getattr(args, "profile", False):
+        raise SystemExit("--profile needs a single-process, single-tenant run")
+    workers = args.shard_workers
+    if workers > args.tenants:
+        print(
+            f"note: --shard-workers {workers} exceeds the {args.tenants} "
+            f"available tenant(s); running {args.tenants} worker(s)",
+            file=sys.stderr,
+        )
+        workers = args.tenants
+    seeds = spawn_seeds(args.seed, args.tenants)
+    rows = []
+    stats = None
+    for strategy in strategies:
+        plan = planners[strategy]()
+        tenants = [
+            TenantSpec(
+                name=f"tenant-{index:02d}" if args.tenants > 1 else plan.name,
+                plan=plan,
+                pattern=pattern,
+                routing=args.routing,
+                seed=seeds[index],
+                max_replicas=args.max_replicas,
+                cost_model=args.cost_model,
+                max_batch=args.max_batch,
+                faults=args.faults,
+            )
+            for index in range(args.tenants)
+        ]
+        stream_dir = None
+        if args.stream_dir is not None:
+            stream_dir = args.stream_dir
+            if len(strategies) > 1:
+                stream_dir = f"{args.stream_dir}/{strategy}"
+        try:
+            result = run_sharded(
+                tenants, cluster_spec=cluster, workers=workers, stream_dir=stream_dir
+            )
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+        stats = result.sharding_stats
+        for name, tenant_result in result.tenants.items():
+            summary = tenant_result.summary()
+            rows.append(
+                {
+                    "strategy": strategy,
+                    "tenant": name,
+                    "routing": tenant_result.routing,
+                    "peak_memory_gb": summary["peak_memory_gb"],
+                    "mean_latency_ms": summary["mean_latency_ms"],
+                    "p95_latency_ms": summary["p95_latency_ms"],
+                    "sla_violations_pct": 100.0 * summary["sla_violation_fraction"],
+                    "queries": summary["total_queries"],
+                }
+            )
+    print(
+        format_table(
+            rows,
+            title=(
+                f"{workload.name} under {args.scenario!r} traffic "
+                f"({args.tenants} tenant(s), {workers} worker(s) on {cluster.name})"
+            ),
+        )
+    )
+    if stats is not None:
+        rss = max(stats["peak_rss_mb"]) if stats["peak_rss_mb"] else 0.0
+        line = (
+            f"\nsharding: {stats['workers']} worker(s), wall {stats['wall_s']:.2f}s, "
+            f"peak worker RSS {rss:.0f} MB"
+        )
+        if stats["streamed"]:
+            line += f", spool at {args.stream_dir}"
+        print(line)
     return 0
 
 

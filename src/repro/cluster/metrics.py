@@ -41,6 +41,20 @@ class MetricsRegistry:
             )
         samples.append(MetricSample(timestamp=timestamp, value=value))
 
+    def prune(self, before: float) -> None:
+        """Drop samples with ``timestamp <= before`` from every metric.
+
+        Every query helper reads a trailing window, so pruning behind the
+        oldest window any consumer will ever ask for changes no answer.  The
+        serving engine calls this on streamed (memory-bounded) runs, where
+        per-interval metric history would otherwise grow with the horizon.
+        """
+        for name, samples in self._samples.items():
+            timestamps = [s.timestamp for s in samples]
+            cut = bisect.bisect_right(timestamps, before)
+            if cut:
+                del samples[:cut]
+
     def names(self) -> list[str]:
         """All metric names with at least one sample."""
         return sorted(self._samples)

@@ -10,8 +10,10 @@ grid order, so a parallel sweep is byte-identical to a serial one.
 Determinism contract:
 
 * every cell derives its seed from ``(config.seed, cell index)`` through
-  :class:`numpy.random.SeedSequence`, so seeds do not depend on worker count
-  or scheduling order;
+  :func:`repro.parallel.subseed` (:class:`numpy.random.SeedSequence`
+  fan-out), so seeds do not depend on worker count or scheduling order;
+  the process pool likewise comes from the shared
+  :func:`repro.parallel.pool_context` (fork preferred, spawn fallback);
 * workers rebuild plans from the (deterministic) planner rather than
   receiving pickled state, so a cell computes the same result in any process;
 * :meth:`SweepResult.digest` hashes the merged rows, making "serial == parallel"
@@ -25,16 +27,14 @@ from __future__ import annotations
 
 import hashlib
 import itertools
-import multiprocessing
 from dataclasses import asdict, dataclass, field
 from typing import Sequence
-
-import numpy as np
 
 from repro.analysis.report import format_table
 from repro.core.plan import DeploymentPlan
 from repro.experiments.common import cluster_for_system, plan_elasticrec
 from repro.model.configs import DLRMConfig, workload_presets
+from repro.parallel import pool_context, subseed
 from repro.serving.engine import MultiTenantEngine, TenantSpec
 from repro.serving.faults import validate_fault_spec
 from repro.serving.routing import resolve_routing_names
@@ -98,11 +98,6 @@ class SweepCell:
     seed: int
 
 
-def _cell_seed(base_seed: int, index: int) -> int:
-    """Deterministic per-cell seed, independent of worker count and order."""
-    return int(np.random.SeedSequence([base_seed, index]).generate_state(1)[0])
-
-
 def build_grid(
     scenarios: Sequence[str],
     routings: Sequence[str],
@@ -124,7 +119,7 @@ def build_grid(
                 scenario=scenario,
                 routing=routing,
                 replica_budget=int(budget),
-                seed=_cell_seed(base_seed, index),
+                seed=subseed(base_seed, index),
             )
         )
     return cells
@@ -220,13 +215,6 @@ def _run_cell_args(args: tuple[SweepConfig, SweepCell]) -> dict[str, float | int
     return run_cell(*args)
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    # fork shares the already-imported package with the workers; fall back to
-    # spawn where fork is unavailable (the workers then re-import repro).
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-
-
 @dataclass
 class SweepResult:
     """Merged rows of one sweep, in grid order."""
@@ -292,7 +280,6 @@ def run_sweep(
     if workers <= 1 or len(cells) == 1:
         rows = [run_cell(config, cell) for cell in cells]
     else:
-        context = _pool_context()
-        with context.Pool(processes=min(workers, len(cells))) as pool:
+        with pool_context().Pool(processes=min(workers, len(cells))) as pool:
             rows = pool.map(_run_cell_args, [(config, cell) for cell in cells], chunksize=1)
     return SweepResult(config=config, cells=cells, rows=rows)

@@ -39,6 +39,14 @@ discrete-event engine with pluggable policies:
   transient degradation) scheduled as first-class engine events with seeded
   determinism.  See :data:`FAULT_SCENARIOS` / :func:`make_fault_model` and
   the ``faults=`` knob on :class:`ServingEngine` / :class:`TenantSpec`.
+* :mod:`repro.serving.sharding` — the sharded run executor:
+  :func:`run_sharded` partitions a multi-tenant run by tenant across worker
+  processes (bit-exact with the serial run whenever tenants do not contend
+  for the pool), :func:`merge_stream` rebuilds results from an on-disk
+  spool.
+* :mod:`repro.serving.streaming` — the append-only series spool backing
+  memory-bounded streamed runs (``StreamConfig``, chunk readers/writers,
+  crash-recovery semantics).
 * :mod:`repro.serving.rpc` — the cross-shard RPC latency model.
 * :mod:`repro.serving.latency` — latency bookkeeping and percentiles.
 * :mod:`repro.serving.simulator` — :class:`ServingSimulator`, the historical
@@ -99,6 +107,18 @@ from repro.serving.faults import (
     make_fault_model,
     parse_fault_script,
 )
+from repro.serving.sharding import (
+    ShardPlan,
+    merge_stream,
+    plan_shards,
+    run_sharded,
+)
+from repro.serving.streaming import (
+    ShardManifest,
+    SpoolError,
+    SpoolTruncatedError,
+    StreamConfig,
+)
 from repro.serving.simulator import ServingSimulator
 from repro.serving.stress import StressTestResult, find_qps_max
 from repro.serving.workload import (
@@ -125,6 +145,14 @@ __all__ = [
     "MultiTenantEngine",
     "MultiTenantResult",
     "ClusterSeries",
+    "ShardPlan",
+    "plan_shards",
+    "run_sharded",
+    "merge_stream",
+    "ShardManifest",
+    "StreamConfig",
+    "SpoolError",
+    "SpoolTruncatedError",
     "RoutingPolicy",
     "ROUTING_POLICIES",
     "make_routing_policy",

@@ -114,6 +114,7 @@ from repro.serving.faults import (
 from repro.serving.latency import LatencyTracker
 from repro.serving.replica_server import ReplicaServer
 from repro.serving.routing import ReplicaPool, RoutingPolicy, make_routing_policy
+from repro.serving.streaming import ShardManifest, SpoolWriter, StreamConfig
 from repro.serving.traffic import TrafficPattern
 from repro.serving.workload import QueryCostModel, make_cost_model
 
@@ -363,6 +364,7 @@ class _TenantRuntime:
         batch_window_s: float = 0.0,
         faults: str | FaultModel | None = None,
         vectorized: bool = True,
+        stream: StreamConfig | None = None,
     ) -> None:
         if sample_interval_s <= 0:
             raise ValueError("sample_interval_s must be positive")
@@ -371,6 +373,11 @@ class _TenantRuntime:
         if batch_window_s < 0:
             raise ValueError("batch_window_s must be non-negative")
         validate_fault_spec(faults)
+        # Streamed mode: per-interval series and settled tracker samples are
+        # flushed to this tenant's spool directory instead of accumulating
+        # in RAM for the whole run (the values written are bit-identical).
+        self.stream = stream
+        self.stream_writer = SpoolWriter(stream.directory) if stream is not None else None
         self.name = name
         self.plan = plan
         self.deployments = list(deployments)
@@ -479,19 +486,25 @@ class _TenantRuntime:
         self.pattern = pattern
         self.arrivals = pattern.arrivals(self.rng)
         # The chunked arrival drain walks Python floats; one bulk conversion
-        # replaces a per-element numpy-scalar unboxing in the hot loop.
-        self.arrival_list: list[float] = self.arrivals.tolist()
+        # replaces a per-element numpy-scalar unboxing in the hot loop.  A
+        # streamed run skips the whole-run list (it costs ~4x the float64
+        # array's footprint) and converts one drain chunk at a time instead.
+        self.arrival_list: list[float] | None = (
+            None if self.stream is not None else self.arrivals.tolist()
+        )
         self.policy.reset(np.random.default_rng([self.seed, 1]))
         # Pre-sample every query's cost multiplier, vectorised, from a
         # dedicated seed stream (the homogeneous model never draws, so it
-        # cannot perturb any other stream of the run).
+        # cannot perturb any other stream of the run).  Streamed runs keep
+        # the float64 array (indexing yields the same values bit-for-bit).
         if self.cost_model.is_homogeneous:
-            self.query_multipliers: list[float] | None = None
+            self.query_multipliers: "list[float] | np.ndarray | None" = None
         else:
             cost_rng = np.random.default_rng([self.seed, 2])
-            self.query_multipliers = self.cost_model.sample(
-                self.arrivals.size, cost_rng
-            ).tolist()
+            multipliers = self.cost_model.sample(self.arrivals.size, cost_rng)
+            self.query_multipliers = (
+                multipliers if self.stream is not None else multipliers.tolist()
+            )
         self.tracker = LatencyTracker()
         self.boundaries = np.arange(
             self.sample_interval_s,
@@ -563,6 +576,14 @@ class _TenantRuntime:
         self.requeue_series: dict[str, list[int]] = {
             d.name: [] for d in self.deployments
         }
+        #: Sample points accumulated since the last streamed series flush.
+        self._pending_series_samples = 0
+
+    def arrival_at(self, index: int) -> float:
+        """The ``index``-th arrival time as a Python float (any mode)."""
+        if self.arrival_list is not None:
+            return self.arrival_list[index]
+        return float(self.arrivals[index])
 
     def _served_totals(self, deployment_name: str) -> tuple[int, int]:
         """Lifetime (queries, batches) served by a deployment's replicas."""
@@ -944,6 +965,11 @@ class _TenantRuntime:
                 utilization = float(
                     np.mean([s.utilization(now, window_start=window_start) for s in servers])
                 )
+                # Utilization windows only move forward, so busy runs behind
+                # this window can never be read again — drop them, or a long
+                # run's per-replica busy history grows one entry per idle gap.
+                for server in servers:
+                    server.prune_runs(window_start)
             else:
                 utilization = 0.0
             self.utilization_series[name].append(utilization)
@@ -980,6 +1006,114 @@ class _TenantRuntime:
         for name in self.interval_failures:
             self.interval_failures[name] = 0
             self.interval_requeues[name] = 0
+        if self.stream is not None:
+            # Streamed flush hooks ride the coalesced control tick: series
+            # chunks every `flush_series_every` samples, tracker spills as
+            # soon as a threshold's worth of samples is settled.
+            self._pending_series_samples += 1
+            if self._pending_series_samples >= self.stream.flush_series_every:
+                self._flush_series_chunk()
+            self._maybe_spill_tracker()
+
+    # ------------------------------------------------------------------
+    # Streamed series sink
+    # ------------------------------------------------------------------
+    def _spill_watermark(self) -> int:
+        """Highest tracker index that is settled (safe to spill).
+
+        Without fault tracking no recorded sample is ever rewritten, so
+        everything recorded is settled.  With the in-flight registry active,
+        a crash may still rewrite any in-flight query's sample, so the
+        watermark stops at the oldest in-flight index.
+        """
+        watermark = self.tracker.num_samples
+        if self.track_inflight:
+            for entries in self.inflight.values():
+                for entry in entries:
+                    index = int(entry[1])
+                    if index < watermark:
+                        watermark = index
+        return watermark
+
+    def _maybe_spill_tracker(self) -> None:
+        watermark = self._spill_watermark()
+        if watermark - self.tracker.spilled_samples >= self.stream.spill_threshold:
+            self.tracker.spill(watermark, self._write_query_chunk)
+
+    def _write_query_chunk(self, times: np.ndarray, lats: np.ndarray) -> None:
+        self.stream_writer.append("queries", completion_times=times, latencies_s=lats)
+
+    def _flush_series_chunk(self) -> None:
+        """Write the per-interval series accumulated since the last flush."""
+        if not self.sample_times:
+            self._pending_series_samples = 0
+            return
+        times = np.asarray(self.sample_times)
+        lanes = [lane.name for lane in self._lanes]
+        self.stream_writer.append(
+            "series",
+            sample_times=times,
+            target_qps=np.asarray(self.pattern.rate_at(times), dtype=np.float64),
+            memory_gb=np.asarray(self.memory_series),
+            replica_counts=np.asarray(
+                [self.replica_series[name] for name in lanes], dtype=np.int64
+            ),
+            utilization=np.asarray([self.utilization_series[name] for name in lanes]),
+            availability=np.asarray([self.availability_series[name] for name in lanes]),
+            requeues=np.asarray(
+                [self.requeue_series[name] for name in lanes], dtype=np.int64
+            ),
+            batch_occupancy=np.asarray(
+                [self.batch_occupancy_series[name] for name in lanes]
+            ),
+        )
+        self.sample_times = []
+        self.memory_series = []
+        for name in lanes:
+            self.replica_series[name] = []
+            self.utilization_series[name] = []
+            self.availability_series[name] = []
+            self.requeue_series[name] = []
+            self.batch_occupancy_series[name] = []
+        self._pending_series_samples = 0
+
+    def finish_run_streamed(self) -> dict:
+        """Flush everything left, commit the tenant manifest, return a summary.
+
+        The merged :class:`SimulationResult` is rebuilt from the spool by
+        :func:`repro.serving.sharding.merge_stream`; what returns here is
+        deliberately tiny (it crosses a process boundary).
+        """
+        self._flush_series_chunk()
+        self.tracker.spill(self.tracker.num_samples, self._write_query_chunk)
+        meta = {
+            "schema": 1,
+            "status": "complete",
+            "tenant": self.name,
+            "plan_name": self.plan.name,
+            "strategy": self.plan.strategy,
+            "sla_s": self.sla_s,
+            "sample_interval_s": self.sample_interval_s,
+            "routing": self.policy.name,
+            "cost_model": self.cost_model.name,
+            "max_batch": self.max_batch,
+            "faults": self.faults_name,
+            "deployments": [lane.name for lane in self._lanes],
+            "num_samples": self.tracker.num_samples,
+            "rejected_queries": len(self.rejected_indices),
+            "dropped_queries": len(self.dropped_indices),
+            "requeued_queries": self.requeued_count,
+            "faults_injected": self.faults_injected,
+        }
+        self.stream_writer.write_meta(meta)
+        return {
+            "tenant": self.name,
+            "queries": self.tracker.num_samples,
+            "rejected_queries": len(self.rejected_indices),
+            "dropped_queries": len(self.dropped_indices),
+            "requeued_queries": self.requeued_count,
+            "faults_injected": self.faults_injected,
+        }
 
     def finish_run(self) -> SimulationResult:
         sample_times = np.asarray(self.sample_times)
@@ -1082,8 +1216,13 @@ def _drive(
     patterns: Sequence[TrafficPattern],
     probe=None,
     on_event: Callable[[float, int], None] | None = None,
-) -> list[SimulationResult]:
+) -> list:
     """Run every tenant's traffic through one shared event heap.
+
+    Returns one entry per runtime: a :class:`SimulationResult` for in-memory
+    runtimes, or the small summary dict of
+    :meth:`_TenantRuntime.finish_run_streamed` for streamed ones (their full
+    result lives in the spool).
 
     ``probe``, if given, is called as ``probe(now)`` after each tenant sample
     point (at equal timestamps every reconcile precedes every sample, so the
@@ -1140,13 +1279,13 @@ def _drive(
                 # One event per arrival so completion events interleave
                 # with arrivals in timestamp order.
                 runtime.serve_query(
-                    runtime.arrival_list[index], index, tenant_index, heap, seq
+                    runtime.arrival_at(index), index, tenant_index, heap, seq
                 )
                 if index + 1 < runtime.num_served:
                     heapq.heappush(
                         heap,
                         (
-                            runtime.arrival_list[index + 1],
+                            runtime.arrival_at(index + 1),
                             EventKind.ARRIVAL,
                             next(seq),
                             (tenant_index, index + 1),
@@ -1159,14 +1298,27 @@ def _drive(
                 horizon = heap[0][0] if heap else float("inf")
                 stop = int(np.searchsorted(runtime.arrivals, horizon, side="right"))
                 stop = min(max(stop, index + 1), runtime.num_served)
-                arrival_list = runtime.arrival_list
                 serve = runtime.serve_query
-                for i in range(index, stop):
-                    serve(arrival_list[i], i, tenant_index)
-                if stop < runtime.num_served:
+                arrival_list = runtime.arrival_list
+                if arrival_list is not None:
+                    for i in range(index, stop):
+                        serve(arrival_list[i], i, tenant_index)
+                    next_arrival = arrival_list[stop] if stop < runtime.num_served else None
+                else:
+                    # Streamed run: no whole-run Python list — convert one
+                    # drain chunk at a time (same float64 values, bounded
+                    # footprint at any horizon).
+                    for i, arrival in enumerate(
+                        runtime.arrivals[index:stop].tolist(), start=index
+                    ):
+                        serve(arrival, i, tenant_index)
+                    next_arrival = (
+                        runtime.arrival_at(stop) if stop < runtime.num_served else None
+                    )
+                if next_arrival is not None:
                     heapq.heappush(
                         heap,
-                        (arrival_list[stop], EventKind.ARRIVAL, next(seq), (tenant_index, stop)),
+                        (next_arrival, EventKind.ARRIVAL, next(seq), (tenant_index, stop)),
                     )
         elif kind == EventKind.COMPLETION:
             if on_event is not None:
@@ -1195,6 +1347,21 @@ def _drive(
                 runtimes[tenant_index].sample(now)
                 if probe is not None:
                     probe(now)
+            if any(runtime.stream is not None for runtime in runtimes):
+                # Streamed (memory-bounded) runs also cap the HPA metric
+                # history: the autoscalers only ever read trailing windows,
+                # so samples behind every tenant's largest window are dead
+                # weight.  Unstreamed runs keep the full history — tests and
+                # probes may inspect it after the run.
+                retention = max(
+                    (
+                        runtime.autoscaler.metric_window_s
+                        for runtime in runtimes
+                        if runtime.autoscaler is not None
+                    ),
+                    default=30.0,
+                )
+                cluster.metrics.prune(now - 2.0 * retention)
         elif kind == EventKind.FAULT:
             if on_event is not None:
                 on_event(now, kind)
@@ -1218,7 +1385,10 @@ def _drive(
             else:
                 runtimes[tenant_index].recover(action)
 
-    return [runtime.finish_run() for runtime in runtimes]
+    return [
+        runtime.finish_run_streamed() if runtime.stream is not None else runtime.finish_run()
+        for runtime in runtimes
+    ]
 
 
 class ServingEngine:
@@ -1387,6 +1557,11 @@ class MultiTenantResult:
 
     tenants: dict[str, SimulationResult]
     cluster_series: ClusterSeries
+    #: Populated by :func:`repro.serving.sharding.run_sharded`: worker count,
+    #: shard membership, per-worker peak RSS and wall time.  ``None`` for a
+    #: plain in-process run; excluded from equality (it is measurement, not
+    #: simulation output).
+    sharding_stats: dict | None = field(default=None, repr=False, compare=False)
 
     def tenant(self, name: str) -> SimulationResult:
         """One tenant's result by name."""
@@ -1485,6 +1660,8 @@ class MultiTenantEngine:
         tenants: Sequence[TenantSpec],
         cluster_spec: ClusterSpec | None = None,
         warm_start: bool = True,
+        namespace: bool | None = None,
+        stream: StreamConfig | None = None,
     ) -> None:
         if not tenants:
             raise ValueError("at least one tenant is required")
@@ -1495,10 +1672,17 @@ class MultiTenantEngine:
         self._cluster = Cluster(spec)
         self._specs = list(tenants)
         self._runtimes: list[_TenantRuntime] = []
-        for tenant in self._specs:
+        # Deployment names are namespaced ``<tenant>/<shard>`` whenever more
+        # than one tenant shares the pool.  A sharded worker must override
+        # this: it may hold a single tenant of a run that *is* multi-tenant,
+        # and bit-exactness requires the serial run's deployment names.
+        if namespace is None:
+            namespace = len(self._specs) > 1
+        self._stream = stream
+        for index, tenant in enumerate(self._specs):
             deployments = self._cluster.add_plan(
                 tenant.plan,
-                prefix=tenant.name if len(self._specs) > 1 else None,
+                prefix=tenant.name if namespace else None,
                 initial_replicas=tenant.initial_replicas,
                 max_replicas=tenant.max_replicas,
             )
@@ -1518,6 +1702,15 @@ class MultiTenantEngine:
                     batch_window_s=tenant.batch_window_s,
                     faults=tenant.faults,
                     vectorized=tenant.vectorized,
+                    stream=(
+                        StreamConfig(
+                            directory=stream.directory / f"tenant-{index:03d}",
+                            spill_threshold=stream.spill_threshold,
+                            flush_series_every=stream.flush_series_every,
+                        )
+                        if stream is not None
+                        else None
+                    ),
                 )
             )
         self._cluster.reconcile(0.0)
@@ -1538,8 +1731,15 @@ class MultiTenantEngine:
 
     def run(
         self, on_event: Callable[[float, int], None] | None = None
-    ) -> MultiTenantResult:
-        """Drive every tenant's traffic pattern through the shared event heap."""
+    ) -> "MultiTenantResult | ShardManifest":
+        """Drive every tenant's traffic pattern through the shared event heap.
+
+        In streamed mode the per-tenant results live in the spool (each
+        tenant's runtime flushed them as the run progressed); what returns is
+        a :class:`ShardManifest` pointing at the spool directory, which
+        :func:`repro.serving.sharding.merge_stream` turns back into a
+        :class:`MultiTenantResult`.
+        """
         probe = _ClusterProbe(self._cluster)
         results = _drive(
             self._cluster,
@@ -1548,7 +1748,36 @@ class MultiTenantEngine:
             probe=probe,
             on_event=on_event,
         )
-        return MultiTenantResult(
-            tenants={result.tenant: result for result in results},
-            cluster_series=probe.series(),
+        if self._stream is None:
+            return MultiTenantResult(
+                tenants={result.tenant: result for result in results},
+                cluster_series=probe.series(),
+            )
+        series = probe.series()
+        writer = SpoolWriter(self._stream.directory)
+        writer.append(
+            "cluster",
+            sample_times=series.sample_times,
+            memory_gb=series.memory_gb,
+            memory_utilization=series.memory_utilization,
+            pending_placements=series.pending_placements,
+            nodes_in_use=series.nodes_in_use,
+        )
+        tenant_dirs = [f"tenant-{index:03d}" for index in range(len(self._specs))]
+        capacity_gb = self._cluster.memory_capacity_gb
+        writer.write_meta(
+            {
+                "schema": 1,
+                "status": "complete",
+                "tenants": [tenant.name for tenant in self._specs],
+                "tenant_dirs": tenant_dirs,
+                "capacity_gb": capacity_gb,
+            }
+        )
+        return ShardManifest(
+            directory=self._stream.directory,
+            tenant_names=[tenant.name for tenant in self._specs],
+            tenant_dirs=tenant_dirs,
+            capacity_gb=capacity_gb,
+            summaries=results,
         )

@@ -18,6 +18,18 @@ Both caches are versioned: any :meth:`record` or :meth:`update` (fault
 handling rewrites samples in place when a replica dies mid-flight)
 invalidates them, so a stale sort can never leak into a result.
 
+For memory-bounded streamed runs the tracker can *spill*: :meth:`spill`
+hands a settled prefix of the buffers to a sink (the on-disk spool) and
+compacts the live buffer, so resident memory stays bounded by the spill
+threshold instead of the run length.  Indices stay **absolute**: a sample
+keeps the index it was recorded under for its whole life, so the fault
+machinery's requeue rewrites (:meth:`update`) keep working across spills —
+the engine only ever spills below the oldest still-in-flight sample, and a
+spilled index raises :class:`IndexError` rather than silently aliasing.
+Whole-run aggregates (percentiles, sorts) are unavailable on a spilled
+tracker — the merge step recomputes them from the spool, where the full
+arrays live.
+
 The numbers produced are bit-for-bit identical to the historical list-based
 implementation: the buffers hold the same float64 values the lists did, and
 every aggregate runs the same numpy computation over them.
@@ -54,6 +66,7 @@ class LatencyTracker:
         "_times",
         "_lats",
         "_size",
+        "_spilled",
         "_version",
         "_order",
         "_order_version",
@@ -65,11 +78,35 @@ class LatencyTracker:
         self._times = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
         self._lats = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
         self._size = 0
+        self._spilled = 0
         self._version = 0
         self._order: np.ndarray | None = None
         self._order_version = -1
         self._sorted_lats: np.ndarray | None = None
         self._sorted_lats_version = -1
+
+    @classmethod
+    def from_arrays(cls, completion_times, latencies_s) -> "LatencyTracker":
+        """Bulk-load a tracker from recorded arrays (the spool merge path).
+
+        The arrays are copied into fresh buffers, so the tracker behaves
+        exactly as if every sample had been :meth:`record`-ed in order.
+        """
+        times = np.ascontiguousarray(completion_times, dtype=np.float64)
+        lats = np.ascontiguousarray(latencies_s, dtype=np.float64)
+        if times.shape != lats.shape or times.ndim != 1:
+            raise ValueError("completion_times and latencies_s must be equal-length 1-D")
+        if lats.size and float(lats.min()) < 0:
+            raise ValueError("latency_s must be non-negative")
+        tracker = cls()
+        capacity = max(_INITIAL_CAPACITY, int(times.size))
+        tracker._times = np.empty(capacity, dtype=np.float64)
+        tracker._lats = np.empty(capacity, dtype=np.float64)
+        tracker._times[: times.size] = times
+        tracker._lats[: lats.size] = lats
+        tracker._size = int(times.size)
+        tracker._version = 1
+        return tracker
 
     def _grow(self) -> None:
         capacity = self._times.size * 2
@@ -97,11 +134,22 @@ class LatencyTracker:
         self._size = size + 1
         self._version += 1
 
+    def _buffer_index(self, index: int) -> int:
+        """Translate an absolute sample index into the live buffer."""
+        offset = index - self._spilled
+        if offset < 0:
+            raise IndexError(
+                f"sample {index} was spilled to the spool (spilled up to "
+                f"{self._spilled}); only live samples can be read or rewritten"
+            )
+        if offset >= self._size:
+            raise IndexError(f"no sample at index {index}")
+        return offset
+
     def sample(self, index: int) -> tuple[float, float]:
         """The ``(completion_time, latency_s)`` pair of one recorded query."""
-        if not 0 <= index < self._size:
-            raise IndexError(f"no sample at index {index}")
-        return float(self._times[index]), float(self._lats[index])
+        offset = self._buffer_index(index)
+        return float(self._times[offset]), float(self._lats[offset])
 
     def update(self, index: int, completion_time: float, latency_s: float) -> None:
         """Rewrite one recorded query in place.
@@ -112,25 +160,70 @@ class LatencyTracker:
         """
         if latency_s < 0:
             raise ValueError("latency_s must be non-negative")
-        if not 0 <= index < self._size:
-            raise IndexError(f"no sample at index {index}")
-        self._times[index] = completion_time
-        self._lats[index] = latency_s
+        offset = self._buffer_index(index)
+        self._times[offset] = completion_time
+        self._lats[offset] = latency_s
         self._version += 1
+
+    # ------------------------------------------------------------------
+    # Spilling (memory-bounded streamed runs)
+    # ------------------------------------------------------------------
+    @property
+    def spilled_samples(self) -> int:
+        """Samples already handed to the spill sink (no longer resident)."""
+        return self._spilled
+
+    @property
+    def live_samples(self) -> int:
+        """Samples still resident in the buffers."""
+        return self._size
+
+    def spill(self, up_to: int, sink) -> int:
+        """Flush samples ``[spilled_samples, up_to)`` to ``sink`` and compact.
+
+        ``sink(completion_times, latencies_s)`` receives fresh copies of the
+        flushed slice.  ``up_to`` is an absolute index; the engine passes the
+        oldest still-in-flight sample, so every flushed sample is settled —
+        no future :meth:`update` can target it.  Returns the number of
+        samples flushed (0 when ``up_to`` is already spilled).
+        """
+        if up_to > self.num_samples:
+            raise IndexError(f"cannot spill to {up_to}: only {self.num_samples} recorded")
+        count = up_to - self._spilled
+        if count <= 0:
+            return 0
+        sink(self._times[:count].copy(), self._lats[:count].copy())
+        remaining = self._size - count
+        # Compact in place: the live tail moves to the front of the buffer.
+        self._times[:remaining] = self._times[count : self._size]
+        self._lats[:remaining] = self._lats[count : self._size]
+        self._size = remaining
+        self._spilled = up_to
+        self._version += 1
+        return count
+
+    def _require_unspilled(self, what: str) -> None:
+        if self._spilled:
+            raise ValueError(
+                f"{what} needs every sample, but {self._spilled} were spilled "
+                "to the spool; recompute from the merged spool instead"
+            )
 
     @property
     def num_samples(self) -> int:
-        """Number of recorded completions."""
-        return self._size
+        """Number of recorded completions (spilled samples included)."""
+        return self._spilled + self._size
 
     @property
     def completion_times(self) -> np.ndarray:
         """Completion timestamps of every recorded query (a fresh copy)."""
+        self._require_unspilled("completion_times")
         return self._times[: self._size].copy()
 
     @property
     def latencies_s(self) -> np.ndarray:
         """Latencies (seconds) of every recorded query (a fresh copy)."""
+        self._require_unspilled("latencies_s")
         return self._lats[: self._size].copy()
 
     def completion_order(self) -> np.ndarray:
@@ -140,12 +233,14 @@ class LatencyTracker:
         this method and shares the order between the achieved-QPS and rolling
         p95 series instead of re-sorting per series.
         """
+        self._require_unspilled("completion_order")
         if self._order_version != self._version:
             self._order = np.argsort(self._times[: self._size], kind="stable")
             self._order_version = self._version
         return self._order
 
     def _latencies_sorted(self) -> np.ndarray:
+        self._require_unspilled("latency aggregation")
         if self._sorted_lats_version != self._version:
             self._sorted_lats = np.sort(self._lats[: self._size])
             self._sorted_lats_version = self._version
@@ -169,6 +264,7 @@ class LatencyTracker:
 
     def mean(self) -> float:
         """Overall mean latency in seconds."""
+        self._require_unspilled("mean")
         if not self._size:
             raise ValueError("no latency samples recorded")
         return float(np.mean(self._lats[: self._size]))
@@ -185,6 +281,7 @@ class LatencyTracker:
         """Per-bucket percentiles over ``[0, duration_s)`` (empty buckets report zeros)."""
         if bucket_s <= 0 or duration_s <= 0:
             raise ValueError("duration_s and bucket_s must be positive")
+        self._require_unspilled("windowed")
         times = self._times[: self._size]
         latencies = self._lats[: self._size] * 1000.0
         points = []

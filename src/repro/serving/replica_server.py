@@ -290,6 +290,21 @@ class ReplicaServer:
             start = max(start, arrival + self._batch_window_s)
         return start + service_time * self._factor(1, multiplier)
 
+    def prune_runs(self, before: float) -> None:
+        """Forget busy runs ending at or before ``before``.
+
+        A run behind ``before`` contributes zero to any window starting at or
+        after it, so :meth:`busy_seconds_between` / :meth:`utilization` over
+        such windows are byte-identical with or without the prune.  The
+        engine calls this with each sample tick's window start: utilization
+        windows only move forward, and without the prune a replica's busy
+        history grows one entry per idle gap for the whole run.
+        """
+        cut = bisect_right(self._run_ends, before)
+        if cut:
+            del self._run_starts[:cut]
+            del self._run_ends[:cut]
+
     def busy_seconds_between(self, start_s: float, end_s: float) -> float:
         """Service time accumulated inside ``[start_s, end_s)``.
 

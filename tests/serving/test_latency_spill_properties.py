@@ -1,0 +1,150 @@
+"""Property-based spill correctness for :class:`LatencyTracker`.
+
+The streamed engine interleaves three operations on one tracker: ``record``
+(a query completes), ``update`` (fault handling re-prices a still-in-flight
+query after a crash requeue) and ``spill`` (a settled prefix moves to the
+on-disk spool).  The invariant: no interleaving may lose, duplicate or
+corrupt a sample — the spilled chunks concatenated with the live buffer
+must always equal the byte sequence a never-spilling list-based tracker
+would hold.  Hypothesis draws the interleavings; ``derandomize=True`` keeps
+CI stable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.serving.latency import LatencyTracker  # noqa: E402
+
+_SETTINGS = dict(
+    max_examples=60,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# One operation: (kind, a, b) where a/b parameterise the op —
+#   record: completion time a, latency b
+#   update: target fraction a over the *live* index range, new latency b
+#   spill:  watermark fraction a over the live range
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["record", "record", "record", "update", "spill"]),
+        st.floats(0.0, 1.0, allow_nan=False),
+        st.floats(0.0, 10.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+class _ReferenceTracker:
+    """The obvious list-based model: never spills, never compacts."""
+
+    def __init__(self) -> None:
+        self.times: list[float] = []
+        self.lats: list[float] = []
+
+    def record(self, time: float, lat: float) -> None:
+        self.times.append(time)
+        self.lats.append(lat)
+
+    def update(self, index: int, time: float, lat: float) -> None:
+        self.times[index] = time
+        self.lats[index] = lat
+
+
+def _replay(ops):
+    """Drive tracker and reference through one interleaving; return all three."""
+    tracker = LatencyTracker()
+    reference = _ReferenceTracker()
+    chunks: list[tuple[np.ndarray, np.ndarray]] = []
+    clock = 0.0
+    for kind, a, b in ops:
+        if kind == "record":
+            clock += a
+            tracker.record(clock, b)
+            reference.record(clock, b)
+        elif kind == "update":
+            live = tracker.num_samples - tracker.spilled_samples
+            if not live:
+                continue
+            # The engine only ever rewrites still-live (unspilled) samples.
+            index = tracker.spilled_samples + min(int(a * live), live - 1)
+            tracker.update(index, clock + a, b)
+            reference.update(index, clock + a, b)
+        else:
+            live = tracker.num_samples - tracker.spilled_samples
+            before = tracker.spilled_samples
+            up_to = before + int(a * live)
+            flushed = tracker.spill(
+                up_to, lambda times, lats: chunks.append((times, lats))
+            )
+            assert flushed == up_to - before
+    return tracker, reference, chunks
+
+
+def _spooled_plus_live(tracker, chunks):
+    """The full sample arrays as the merge step would rebuild them."""
+    times = [c[0] for c in chunks]
+    lats = [c[1] for c in chunks]
+    live = tracker.num_samples - tracker.spilled_samples
+    times.append(
+        np.array([tracker.sample(tracker.spilled_samples + i)[0] for i in range(live)])
+    )
+    lats.append(
+        np.array([tracker.sample(tracker.spilled_samples + i)[1] for i in range(live)])
+    )
+    return np.concatenate(times), np.concatenate(lats)
+
+
+@given(ops=_OPS)
+@settings(**_SETTINGS)
+def test_no_interleaving_loses_or_corrupts_a_sample(ops):
+    tracker, reference, chunks = _replay(ops)
+    assert tracker.num_samples == len(reference.times)
+    assert tracker.spilled_samples == sum(c[0].size for c in chunks)
+    times, lats = _spooled_plus_live(tracker, chunks)
+    assert np.array_equal(times, np.asarray(reference.times))
+    assert np.array_equal(lats, np.asarray(reference.lats))
+
+
+@given(ops=_OPS)
+@settings(**_SETTINGS)
+def test_merged_tracker_matches_a_never_spilled_one(ops):
+    """from_arrays over the spool reproduces every whole-run aggregate."""
+    tracker, reference, chunks = _replay(ops)
+    times, lats = _spooled_plus_live(tracker, chunks)
+    merged = LatencyTracker.from_arrays(times, lats)
+    baseline = LatencyTracker.from_arrays(
+        np.asarray(reference.times), np.asarray(reference.lats)
+    )
+    assert merged.num_samples == baseline.num_samples
+    assert np.array_equal(merged.completion_times, baseline.completion_times)
+    assert np.array_equal(merged.latencies_s, baseline.latencies_s)
+    if merged.num_samples:
+        assert merged.percentile(95.0) == baseline.percentile(95.0)
+        assert merged.mean() == baseline.mean()
+        assert np.array_equal(merged.completion_order(), baseline.completion_order())
+
+
+@given(ops=_OPS)
+@settings(**_SETTINGS)
+def test_spilled_indices_refuse_reads_and_rewrites(ops):
+    tracker, _, chunks = _replay(ops)
+    if not tracker.spilled_samples:
+        return
+    with pytest.raises(IndexError, match="spilled"):
+        tracker.sample(tracker.spilled_samples - 1)
+    with pytest.raises(IndexError, match="spilled"):
+        tracker.update(tracker.spilled_samples - 1, 0.0, 0.0)
+    with pytest.raises(ValueError, match="spool"):
+        tracker.completion_times
+    with pytest.raises(ValueError, match="spool"):
+        tracker.mean()

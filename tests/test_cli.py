@@ -223,3 +223,68 @@ class TestUnknownNameHints:
                 message = self._exit_message([command, "RM1", "--faults", script])
                 assert "malformed fault spec" in message or "unknown" in message
                 assert "\n" not in message
+
+
+class TestSimulateSharded:
+    """The sharded/streamed `simulate` path: flags, hints and spool layout."""
+
+    _BASE = [
+        "simulate", "RM1", "--num-shards", "2", "--num-nodes", "8",
+        "--max-replicas", "4", "--scenario", "constant",
+        "--base-qps", "6", "--peak-qps", "6", "--duration-s", "60",
+    ]
+
+    def test_parser_accepts_sharding_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "RM1", "--tenants", "4", "--shard-workers", "2",
+             "--stream-dir", "/tmp/spool", "--max-replicas", "8"]
+        )
+        assert args.tenants == 4
+        assert args.shard_workers == 2
+        assert args.stream_dir == "/tmp/spool"
+        assert args.max_replicas == 8
+
+    def test_multi_tenant_run_prints_sharding_line(self, capsys):
+        assert main(self._BASE + ["--tenants", "2", "--shard-workers", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "tenant-00" in output and "tenant-01" in output
+        assert "sharding: 2 worker(s)" in output
+
+    def test_worker_surplus_prints_hint_and_clamps(self, capsys):
+        assert main(self._BASE + ["--tenants", "2", "--shard-workers", "5"]) == 0
+        captured = capsys.readouterr()
+        assert (
+            "note: --shard-workers 5 exceeds the 2 available tenant(s); "
+            "running 2 worker(s)" in captured.err
+        )
+        assert "sharding: 2 worker(s)" in captured.out
+
+    def test_node_drain_faults_exit_with_one_line_hint(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self._BASE + ["--tenants", "2", "--shard-workers", "2",
+                               "--faults", "rolling-drain"])
+        message = str(excinfo.value)
+        assert "node drains" in message
+        assert "--shard-workers 1" in message
+        assert "\n" not in message
+
+    def test_profile_is_rejected_for_sharded_runs(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self._BASE + ["--tenants", "2", "--profile"])
+        assert "--profile" in str(excinfo.value)
+
+    def test_streamed_run_writes_a_merged_spool(self, capsys, tmp_path):
+        spool = tmp_path / "spool"
+        assert main(self._BASE + ["--tenants", "2", "--shard-workers", "2",
+                                  "--stream-dir", str(spool)]) == 0
+        output = capsys.readouterr().out
+        assert f"spool at {spool}" in output
+        assert (spool / "meta.json").is_file()
+        shard_dirs = sorted(p.name for p in spool.iterdir() if p.is_dir())
+        assert shard_dirs == ["shard-000", "shard-001"]
+        for shard in shard_dirs:
+            assert (spool / shard / "meta.json").is_file()
+            tenant_dirs = [p for p in (spool / shard).iterdir() if p.is_dir()]
+            assert tenant_dirs, shard
+            for tenant_dir in tenant_dirs:
+                assert (tenant_dir / "meta.json").is_file()
