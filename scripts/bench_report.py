@@ -2,7 +2,8 @@
 """Perf-regression harness for the serving engine's hot path.
 
 Runs the headline serving workloads — the 100k-query single-tenant engine
-run, a three-tenant shared-pool run, a fault-injected run, and the sharded
+run, the same run with per-replica embedding caches on (``cache_100k``),
+a three-tenant shared-pool run, a fault-injected run, and the sharded
 eight-tenant run (``sharded_1m``: serial vs. 8-worker, digest-checked) —
 and emits one machine-readable JSON record per workload: wall-clock
 seconds, served queries, served-query throughput (``events_per_sec``) and
@@ -82,6 +83,26 @@ def bench_engine_100k() -> dict[str, float]:
     def run() -> int:
         result = engine.run(pattern)
         assert result.tracker.num_samples > 100_000
+        return result.tracker.num_samples
+
+    return _timed(run)
+
+
+def bench_cache_100k() -> dict[str, float]:
+    """The 100k-query run with the skewed cost model and a warm 64 MB cache.
+
+    Same traffic shape as ``engine_100k``, but every query carries sampled
+    gather splits and every replica consults (and admits into) its embedding
+    cache — the cached lane's extra per-query work is exactly what this
+    workload gates.
+    """
+    pattern = paper_dynamic_pattern(base_qps=60.0, peak_qps=220.0, duration_s=900.0)
+    engine = ServingEngine(_reduced_plan(), seed=0, cost_model="skewed", cache_mb=64.0)
+
+    def run() -> int:
+        result = engine.run(pattern)
+        assert result.tracker.num_samples > 100_000
+        assert result.cache_hit_rate, "the cached run recorded no hit-rate series"
         return result.tracker.num_samples
 
     return _timed(run)
@@ -183,6 +204,7 @@ def bench_sharded_1m(workers: int = 8) -> dict[str, float]:
 
 WORKLOADS = {
     "engine_100k": bench_engine_100k,
+    "cache_100k": bench_cache_100k,
     "multitenant": bench_multitenant,
     "faults": bench_faults,
     "sharded_1m": bench_sharded_1m,

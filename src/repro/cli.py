@@ -92,6 +92,21 @@ def _check_faults(spec: str) -> None:
         raise SystemExit(str(error)) from None
 
 
+def _check_cache(cache_mb: float, cost_model: str) -> None:
+    """Exit with a one-line hint on an unusable --cache-mb setting.
+
+    The engine raises the same complaint, but worker processes would bury it
+    in a traceback; the cache needs per-query gather splits, which only the
+    skewed cost model provides.
+    """
+    if cache_mb < 0:
+        raise SystemExit("--cache-mb must be non-negative")
+    if cache_mb > 0 and cost_model == "homogeneous":
+        raise SystemExit(
+            "--cache-mb needs per-query gather splits; use --cost-model skewed"
+        )
+
+
 def _resolve_cluster(system: str, num_nodes: int | None) -> ClusterSpec:
     if system == "cpu":
         cluster = cpu_only_cluster()
@@ -192,6 +207,15 @@ def build_parser() -> argparse.ArgumentParser:
             "'crash@120:policy=drop;drain@300+60:node=1' (default: none)"
         ),
     )
+    simulate.add_argument(
+        "--cache-mb",
+        type=float,
+        default=0.0,
+        help=(
+            "per-replica embedding cache capacity in MB; needs --cost-model "
+            "skewed (default: 0, no cache)"
+        ),
+    )
     simulate.add_argument("--base-qps", type=float, default=18.0, help="baseline query rate")
     simulate.add_argument("--peak-qps", type=float, default=90.0, help="peak query rate")
     simulate.add_argument(
@@ -287,6 +311,15 @@ def build_parser() -> argparse.ArgumentParser:
             f"({', '.join(fault_scenario_names())} or a script; default: none)"
         ),
     )
+    sweep.add_argument(
+        "--cache-mb",
+        type=float,
+        default=0.0,
+        help=(
+            "per-replica embedding cache capacity in MB applied to every "
+            "cell; needs --cost-model skewed (default: 0, no cache)"
+        ),
+    )
     sweep.add_argument("--workers", type=int, default=1, help="worker processes")
     sweep.add_argument("--base-qps", type=float, default=18.0, help="baseline query rate")
     sweep.add_argument("--peak-qps", type=float, default=90.0, help="peak query rate")
@@ -355,6 +388,7 @@ def _command_manifests(args: argparse.Namespace) -> int:
 def _command_simulate(args: argparse.Namespace) -> int:
     _check_names(args.scenario, args.routing, args.seed)
     _check_faults(args.faults)
+    _check_cache(args.cache_mb, args.cost_model)
     workload = _resolve_workload(args.workload)
     cluster = _resolve_cluster(args.system, args.num_nodes)
     try:
@@ -386,6 +420,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
             cost_model=args.cost_model,
             max_batch=args.max_batch,
             faults=args.faults,
+            cache_mb=args.cache_mb,
         )
         if profiler is not None:
             result = profiler.runcall(engine.run, pattern)
@@ -462,6 +497,7 @@ def _simulate_sharded(
                 cost_model=args.cost_model,
                 max_batch=args.max_batch,
                 faults=args.faults,
+                cache_mb=args.cache_mb,
             )
             for index in range(args.tenants)
         ]
@@ -518,6 +554,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     _resolve_workload(args.workload)
     scenarios, routings = _check_names(args.scenarios, args.routings, args.seed)
     _check_faults(args.faults)
+    _check_cache(args.cache_mb, args.cost_model)
     try:
         budgets = [int(b) for b in args.replica_budgets.split(",") if b.strip()]
     except ValueError:
@@ -537,6 +574,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         cost_model=args.cost_model,
         max_batch=args.max_batch,
         faults=args.faults,
+        cache_mb=args.cache_mb,
     )
     result = run_sweep(
         config,

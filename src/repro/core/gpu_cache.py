@@ -11,6 +11,7 @@ allocation stays coarse-grained, so whole-table duplication remains.
 from __future__ import annotations
 
 from repro.core.baseline import ModelWisePlanner
+from repro.data.distributions import hot_prefix_rows
 from repro.hardware.specs import ClusterSpec
 from repro.model.configs import DLRMConfig
 
@@ -52,19 +53,17 @@ class CachedModelWisePlanner(ModelWisePlanner):
         Modelled as the fraction of each table whose hottest rows cover
         ``cache_hit_rate`` of accesses, capped at 20% of HBM following the
         sizing reported by the caching literature the paper cites.
+
+        The prefix comes from the shared
+        :func:`repro.data.distributions.hot_prefix_rows` definition (its
+        ``coverage`` form), so this offline sizing and the serve-time
+        :class:`~repro.serving.workload.SkewedCostModel` hot set agree on the
+        same hot-sorted prefix of each table.
         """
         emb = config.embedding
         distribution = emb.access_distribution()
-        rows = emb.rows_per_table
-        # Smallest hot prefix covering the hit rate, found by bisection.
-        lo, hi = 1, rows
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if distribution.coverage(mid) >= self.cache_hit_rate:
-                hi = mid
-            else:
-                lo = mid + 1
-        hot_rows = lo
+        # Smallest hot prefix covering the hit rate (shared bisection).
+        hot_rows = hot_prefix_rows(distribution, coverage=self.cache_hit_rate)
         cache_bytes = float(
             hot_rows * emb.embedding_dim * emb.dtype_bytes * emb.num_tables
         )

@@ -35,6 +35,7 @@ __all__ = [
     "ZipfDistribution",
     "EmpiricalDistribution",
     "UniformDistribution",
+    "hot_prefix_rows",
     "locality_of_probabilities",
     "solve_alpha_for_locality",
 ]
@@ -307,6 +308,51 @@ class EmpiricalDistribution(AccessDistribution):
         probs = self._probs[lo:hi]
         nonzero = probs > 0
         return float(np.sum(-np.expm1(num_draws * np.log1p(-probs[nonzero]))))
+
+
+def hot_prefix_rows(
+    distribution: AccessDistribution,
+    *,
+    row_fraction: float | None = None,
+    coverage: float | None = None,
+) -> int:
+    """Rows in a distribution's hot prefix, by one shared definition.
+
+    Every "hot set" in the codebase is a prefix of the hot-sorted ranks; the
+    two ways of sizing it both live here so planners and cost models agree on
+    which rows are hot:
+
+    * ``row_fraction`` — the paper's locality parameterisation: the hottest
+      ``ceil(row_fraction * num_items)`` rows (at least one).  This is the
+      prefix :class:`~repro.serving.workload.SkewedCostModel` charges
+      ``hot_cost_fraction`` for.
+    * ``coverage`` — the caching literature's parameterisation: the smallest
+      prefix whose accesses cover the target hit rate, found by bisection.
+      This is the prefix ``CachedModelWisePlanner`` sizes its HBM cache from.
+
+    Exactly one of the two must be given.  The definitions meet through
+    :meth:`AccessDistribution.coverage`: for any distribution,
+    ``hot_prefix_rows(d, coverage=d.coverage(hot_prefix_rows(d,
+    row_fraction=f)))`` returns the same prefix (modulo flat stretches of the
+    CDF, where the coverage form picks the smallest equivalent prefix).
+    """
+    if (row_fraction is None) == (coverage is None):
+        raise ValueError("pass exactly one of row_fraction or coverage")
+    num_items = distribution.num_items
+    if row_fraction is not None:
+        if not 0.0 < row_fraction <= 1.0:
+            raise ValueError("row_fraction must be in (0, 1]")
+        return max(1, int(math.ceil(row_fraction * num_items)))
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError("coverage must be in (0, 1]")
+    lo, hi = 1, num_items
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if distribution.coverage(mid) >= coverage:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
 
 
 def locality_of_probabilities(

@@ -6,6 +6,7 @@ from typing import Callable
 
 from repro.experiments import (
     ablation,
+    cache_tier,
     fig03,
     fig05,
     fig06,
@@ -45,6 +46,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "fig20": fig20.run,
     "headline": headline.run,
     "ablation": ablation.run,
+    "cache": cache_tier.run,
     "multitenant": multitenant.run,
     "resilience": resilience.run,
     "skew": skew_sensitivity.run,

@@ -71,6 +71,9 @@ class SweepConfig:
     #: Fault scenario name or fault script applied to every cell's tenants
     #: ("none" keeps the sweep bit-exact with a fault-unaware one).
     faults: str = "none"
+    #: Per-replica embedding cache capacity in MB for every cell's tenants
+    #: (0 disables the cache; non-zero needs the skewed cost model).
+    cache_mb: float = 0.0
 
     def __post_init__(self) -> None:
         if self.tenants < 1:
@@ -83,6 +86,8 @@ class SweepConfig:
             raise ValueError("seed must be non-negative")
         if self.max_batch < 1:
             raise ValueError("max_batch must be at least 1")
+        if self.cache_mb < 0:
+            raise ValueError("cache_mb must be non-negative")
         resolve_cost_model_name(self.cost_model)
         validate_fault_spec(self.faults)
 
@@ -178,6 +183,7 @@ def run_cell(config: SweepConfig, cell: SweepCell) -> dict[str, float | int | st
                 cost_model=config.cost_model,
                 max_batch=config.max_batch,
                 faults=config.faults,
+                cache_mb=config.cache_mb,
             )
         )
     result = MultiTenantEngine(tenants, cluster_spec=plan.cluster).run()

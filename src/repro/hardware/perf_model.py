@@ -22,11 +22,41 @@ from repro.model.analytics import ModelAnalytics
 from repro.model.configs import DLRMConfig
 from repro.hardware.specs import ClusterSpec, PerfCalibration
 
-__all__ = ["PerfModel", "LatencyEstimate", "BatchLatencyModel"]
+__all__ = [
+    "PerfModel",
+    "LatencyEstimate",
+    "BatchLatencyModel",
+    "cache_adjusted_multiplier",
+]
 
 #: Deployment roles understood by the batch latency model.  Mirrors
 #: ``repro.core.plan`` (not imported to keep the layering core -> hardware).
 _BATCH_KINDS = ("dense", "embedding", "monolithic")
+
+
+def cache_adjusted_multiplier(
+    multiplier: float, cache_hit_rate: float, hit_cost_fraction: float
+) -> float:
+    """Gather-cost multiplier after a replica-local embedding cache.
+
+    A fraction ``cache_hit_rate`` of the query's gathers is served from the
+    cache at ``hit_cost_fraction`` of its DRAM cost, so the gather term
+    scales by ``1 - cache_hit_rate * (1 - hit_cost_fraction)``.  The two
+    boundary rates are special-cased to keep the engine's bit-exactness
+    contracts independent of float rounding: hit rate 0 returns
+    ``multiplier`` untouched (the no-cache path), hit rate 1 returns exactly
+    ``multiplier * hit_cost_fraction`` (a fully warm cache serving every
+    gather).
+    """
+    if not 0.0 <= cache_hit_rate <= 1.0:
+        raise ValueError("cache_hit_rate must be in [0, 1]")
+    if not 0.0 <= hit_cost_fraction <= 1.0:
+        raise ValueError("hit_cost_fraction must be in [0, 1]")
+    if cache_hit_rate == 0.0:
+        return multiplier
+    if cache_hit_rate == 1.0:
+        return multiplier * hit_cost_fraction
+    return multiplier * (1.0 - cache_hit_rate * (1.0 - hit_cost_fraction))
 
 
 @dataclass(frozen=True)
@@ -345,6 +375,8 @@ class PerfModel:
         *,
         base_latency_s: float,
         role: str = "embedding",
+        cache_hit_rate: float = 0.0,
+        hit_cost_fraction: float = 0.25,
     ) -> float:
         """Seconds one replica needs to serve a batch of queries.
 
@@ -354,7 +386,20 @@ class PerfModel:
         1.0; ``None`` means an average-cost batch).  ``latency_for(1, 1.0)``
         returns ``base_latency_s`` exactly — the planner's estimates are the
         mean of this distribution.
+
+        ``cache_hit_rate`` splits the gather term into cache hits (costing
+        ``hit_cost_fraction`` of a DRAM gather) and misses, via
+        :func:`cache_adjusted_multiplier`.  At the default hit rate of 0 the
+        returned latency is bit-for-bit the historical no-cache value — the
+        serving engine relies on this to keep cache-disabled runs (and all
+        existing golden digests) unchanged.
         """
+        if cache_hit_rate != 0.0 and gathers is not None:
+            gathers = cache_adjusted_multiplier(
+                gathers, cache_hit_rate, hit_cost_fraction
+            )
+        elif not 0.0 <= cache_hit_rate <= 1.0:
+            raise ValueError("cache_hit_rate must be in [0, 1]")
         return self.batch_model(role).latency_for(base_latency_s, batch_size, gathers)
 
     def rpc_overhead_s(self) -> float:

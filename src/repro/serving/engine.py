@@ -100,7 +100,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.container import ContainerState
 from repro.cluster.deployment import Deployment
 from repro.core.plan import DeploymentPlan, ROLE_DENSE, ROLE_MONOLITHIC
-from repro.hardware.perf_model import PerfModel
+from repro.hardware.perf_model import PerfModel, cache_adjusted_multiplier
 from repro.hardware.specs import ClusterSpec
 from repro.serving.faults import (
     FaultModel,
@@ -112,7 +112,7 @@ from repro.serving.faults import (
     validate_fault_spec,
 )
 from repro.serving.latency import LatencyTracker
-from repro.serving.replica_server import ReplicaServer
+from repro.serving.replica_server import CacheSpec, ReplicaCache, ReplicaServer
 from repro.serving.routing import ReplicaPool, RoutingPolicy, make_routing_policy
 from repro.serving.streaming import ShardManifest, SpoolWriter, StreamConfig
 from repro.serving.traffic import TrafficPattern
@@ -170,6 +170,13 @@ class SimulationResult:
     availability: dict[str, np.ndarray] = field(default_factory=dict)
     #: Per-deployment count of crash-displaced queries re-queued per interval.
     requeues: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Per-deployment mean embedding-cache hit rate over each sample interval
+    #: (only populated for cache-bearing deployments of a cached run; empty
+    #: on cache-less runs, so their digests are untouched).
+    cache_hit_rate: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Per-replica embedding-cache budget the run was configured with
+    #: (0.0 means no cache tier).
+    cache_mb: float = 0.0
     #: Queries rejected outright because a deployment had no routable replica.
     rejected_queries: int = 0
     #: Queries killed mid-flight by a crash/drain under the ``drop`` policy
@@ -220,7 +227,14 @@ class SimulationResult:
             self.tracker.latencies_s,
         ):
             hasher.update(np.ascontiguousarray(array).tobytes())
-        for mapping in (self.replica_counts, self.availability, self.requeues):
+        # cache_hit_rate is empty on cache-less runs, so hashing it there is
+        # a no-op and every pre-cache digest is preserved bit-for-bit.
+        for mapping in (
+            self.replica_counts,
+            self.availability,
+            self.requeues,
+            self.cache_hit_rate,
+        ):
             for name in sorted(mapping):
                 hasher.update(name.encode())
                 hasher.update(np.ascontiguousarray(mapping[name]).tobytes())
@@ -318,7 +332,18 @@ class _DeploymentLane:
     path does no dict lookups.
     """
 
-    __slots__ = ("name", "pool", "service_s", "cost_bearing", "dense", "count", "latencies")
+    __slots__ = (
+        "name",
+        "pool",
+        "service_s",
+        "cost_bearing",
+        "dense",
+        "cached",
+        "count",
+        "latencies",
+        "hit_sum",
+        "gather_sum",
+    )
 
     def __init__(
         self,
@@ -327,17 +352,24 @@ class _DeploymentLane:
         service_s: float,
         cost_bearing: bool,
         dense: bool,
+        cached: bool = False,
     ) -> None:
         self.name = name
         self.pool = pool
         self.service_s = service_s
         self.cost_bearing = cost_bearing
         self.dense = dense
+        #: Whether this lane's replicas carry embedding caches.
+        self.cached = cached
         #: Queries offered to the deployment this sample interval.
         self.count = 0
         #: Shard latencies recorded this sample interval (end-to-end for
         #: dense/monolithic lanes).
         self.latencies: list[float] = []
+        #: Cache-hit accounting for the interval: expected gathers served
+        #: from cache and total gathers offered (cached lanes only).
+        self.hit_sum = 0.0
+        self.gather_sum = 0.0
 
 
 class _TenantRuntime:
@@ -365,6 +397,7 @@ class _TenantRuntime:
         faults: str | FaultModel | None = None,
         vectorized: bool = True,
         stream: StreamConfig | None = None,
+        cache_mb: float = 0.0,
     ) -> None:
         if sample_interval_s <= 0:
             raise ValueError("sample_interval_s must be positive")
@@ -372,6 +405,8 @@ class _TenantRuntime:
             raise ValueError("max_batch must be at least 1")
         if batch_window_s < 0:
             raise ValueError("batch_window_s must be non-negative")
+        if cache_mb < 0:
+            raise ValueError("cache_mb must be non-negative")
         validate_fault_spec(faults)
         # Streamed mode: per-interval series and settled tracker samples are
         # flushed to this tenant's spool directory instead of accumulating
@@ -411,6 +446,34 @@ class _TenantRuntime:
         self.cost_bearing = {
             d.name: d.spec.role != ROLE_DENSE for d in self.deployments
         }
+        # Per-replica embedding cache: one shared spec per tenant, sized in
+        # hot rows from the HBM budget; the mutable fill state lives on each
+        # ReplicaServer so replacement containers restart cold.
+        self.cache_mb = float(cache_mb)
+        self.cache_spec: CacheSpec | None = None
+        self.cache_hit_cost = 0.0
+        if self.cache_mb > 0:
+            if not getattr(self.cost_model, "supports_gather_splits", False):
+                raise ValueError(
+                    "the embedding cache needs per-query gather splits; "
+                    "use the skewed cost model (--cost-model skewed)"
+                )
+            embedding = plan.workload.embedding
+            row_bytes = embedding.embedding_dim * embedding.dtype_bytes
+            capacity_rows = int(self.cache_mb * 1e6 // row_bytes)
+            if capacity_rows >= 1:
+                self.cache_spec = CacheSpec(
+                    self.cost_model.distribution,
+                    capacity_rows,
+                    hot_rows=self.cost_model.hot_rank_limit,
+                    hit_cost_fraction=self.cost_model.hot_cost_fraction,
+                )
+                self.cache_hit_cost = self.cache_spec.hit_cost_fraction
+        self.caches_on = self.cache_spec is not None
+        self.cache_enabled = {
+            d.name: self.caches_on and self.cost_bearing[d.name]
+            for d in self.deployments
+        }
         self.batch_models = {
             d.name: perf_model.batch_model(d.spec.role) for d in self.deployments
         }
@@ -433,6 +496,7 @@ class _TenantRuntime:
                 service_s=self.service_times[d.name],
                 cost_bearing=self.cost_bearing[d.name],
                 dense=self.dense_roles[d.name],
+                cached=self.cache_enabled[d.name],
             )
             for d in self.deployments
         ]
@@ -452,6 +516,7 @@ class _TenantRuntime:
         """Mirror the tenant's active containers into replica queue servers."""
         for deployment in self.deployments:
             servers = self.servers[deployment.name]
+            cached = self.cache_enabled[deployment.name]
             active_names = set()
             changed = False
             for container in deployment.replicas:
@@ -460,12 +525,16 @@ class _TenantRuntime:
                 active_names.add(container.name)
                 if container.name not in servers:
                     ready_at = container.ready_at if container.ready_at is not None else now
+                    # Every new container gets a fresh, *empty* cache: a
+                    # crash replacement or drain-evicted replica's successor
+                    # restarts cold and warms up from the queries it serves.
                     servers[container.name] = ReplicaServer(
                         container.name,
                         ready_at=ready_at,
                         max_batch=self.max_batch,
                         batch_window_s=self.batch_window_s,
                         batch_model=self.batch_models[deployment.name],
+                        cache=ReplicaCache(self.cache_spec) if cached else None,
                     )
                     changed = True
             for name in list(servers):
@@ -477,6 +546,20 @@ class _TenantRuntime:
                     changed = True
             if changed:
                 self.pools[deployment.name].invalidate()
+
+    def invalidate_caches(self) -> None:
+        """Drop every replica's cached rows (they all restart cold).
+
+        The re-sharding hook: when a future online re-planner (ROADMAP item
+        1) moves table shards between deployments, the rows a replica cached
+        no longer live where its queries will look for them, so the whole
+        tier invalidates and the hit-rate series dips until the caches
+        re-warm from served traffic.
+        """
+        for servers in self.servers.values():
+            for server in servers.values():
+                if server.cache is not None:
+                    server.cache.invalidate()
 
     # ------------------------------------------------------------------
     # Per-run lifecycle
@@ -497,11 +580,23 @@ class _TenantRuntime:
         # dedicated seed stream (the homogeneous model never draws, so it
         # cannot perturb any other stream of the run).  Streamed runs keep
         # the float64 array (indexing yields the same values bit-for-bit).
+        self.query_hot: "list[float] | np.ndarray | None" = None
+        self.query_cold: "list[float] | np.ndarray | None" = None
         if self.cost_model.is_homogeneous:
             self.query_multipliers: "list[float] | np.ndarray | None" = None
         else:
             cost_rng = np.random.default_rng([self.seed, 2])
-            multipliers = self.cost_model.sample(self.arrivals.size, cost_rng)
+            if self.caches_on:
+                # The split-returning variant consumes the RNG identically to
+                # plain sample(), so the multipliers (and every downstream
+                # draw) match the cache-less run bit-for-bit.
+                multipliers, hot, cold = self.cost_model.sample_with_gathers(
+                    self.arrivals.size, cost_rng
+                )
+                self.query_hot = hot if self.stream is not None else hot.tolist()
+                self.query_cold = cold if self.stream is not None else cold.tolist()
+            else:
+                multipliers = self.cost_model.sample(self.arrivals.size, cost_rng)
             self.query_multipliers = (
                 multipliers if self.stream is not None else multipliers.tolist()
             )
@@ -520,8 +615,13 @@ class _TenantRuntime:
         for lane in self._lanes:
             lane.count = 0
             lane.latencies = []
+            lane.hit_sum = 0.0
+            lane.gather_sum = 0.0
         for pool in self.pools.values():
             pool.invalidate()
+        self.cache_hit_series: dict[str, list[float]] = {
+            lane.name: [] for lane in self._lanes if lane.cached
+        }
         self.batch_occupancy_series: dict[str, list[float]] = {
             d.name: [] for d in self.deployments
         }
@@ -642,14 +742,33 @@ class _TenantRuntime:
                 # Stragglers and transient degradations stretch this shard's
                 # service time; a healthy run multiplies by nothing.
                 service = service * self._slowdown_factor(name, server.name)
-            completion = server.submit(arrival, service, cost)
+            submit_cost = cost
+            if lane.cached:
+                # Embedding-cache tier: the selected replica's cache serves a
+                # fill-dependent fraction of this query's gathers at the hit
+                # cost and admits the misses (warming itself up).  A cold
+                # cache (hit rate 0) leaves the cost multiplier untouched.
+                hot = self.query_hot[query_index]
+                cold = self.query_cold[query_index]
+                hit_rate = server.cache.serve(hot, cold)
+                lane.gather_sum += hot + cold
+                if hit_rate > 0.0:
+                    lane.hit_sum += hit_rate * (hot + cold)
+                    submit_cost = cache_adjusted_multiplier(
+                        cost, hit_rate, self.cache_hit_cost
+                    )
+            completion = server.submit(arrival, service, submit_cost)
             if vectorized:
                 pool.note_submit(index, completion)
             policy.on_submit(name, server)
             if track_inflight:
-                self.inflight.setdefault((name, server.name), []).append(
-                    [arrival, tracker_index, completion, lane.service_s, cost]
-                )
+                entry = [arrival, tracker_index, completion, lane.service_s, cost]
+                if lane.cached:
+                    # Carry the gather split so a crash re-queue can reprice
+                    # the query against the surviving replica's cache.
+                    entry.append(hot)
+                    entry.append(cold)
+                self.inflight.setdefault((name, server.name), []).append(entry)
             if heap is not None:
                 heapq.heappush(
                     heap,
@@ -812,7 +931,7 @@ class _TenantRuntime:
     ) -> None:
         """Re-queue or drop the dead replica's unfinished queries."""
         for entry in self.inflight.pop((deployment_name, victim), []):
-            arrival, tracker_index, completion, service, cost = entry
+            arrival, tracker_index, completion, service, cost = entry[:5]
             tracker_index = int(tracker_index)
             if completion <= now:
                 continue  # finished before the failure
@@ -844,12 +963,25 @@ class _TenantRuntime:
                 self.tracker.update(tracker_index, arrival + latency, latency)
                 continue
             effective = service * self._slowdown_factor(deployment_name, new_server.name)
-            new_completion = new_server.submit(now, effective, multiplier=cost)
+            submit_cost = cost
+            if len(entry) == 7 and new_server.cache is not None:
+                # Reprice the displaced query against the survivor's cache
+                # (the victim's warm rows died with it).
+                hit_rate = new_server.cache.serve(entry[5], entry[6])
+                if hit_rate > 0.0:
+                    submit_cost = cache_adjusted_multiplier(
+                        cost, hit_rate, self.cache_hit_cost
+                    )
+            new_completion = new_server.submit(now, effective, multiplier=submit_cost)
             if new_index is not None:
                 self.pools[deployment_name].note_submit(new_index, new_completion)
             self.policy.on_submit(deployment_name, new_server)
+            new_entry = [arrival, tracker_index, new_completion, service, cost]
+            if len(entry) == 7:
+                new_entry.append(entry[5])
+                new_entry.append(entry[6])
             self.inflight.setdefault((deployment_name, new_server.name), []).append(
-                [arrival, tracker_index, new_completion, service, cost]
+                new_entry
             )
             if self.track_completions:
                 heapq.heappush(
@@ -997,6 +1129,13 @@ class _TenantRuntime:
                 available = 1.0 if failures == 0 else 0.0
             self.availability_series[name].append(available)
             self.requeue_series[name].append(self.interval_requeues[name])
+            if lane.cached:
+                gathers = lane.gather_sum
+                self.cache_hit_series[name].append(
+                    lane.hit_sum / gathers if gathers > 0 else 0.0
+                )
+                lane.hit_sum = 0.0
+                lane.gather_sum = 0.0
             lane.count = 0
             lane.latencies = []
         if self.track_inflight:
@@ -1050,8 +1189,7 @@ class _TenantRuntime:
             return
         times = np.asarray(self.sample_times)
         lanes = [lane.name for lane in self._lanes]
-        self.stream_writer.append(
-            "series",
+        chunk = dict(
             sample_times=times,
             target_qps=np.asarray(self.pattern.rate_at(times), dtype=np.float64),
             memory_gb=np.asarray(self.memory_series),
@@ -1067,6 +1205,14 @@ class _TenantRuntime:
                 [self.batch_occupancy_series[name] for name in lanes]
             ),
         )
+        if self.caches_on:
+            # Rows follow the meta's ``cached_deployments`` order; the key is
+            # absent entirely on cache-less runs so their chunks are
+            # byte-identical with the pre-cache format.
+            chunk["cache_hit_rate"] = np.asarray(
+                [self.cache_hit_series[name] for name in self.cache_hit_series]
+            )
+        self.stream_writer.append("series", **chunk)
         self.sample_times = []
         self.memory_series = []
         for name in lanes:
@@ -1075,6 +1221,8 @@ class _TenantRuntime:
             self.availability_series[name] = []
             self.requeue_series[name] = []
             self.batch_occupancy_series[name] = []
+        for name in self.cache_hit_series:
+            self.cache_hit_series[name] = []
         self._pending_series_samples = 0
 
     def finish_run_streamed(self) -> dict:
@@ -1098,6 +1246,8 @@ class _TenantRuntime:
             "cost_model": self.cost_model.name,
             "max_batch": self.max_batch,
             "faults": self.faults_name,
+            "cache_mb": self.cache_mb,
+            "cached_deployments": list(self.cache_hit_series),
             "deployments": [lane.name for lane in self._lanes],
             "num_samples": self.tracker.num_samples,
             "rejected_queries": len(self.rejected_indices),
@@ -1146,6 +1296,10 @@ class _TenantRuntime:
             requeues={
                 k: np.asarray(v, dtype=np.int64) for k, v in self.requeue_series.items()
             },
+            cache_hit_rate={
+                k: np.asarray(v) for k, v in self.cache_hit_series.items()
+            },
+            cache_mb=self.cache_mb,
             rejected_queries=len(self.rejected_indices),
             dropped_queries=len(self.dropped_indices),
             requeued_queries=self.requeued_count,
@@ -1417,6 +1571,7 @@ class ServingEngine:
         batch_window_s: float = 0.0,
         faults: str | FaultModel | None = None,
         vectorized: bool = True,
+        cache_mb: float = 0.0,
     ) -> None:
         if sample_interval_s <= 0:
             raise ValueError("sample_interval_s must be positive")
@@ -1438,6 +1593,7 @@ class ServingEngine:
             batch_window_s=batch_window_s,
             faults=faults,
             vectorized=vectorized,
+            cache_mb=cache_mb,
         )
         self._cluster.reconcile(0.0)
         if warm_start:
@@ -1453,6 +1609,10 @@ class ServingEngine:
     def routing_policy(self) -> RoutingPolicy:
         """The active replica-selection policy."""
         return self._runtime.policy
+
+    def invalidate_caches(self) -> None:
+        """Re-sharding hook: drop every replica's embedding-cache contents."""
+        self._runtime.invalidate_caches()
 
     def run(
         self,
@@ -1499,6 +1659,9 @@ class TenantSpec:
     #: Route via the vectorized replica pools (the default); ``False``
     #: selects the bit-exact historical scalar path (equivalence testing).
     vectorized: bool = True
+    #: Per-replica embedding-cache budget in MB (0.0 disables the tier;
+    #: requires a cost model exposing gather splits, i.e. ``skewed``).
+    cache_mb: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -1513,6 +1676,8 @@ class TenantSpec:
             raise ValueError("max_batch must be at least 1")
         if self.batch_window_s < 0:
             raise ValueError("batch_window_s must be non-negative")
+        if self.cache_mb < 0:
+            raise ValueError("cache_mb must be non-negative")
         validate_fault_spec(self.faults)
 
 
@@ -1702,6 +1867,7 @@ class MultiTenantEngine:
                     batch_window_s=tenant.batch_window_s,
                     faults=tenant.faults,
                     vectorized=tenant.vectorized,
+                    cache_mb=tenant.cache_mb,
                     stream=(
                         StreamConfig(
                             directory=stream.directory / f"tenant-{index:03d}",

@@ -25,9 +25,167 @@ from __future__ import annotations
 
 from bisect import bisect_right
 
+from repro.data.distributions import AccessDistribution
 from repro.hardware.perf_model import BatchLatencyModel
 
-__all__ = ["ReplicaServer"]
+__all__ = ["CacheSpec", "ReplicaCache", "ReplicaServer"]
+
+
+class CacheSpec:
+    """Sizing and geometry of one deployment's per-replica embedding cache.
+
+    One spec is shared by every replica of a deployment; the mutable per
+    replica state is :class:`ReplicaCache`.  The model is the conservative
+    hot-prefix one the paper adopts from the caching literature (after Kwon
+    et al., as in ``core/gpu_cache.py``): a cache holding ``p`` rows is
+    approximated as holding the ``p`` *hottest* rows, so the probability
+    that a gather hits is the distribution's coverage of that prefix.
+    Splitting by the shared hot-prefix definition
+    (:func:`repro.data.distributions.hot_prefix_rows`, the same prefix
+    :class:`~repro.serving.workload.SkewedCostModel` charges
+    ``hot_cost_fraction`` for):
+
+    * a *hot* gather (rank < ``hot_rows``) hits with probability
+      ``coverage(min(p, hot_rows)) / coverage(hot_rows)``;
+    * a *cold* gather hits with probability
+      ``max(0, coverage(p) - coverage(hot_rows)) / (1 - coverage(hot_rows))``.
+
+    ``coverage`` is far too slow to evaluate per query (the Zipf CDF sums a
+    65536-rank exact head), so both curves are precomputed on a uniform fill
+    grid at construction and linearly interpolated at serve time.  The two
+    endpoints bypass the interpolation: an empty cache hits nothing and a
+    full cache returns the exact grid-end values (both exactly 1.0 when the
+    capacity covers the whole table), which the warm-cache bit-exactness
+    tests rely on.
+    """
+
+    __slots__ = (
+        "capacity_rows",
+        "capacity_eff",
+        "hot_rows",
+        "hit_cost_fraction",
+        "_step",
+        "_f_hot",
+        "_f_cold",
+    )
+
+    #: Fill-grid resolution; interpolation error is invisible next to the
+    #: hot-prefix approximation itself.
+    GRID_POINTS = 257
+
+    def __init__(
+        self,
+        distribution: AccessDistribution,
+        capacity_rows: int,
+        hot_rows: int,
+        hit_cost_fraction: float,
+    ) -> None:
+        if capacity_rows < 1:
+            raise ValueError("capacity_rows must be at least 1 (0 means no cache)")
+        if hot_rows < 1:
+            raise ValueError("hot_rows must be at least 1")
+        if not 0.0 <= hit_cost_fraction <= 1.0:
+            raise ValueError("hit_cost_fraction must be in [0, 1]")
+        num_items = distribution.num_items
+        self.capacity_rows = int(capacity_rows)
+        self.capacity_eff = min(self.capacity_rows, num_items)
+        self.hot_rows = min(int(hot_rows), num_items)
+        self.hit_cost_fraction = float(hit_cost_fraction)
+        cov_hot = distribution.coverage(self.hot_rows)
+        cold_mass = 1.0 - cov_hot
+        points = min(self.GRID_POINTS, self.capacity_eff + 1)
+        self._step = self.capacity_eff / (points - 1) if points > 1 else 1.0
+        f_hot = []
+        f_cold = []
+        for index in range(points):
+            fill = round(index * self._step)
+            cov_fill = distribution.coverage(fill)
+            f_hot.append(
+                distribution.coverage(min(fill, self.hot_rows)) / cov_hot
+                if cov_hot > 0
+                else 0.0
+            )
+            f_cold.append(
+                max(0.0, cov_fill - cov_hot) / cold_mass if cold_mass > 0 else 0.0
+            )
+        if self.capacity_eff >= num_items:
+            # Full-table capacity: the endpoint is exact by construction
+            # (coverage(num_items) == 1.0), every gather hits a full cache.
+            f_hot[-1] = 1.0
+            f_cold[-1] = 1.0
+        self._f_hot = f_hot
+        self._f_cold = f_cold
+
+    def hit_fractions(self, fill_rows: float) -> tuple[float, float]:
+        """(hot-gather, cold-gather) hit probabilities at a given fill."""
+        if fill_rows <= 0.0:
+            return 0.0, 0.0
+        f_hot = self._f_hot
+        f_cold = self._f_cold
+        if fill_rows >= self.capacity_eff:
+            return f_hot[-1], f_cold[-1]
+        position = fill_rows / self._step
+        index = int(position)
+        if index >= len(f_hot) - 1:
+            return f_hot[-1], f_cold[-1]
+        frac = position - index
+        hot_a = f_hot[index]
+        cold_a = f_cold[index]
+        return (
+            hot_a + frac * (f_hot[index + 1] - hot_a),
+            cold_a + frac * (f_cold[index + 1] - cold_a),
+        )
+
+
+class ReplicaCache:
+    """Mutable per-replica embedding-cache state: how many rows are resident.
+
+    A fresh cache starts empty, so a crash-replacement or drain-evicted
+    replica's replacement container restarts cold and earns its hit rate
+    back one served query at a time.  Warm-up is *optimistic* in the
+    insert-on-miss sense: every missed gather is assumed to admit a new row
+    (duplicate misses across queries are not deduplicated), which slightly
+    overestimates warm-up speed but keeps admission O(1) per query.
+    """
+
+    __slots__ = ("spec", "fill_rows")
+
+    def __init__(self, spec: CacheSpec) -> None:
+        self.spec = spec
+        self.fill_rows = 0.0
+
+    @property
+    def fill_fraction(self) -> float:
+        """Resident rows as a fraction of the effective capacity."""
+        return self.fill_rows / self.spec.capacity_eff
+
+    def hit_rate(self, hot_gathers: float, cold_gathers: float) -> float:
+        """Expected fraction of a query's gathers served from the cache."""
+        total = hot_gathers + cold_gathers
+        if total <= 0.0:
+            return 0.0
+        f_hot, f_cold = self.spec.hit_fractions(self.fill_rows)
+        return (hot_gathers * f_hot + cold_gathers * f_cold) / total
+
+    def serve(self, hot_gathers: float, cold_gathers: float) -> float:
+        """Hit rate for one query's gathers; admits the missed rows."""
+        total = hot_gathers + cold_gathers
+        if total <= 0.0:
+            return 0.0
+        f_hot, f_cold = self.spec.hit_fractions(self.fill_rows)
+        hits = hot_gathers * f_hot + cold_gathers * f_cold
+        fill = self.fill_rows + (total - hits)
+        capacity = self.spec.capacity_eff
+        self.fill_rows = capacity if fill > capacity else fill
+        return hits / total
+
+    def warm(self) -> None:
+        """Fill to capacity instantly (asymptotic steady state, for tests)."""
+        self.fill_rows = float(self.spec.capacity_eff)
+
+    def invalidate(self) -> None:
+        """Drop every resident row (re-sharding moves the rows elsewhere)."""
+        self.fill_rows = 0.0
 
 
 class ReplicaServer:
@@ -69,6 +227,7 @@ class ReplicaServer:
         "_batch_base",
         "_run_starts",
         "_run_ends",
+        "cache",
     )
 
     def __init__(
@@ -78,6 +237,7 @@ class ReplicaServer:
         max_batch: int = 1,
         batch_window_s: float = 0.0,
         batch_model: BatchLatencyModel | None = None,
+        cache: ReplicaCache | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -90,6 +250,10 @@ class ReplicaServer:
         self._single = self._max_batch == 1
         self._batch_window_s = float(batch_window_s)
         self._batch_model = batch_model
+        #: Per-replica embedding cache, or ``None`` on cache-less runs.  The
+        #: engine reads and updates it; a replacement container gets a fresh
+        #: (cold) instance, never the dead replica's warm one.
+        self.cache = cache
         self._completed = 0
         self._batches = 0
         self._busy_time = 0.0

@@ -152,6 +152,7 @@ class ReplicaPool:
         "has_blocked",
         "ready_threshold",
         "single_batch",
+        "has_caches",
     )
 
     def __init__(self, source: dict[str, ReplicaServer]) -> None:
@@ -165,6 +166,7 @@ class ReplicaPool:
         self.has_blocked = False
         self.ready_threshold = 0.0
         self.single_batch = True
+        self.has_caches = False
         self._dirty = True
 
     def invalidate(self) -> None:
@@ -186,6 +188,7 @@ class ReplicaPool:
         ready = np.empty(size, dtype=np.float64)
         blocked = np.empty(size, dtype=bool)
         single_batch = True
+        has_caches = False
         model = None
         for index, server in enumerate(servers):
             busy[index] = server.busy_until
@@ -193,6 +196,8 @@ class ReplicaPool:
             blocked[index] = server.failed or server.draining
             if server.max_batch != 1:
                 single_batch = False
+            if server.cache is not None:
+                has_caches = True
             if index == 0:
                 model = server.batch_model
             elif server.batch_model is not model:
@@ -210,6 +215,9 @@ class ReplicaPool:
         # configuration (every replica max_batch == 1, one shared model): the
         # unit-batch service time is then one shared scalar.
         self.single_batch = single_batch
+        # Cached lanes drive the recovery-aware cold penalty off actual cache
+        # fill; the flag routes those pools around the time-window fast path.
+        self.has_caches = has_caches
         self._dirty = False
 
     def note_submit(self, index: int, busy_until: float) -> None:
@@ -610,6 +618,14 @@ class RecoveryAwarePolicy(RoutingPolicy):
     still overflows onto it.  Replicas ready for longer than ``warmup_s``
     (and all replicas when no cost hint is supplied) rank exactly as under
     least-work; ties resolve to the replica listed first.
+
+    When the engine's embedding-cache tier is on, replicas carry actual
+    cache state and the fixed wall-clock window is replaced by the real
+    thing: the cold fraction is ``1 - fill_fraction`` of the replica's
+    cache, so the penalty fades exactly as fast as the cache warms (and
+    reappears in full if the cache is invalidated by a re-shard).
+    Cache-less pools rank bit-identically to the historical time-window
+    policy.
     """
 
     name = "recovery-aware"
@@ -622,9 +638,16 @@ class RecoveryAwarePolicy(RoutingPolicy):
         self.warmup_s = float(warmup_s)
         self.cold_penalty_queries = float(cold_penalty_queries)
 
+    def _cold_fraction(self, server: ReplicaServer, now: float) -> float:
+        cache = server.cache
+        if cache is not None:
+            return 1.0 - cache.fill_fraction
+        return max(0.0, (server.ready_at + self.warmup_s - now)) / self.warmup_s
+
     def _key(self, server: ReplicaServer, now: float, service_s: float) -> float:
-        remaining_fraction = max(0.0, (server.ready_at + self.warmup_s - now)) / self.warmup_s
-        penalty = self.cold_penalty_queries * service_s * remaining_fraction
+        penalty = (
+            self.cold_penalty_queries * service_s * self._cold_fraction(server, now)
+        )
         return _queue_drain_time(server) + penalty
 
     def select(
@@ -650,6 +673,22 @@ class RecoveryAwarePolicy(RoutingPolicy):
         pool.refresh()
         if not pool.size:
             return None
+        if pool.has_caches:
+            # Cache-fill-driven penalty: a cache can be cold at any wall-clock
+            # time (fresh replacement, re-shard invalidation), so the warm
+            # time-window fast path does not apply; the cold fractions come
+            # from each replica's actual fill.
+            service_s = cost[0] * cost[1] if cost is not None else 0.0
+            remaining = np.array(
+                [self._cold_fraction(server, now) for server in pool.servers]
+            )
+            keys = pool.busy + (self.cold_penalty_queries * service_s) * remaining
+            if pool.all_ready(now):
+                return int(keys.argmin())
+            mask = pool.routable_mask(now)
+            if mask is None:
+                return None
+            return _masked_argmin(keys, mask)
         if pool.all_ready(now) and now >= pool.ready_threshold + self.warmup_s:
             # Every replica is warm: the penalty term is exactly zero and the
             # ranking degenerates to least-work.

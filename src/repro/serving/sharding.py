@@ -352,6 +352,10 @@ def _merge_tenant(tenant_dir: Path) -> SimulationResult:
     tracker = LatencyTracker.from_arrays(completion_times, latencies_s)
 
     deployments = meta["deployments"]
+    # Cached runs stream one extra series whose rows follow the manifest's
+    # cached-deployment order; pre-cache spools have neither key.
+    cached_deployments = meta.get("cached_deployments", [])
+    cache_hit_rate: dict[str, np.ndarray] = {}
     series_chunks = list(iter_chunks(tenant_dir, "series"))
     if series_chunks:
         sample_times = np.concatenate([c["sample_times"] for c in series_chunks])
@@ -374,6 +378,14 @@ def _merge_tenant(tenant_dir: Path) -> SimulationResult:
             }
             for name in stacked
         }
+        if cached_deployments:
+            hit_rows = np.concatenate(
+                [c["cache_hit_rate"] for c in series_chunks], axis=1
+            )
+            cache_hit_rate = {
+                deployment: hit_rows[row]
+                for row, deployment in enumerate(cached_deployments)
+            }
     else:
         sample_times = np.empty(0, dtype=np.float64)
         target_qps = np.empty(0, dtype=np.float64)
@@ -390,6 +402,10 @@ def _merge_tenant(tenant_dir: Path) -> SimulationResult:
                 ("requeues", np.int64),
                 ("batch_occupancy", np.float64),
             )
+        }
+        cache_hit_rate = {
+            deployment: np.empty(0, dtype=np.float64)
+            for deployment in cached_deployments
         }
     achieved_qps, p95_latency_ms = _metric_series(
         tracker, sample_times, float(meta["sample_interval_s"])
@@ -418,6 +434,8 @@ def _merge_tenant(tenant_dir: Path) -> SimulationResult:
         dropped_queries=int(meta["dropped_queries"]),
         requeued_queries=int(meta["requeued_queries"]),
         faults_injected=int(meta["faults_injected"]),
+        cache_hit_rate=cache_hit_rate,
+        cache_mb=float(meta.get("cache_mb", 0.0)),
     )
 
 

@@ -33,7 +33,11 @@ import math
 
 import numpy as np
 
-from repro.data.distributions import DEFAULT_TOP_FRACTION, AccessDistribution
+from repro.data.distributions import (
+    DEFAULT_TOP_FRACTION,
+    AccessDistribution,
+    hot_prefix_rows,
+)
 from repro.model.configs import DLRMConfig
 
 __all__ = [
@@ -58,9 +62,27 @@ class QueryCostModel:
         """Whether every multiplier is exactly 1.0 (the compatibility mode)."""
         return False
 
+    @property
+    def supports_gather_splits(self) -> bool:
+        """Whether :meth:`sample_with_gathers` exposes hot/cold gather counts."""
+        return False
+
     def sample(self, num_queries: int, rng: np.random.Generator) -> np.ndarray:
         """Draw ``num_queries`` cost multipliers (float64, mean ~1.0)."""
         raise NotImplementedError
+
+    def sample_with_gathers(
+        self, num_queries: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Like :meth:`sample`, plus per-query distinct hot/cold gather counts.
+
+        Only models with ``supports_gather_splits`` implement this; the
+        serving engine's embedding-cache tier needs the split to drive
+        per-replica hit rates.
+        """
+        raise NotImplementedError(
+            f"cost model {self.name!r} does not expose per-query gather splits"
+        )
 
 
 class HomogeneousCostModel(QueryCostModel):
@@ -136,14 +158,36 @@ class SkewedCostModel(QueryCostModel):
             if pooling_spread is not None
             else distribution.locality(hot_fraction)
         )
-        self._hot_rank_limit = max(
-            1, int(math.ceil(hot_fraction * distribution.num_items))
-        )
+        self._hot_rank_limit = hot_prefix_rows(distribution, row_fraction=hot_fraction)
 
     @property
     def distribution(self) -> AccessDistribution:
         """The access-skew distribution the gather counts are drawn from."""
         return self._distribution
+
+    @property
+    def supports_gather_splits(self) -> bool:
+        return True
+
+    @property
+    def num_profiles(self) -> int:
+        """Size of the pre-sampled query-profile pool."""
+        return self._num_profiles
+
+    @property
+    def hot_fraction(self) -> float:
+        """Fraction of hot-sorted rows forming the hot prefix."""
+        return self._hot_fraction
+
+    @property
+    def hot_cost_fraction(self) -> float:
+        """Cost of a hot-prefix gather relative to a cold DRAM gather."""
+        return self._hot_cost_fraction
+
+    @property
+    def hot_rank_limit(self) -> int:
+        """Rows in the hot prefix (shared ``hot_prefix_rows`` definition)."""
+        return self._hot_rank_limit
 
     @property
     def pooling(self) -> int:
@@ -155,12 +199,16 @@ class SkewedCostModel(QueryCostModel):
         """Coefficient of variation of the per-query pooling factors."""
         return self._pooling_spread
 
-    def profile_gathers(self, rng: np.random.Generator) -> np.ndarray:
-        """Per-profile effective gather counts (before normalisation).
+    def profile_splits(
+        self, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-profile distinct hot and cold gather counts.
 
-        One row of the result is one query profile's cost in cold-gather
-        units: distinct cold rows plus ``hot_cost_fraction`` per distinct hot
-        row.
+        One row of each result is one query profile: ``pooling`` lookups are
+        drawn, duplicates coalesce (one gather per distinct row), and each
+        distinct row counts as hot or cold by the shared hot-prefix
+        definition.  The split is what the serve-time embedding cache needs:
+        hot gathers are the cache-admissible ones.
         """
         ranks = self._distribution.sample(self._num_profiles * self._pooling, rng)
         ranks = np.sort(ranks.reshape(self._num_profiles, self._pooling), axis=1)
@@ -170,12 +218,31 @@ class SkewedCostModel(QueryCostModel):
         hot = ranks < self._hot_rank_limit
         hot_gathers = np.sum(distinct & hot, axis=1, dtype=np.float64)
         cold_gathers = np.sum(distinct & ~hot, axis=1, dtype=np.float64)
+        return hot_gathers, cold_gathers
+
+    def profile_gathers(self, rng: np.random.Generator) -> np.ndarray:
+        """Per-profile effective gather counts (before normalisation).
+
+        One row of the result is one query profile's cost in cold-gather
+        units: distinct cold rows plus ``hot_cost_fraction`` per distinct hot
+        row.
+        """
+        hot_gathers, cold_gathers = self.profile_splits(rng)
         return cold_gathers + self._hot_cost_fraction * hot_gathers
 
-    def sample(self, num_queries: int, rng: np.random.Generator) -> np.ndarray:
-        if num_queries < 0:
-            raise ValueError("num_queries must be non-negative")
-        costs = self.profile_gathers(rng)
+    def _sample_profiles(
+        self, num_queries: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray, np.ndarray]:
+        """Shared sampling core: (costs, assignment, hot, cold) per profile.
+
+        Consumes the RNG identically for every caller, so multipliers from
+        :meth:`sample` and :meth:`sample_with_gathers` are bit-identical for
+        the same seed.  ``assignment`` is ``None`` on the degenerate
+        every-gather-free path, which returns before drawing it (matching the
+        historical stream).
+        """
+        hot_gathers, cold_gathers = self.profile_splits(rng)
+        costs = cold_gathers + self._hot_cost_fraction * hot_gathers
         if self._pooling_spread > 0:
             # Mean-one log-normal pooling factor: sigma chosen so the factor's
             # coefficient of variation equals pooling_spread.
@@ -187,10 +254,36 @@ class SkewedCostModel(QueryCostModel):
         mean = float(costs.mean())
         if mean <= 0:
             # Every gather free (hot_cost_fraction == 0 and all-hot table).
-            return np.ones(num_queries, dtype=np.float64)
-        multipliers = costs / mean
+            return np.ones(self._num_profiles, dtype=np.float64), None, hot_gathers, cold_gathers
         assignment = rng.integers(0, self._num_profiles, size=num_queries)
+        return costs / mean, assignment, hot_gathers, cold_gathers
+
+    def sample(self, num_queries: int, rng: np.random.Generator) -> np.ndarray:
+        if num_queries < 0:
+            raise ValueError("num_queries must be non-negative")
+        if num_queries == 0:
+            # Nothing to draw: return before any RNG use so an idle tenant
+            # leaves the shared cost stream untouched (matching the
+            # homogeneous model's guarantee).
+            return np.empty(0, dtype=np.float64)
+        multipliers, assignment, _, _ = self._sample_profiles(num_queries, rng)
+        if assignment is None:
+            return np.ones(num_queries, dtype=np.float64)
         return multipliers[assignment]
+
+    def sample_with_gathers(
+        self, num_queries: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if num_queries < 0:
+            raise ValueError("num_queries must be non-negative")
+        empty = np.empty(0, dtype=np.float64)
+        if num_queries == 0:
+            return empty, empty, empty
+        multipliers, assignment, hot, cold = self._sample_profiles(num_queries, rng)
+        if assignment is None:
+            zeros = np.zeros(num_queries, dtype=np.float64)
+            return np.ones(num_queries, dtype=np.float64), zeros, zeros
+        return multipliers[assignment], hot[assignment], cold[assignment]
 
 
 #: Registry of query-cost models by CLI-facing name.
@@ -213,17 +306,46 @@ def resolve_cost_model_name(name: str) -> str:
 
 
 def make_cost_model(
-    model: str | QueryCostModel, workload: DLRMConfig | None = None
+    model: str | QueryCostModel,
+    workload: DLRMConfig | None = None,
+    *,
+    num_profiles: int | None = None,
+    hot_fraction: float | None = None,
+    hot_cost_fraction: float | None = None,
+    pooling_spread: float | None = None,
 ) -> QueryCostModel:
     """Resolve a cost-model name against a workload (or pass an instance through).
 
     ``"homogeneous"`` needs no workload; ``"skewed"`` derives its access
-    distribution and pooling factor from ``workload.embedding``.
+    distribution and pooling factor from ``workload.embedding``.  The keyword
+    overrides forward to :class:`SkewedCostModel`'s matching tuning knobs and
+    are rejected for models that have none.
     """
+    overrides = {
+        name: value
+        for name, value in (
+            ("num_profiles", num_profiles),
+            ("hot_fraction", hot_fraction),
+            ("hot_cost_fraction", hot_cost_fraction),
+            ("pooling_spread", pooling_spread),
+        )
+        if value is not None
+    }
     if isinstance(model, QueryCostModel):
+        if overrides:
+            raise ValueError(
+                "cost-model overrides only apply when building from a name; "
+                "pass the knobs to the model's constructor instead"
+            )
         return model
     resolve_cost_model_name(model)
     if model == HomogeneousCostModel.name:
+        if overrides:
+            raise ValueError(
+                "the homogeneous cost model has no skew knobs; "
+                "use --cost-model skewed to tune "
+                + ", ".join(sorted(overrides))
+            )
         return HomogeneousCostModel()
     if workload is None:
         raise ValueError("the skewed cost model needs a workload to derive its skew from")
@@ -231,4 +353,5 @@ def make_cost_model(
     return SkewedCostModel(
         distribution=embedding.access_distribution(),
         pooling=embedding.pooling,
+        **overrides,
     )

@@ -11,6 +11,7 @@ from repro.data.distributions import (
     EmpiricalDistribution,
     UniformDistribution,
     ZipfDistribution,
+    hot_prefix_rows,
     locality_of_probabilities,
     solve_alpha_for_locality,
 )
@@ -167,6 +168,64 @@ class TestEmpiricalDistribution:
     def test_expected_unique(self):
         dist = EmpiricalDistribution(np.ones(10))
         assert dist.expected_unique(10_000) == pytest.approx(10.0, abs=0.01)
+
+
+class TestHotPrefixRows:
+    def test_row_fraction_is_a_ceiling(self):
+        dist = ZipfDistribution(1000, 0.9)
+        assert hot_prefix_rows(dist, row_fraction=0.01) == 10
+        assert hot_prefix_rows(dist, row_fraction=0.0101) == 11
+        assert hot_prefix_rows(dist, row_fraction=1e-9) == 1
+        assert hot_prefix_rows(dist, row_fraction=1.0) == 1000
+
+    def test_coverage_form_is_the_smallest_covering_prefix(self):
+        dist = ZipfDistribution(10_000, 1.1)
+        for target in (0.1, 0.5, 0.9, 0.99):
+            rows = hot_prefix_rows(dist, coverage=target)
+            assert dist.coverage(rows) >= target
+            assert rows == 1 or dist.coverage(rows - 1) < target
+
+    def test_coverage_one_needs_every_row(self):
+        dist = UniformDistribution(512)
+        assert hot_prefix_rows(dist, coverage=1.0) == 512
+
+    def test_rejects_bad_arguments(self):
+        dist = UniformDistribution(100)
+        with pytest.raises(ValueError, match="exactly one"):
+            hot_prefix_rows(dist)
+        with pytest.raises(ValueError, match="exactly one"):
+            hot_prefix_rows(dist, row_fraction=0.1, coverage=0.5)
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                hot_prefix_rows(dist, row_fraction=bad)
+            with pytest.raises(ValueError):
+                hot_prefix_rows(dist, coverage=bad)
+
+    def test_gpu_cache_and_cost_model_share_the_prefix(self):
+        # Cross-check: the planning-time GPU cache (coverage form) and the
+        # serve-time skewed cost model (row-fraction form) both resolve their
+        # hot set through this helper, so the two tiers agree on the same
+        # hot-sorted prefix definition.
+        from repro.core.gpu_cache import CachedModelWisePlanner
+        from repro.hardware.specs import cpu_gpu_cluster
+        from repro.model.configs import rm1
+        from repro.serving.workload import SkewedCostModel
+
+        planner = CachedModelWisePlanner(cpu_gpu_cluster())
+        config = rm1()
+        emb = config.embedding
+        distribution = emb.access_distribution()
+        expected_rows = hot_prefix_rows(
+            distribution, coverage=planner.cache_hit_rate
+        )
+        cache_bytes = expected_rows * emb.embedding_dim * emb.dtype_bytes * emb.num_tables
+        hbm_limit = 0.2 * planner.cluster.node.gpu.hbm_gb * 1e9
+        assert planner.cache_bytes_per_replica(config) == min(cache_bytes, hbm_limit)
+
+        model = SkewedCostModel(distribution, emb.pooling)
+        assert model.hot_rank_limit == hot_prefix_rows(
+            distribution, row_fraction=model.hot_fraction
+        )
 
 
 class TestLocalityHelpers:

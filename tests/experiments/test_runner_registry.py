@@ -58,6 +58,29 @@ class TestRegistry:
         )
         assert result.summary["p95_spread_ms"] > 10.0
 
+    def test_cache_experiment_p95_falls_monotonically_with_capacity(self, all_results):
+        result = all_results["cache"]
+        by_locality: dict[str, list[dict]] = {}
+        for row in result.rows:
+            by_locality.setdefault(row["locality"], []).append(row)
+        assert set(by_locality) == {"medium", "high"}
+        for locality, rows in by_locality.items():
+            rows = sorted(rows, key=lambda row: row["cache_mb"])
+            assert rows[0]["cache_mb"] == 0.0
+            # Uncached baseline: no hit-rate series, hit rate exactly 0.
+            assert rows[0]["steady_hit_rate"] == 0.0
+            p95s = [row["p95_latency_ms"] for row in rows]
+            # Fixed skew, identical arrivals: every added MB of cache must
+            # strictly lower the tail (the PR's acceptance criterion).
+            assert all(b < a for a, b in zip(p95s, p95s[1:])), (locality, p95s)
+            hit_rates = [row["steady_hit_rate"] for row in rows]
+            assert all(b > a for a, b in zip(hit_rates, hit_rates[1:]))
+            assert hit_rates[-1] > 0.2
+            # Busy-replica cost falls as the cache absorbs gather work.
+            assert rows[-1]["replica_cost"] < rows[0]["replica_cost"]
+        for locality in ("medium", "high"):
+            assert result.summary[f"{locality}_p95_saved_ms"] > 0.0
+
     def test_resilience_experiment_degrades_under_crashes(self, all_results):
         result = all_results["resilience"]
         baselines = {

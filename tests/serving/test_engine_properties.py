@@ -97,6 +97,52 @@ class TestMonotonicity:
         assert all(b > a for a, b in zip(sample_times, sample_times[1:]))
 
 
+_CACHE_CONFIGS = st.tuples(
+    st.sampled_from(scenario_names()),
+    st.sampled_from(routing_policy_names()),
+    st.sampled_from(_FAULT_SPECS),
+    st.integers(min_value=0, max_value=2**16),
+    st.sampled_from((0.25, 4.0, 64.0)),
+)
+
+
+def _run_cached(scenario, routing, faults, seed, cache_mb):
+    pattern = build_scenario(scenario, 8.0, 24.0, 90.0, seed=seed)
+    engine = ServingEngine(
+        _PLAN,
+        routing=routing,
+        seed=seed,
+        faults=faults,
+        cost_model="skewed",
+        cache_mb=cache_mb,
+    )
+    return engine.run(pattern)
+
+
+class TestCachedInvariants:
+    """The engine invariants must survive per-replica caches — including the
+    cold restart a crash replacement goes through (every fault spec here
+    crashes or drains replicas mid-run)."""
+
+    @given(config=_CACHE_CONFIGS)
+    @settings(**{**_SETTINGS, "max_examples": 10})
+    def test_conservation_and_bounded_hit_rates_with_caches_on(self, config):
+        result = _run_cached(*config)
+        arrivals = result.tracker.num_samples
+        assert (
+            result.completed_queries + result.rejected_queries + result.dropped_queries
+            == arrivals
+        )
+        assert result.cache_hit_rate, "cached run recorded no hit-rate series"
+        for series in result.cache_hit_rate.values():
+            assert series.min() >= 0.0 and series.max() <= 1.0
+
+    @given(config=_CACHE_CONFIGS)
+    @settings(**{**_SETTINGS, "max_examples": 10})
+    def test_same_seed_means_identical_digest_with_caches_on(self, config):
+        assert _run_cached(*config).digest() == _run_cached(*config).digest()
+
+
 class TestSeedDeterminism:
     @given(config=_CONFIGS)
     @settings(**_SETTINGS)

@@ -83,6 +83,49 @@ class TestSkewed:
         assert np.all(gathers > 0)
         assert np.all(gathers <= POOLING)
 
+    def test_empty_sample_never_touches_the_rng(self):
+        # Regression: sampling zero queries must not perturb the stream, so
+        # a zero-arrival run stays bit-exact with one that skips sampling.
+        model = _skewed(0.9)
+        rng = np.random.default_rng(42)
+        out = model.sample(0, rng)
+        assert out.shape == (0,)
+        fresh = np.random.default_rng(42)
+        assert model.sample(5000, rng).tobytes() == model.sample(5000, fresh).tobytes()
+
+    def test_empty_sample_with_gathers_never_touches_the_rng(self):
+        model = _skewed(0.9)
+        rng = np.random.default_rng(42)
+        multipliers, hot, cold = model.sample_with_gathers(0, rng)
+        assert multipliers.shape == hot.shape == cold.shape == (0,)
+        assert rng.random() == np.random.default_rng(42).random()
+
+    def test_sample_with_gathers_matches_sample_stream(self):
+        # The split-aware variant must consume the RNG identically, so a
+        # cached run prices the same multipliers as an uncached one.
+        model = _skewed(0.9)
+        plain = model.sample(5000, np.random.default_rng(7))
+        multipliers, hot, cold = model.sample_with_gathers(
+            5000, np.random.default_rng(7)
+        )
+        assert plain.tobytes() == multipliers.tobytes()
+        assert np.all(hot >= 0) and np.all(cold >= 0)
+        assert np.all(hot + cold > 0)
+
+    def test_gather_splits_sum_to_profile_gathers(self):
+        model = _skewed(0.5)
+        hot, cold = model.profile_splits(np.random.default_rng(0))
+        gathers = model.profile_gathers(np.random.default_rng(0))
+        np.testing.assert_allclose(
+            cold + model.hot_cost_fraction * hot, gathers, rtol=1e-12
+        )
+
+    def test_supports_gather_splits_flags(self):
+        assert _skewed(0.5).supports_gather_splits
+        assert not HomogeneousCostModel().supports_gather_splits
+        with pytest.raises(NotImplementedError, match="homogeneous"):
+            HomogeneousCostModel().sample_with_gathers(8, np.random.default_rng(0))
+
     def test_invalid_parameters_rejected(self):
         dist = UniformDistribution(ROWS)
         with pytest.raises(ValueError):
@@ -121,6 +164,29 @@ class TestRegistry:
     def test_instance_passthrough(self):
         model = _skewed(0.5)
         assert make_cost_model(model) is model
+
+    def test_make_skewed_forwards_tuning_knobs(self):
+        workload = microbenchmark(num_tables=2)
+        model = make_cost_model(
+            "skewed",
+            workload,
+            num_profiles=64,
+            hot_fraction=0.02,
+            hot_cost_fraction=0.5,
+            pooling_spread=0.1,
+        )
+        assert model.num_profiles == 64
+        assert model.hot_fraction == 0.02
+        assert model.hot_cost_fraction == 0.5
+        assert model.pooling_spread == 0.1
+
+    def test_homogeneous_rejects_skew_knobs(self):
+        with pytest.raises(ValueError, match="--cost-model skewed"):
+            make_cost_model("homogeneous", hot_fraction=0.02)
+
+    def test_instance_rejects_overrides(self):
+        with pytest.raises(ValueError, match="constructor"):
+            make_cost_model(_skewed(0.5), num_profiles=64)
 
     def test_base_class_sample_not_implemented(self):
         with pytest.raises(NotImplementedError):

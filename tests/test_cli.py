@@ -56,6 +56,16 @@ class TestParser:
         )
         assert scripted.faults == "crash@120:policy=drop"
 
+    def test_cache_mb_defaults_to_zero(self):
+        simulate = build_parser().parse_args(["simulate", "RM1"])
+        sweep = build_parser().parse_args(["sweep", "RM1"])
+        assert simulate.cache_mb == 0.0
+        assert sweep.cache_mb == 0.0
+        cached = build_parser().parse_args(
+            ["simulate", "RM1", "--cost-model", "skewed", "--cache-mb", "64"]
+        )
+        assert cached.cache_mb == 64.0
+
     def test_unknown_cost_model_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "RM1", "--cost-model", "zipfian"])
@@ -216,6 +226,18 @@ class TestUnknownNameHints:
             message = self._exit_message([command, "RM1", "--faults", "tsunami"])
             assert "unknown fault scenario 'tsunami'" in message
             assert "crash-storm" in message and "\n" not in message
+
+    def test_cache_without_skewed_cost_model_hints_the_fix(self):
+        for command in ("simulate", "sweep"):
+            message = self._exit_message([command, "RM1", "--cache-mb", "64"])
+            assert "--cost-model skewed" in message and "\n" not in message
+
+    def test_negative_cache_mb_rejected(self):
+        for command in ("simulate", "sweep"):
+            message = self._exit_message(
+                [command, "RM1", "--cost-model", "skewed", "--cache-mb", "-1"]
+            )
+            assert "non-negative" in message
 
     def test_malformed_fault_script(self):
         for script in ("crash@", "crash@10:policy=retry", "flood@10", "crashes@0"):
