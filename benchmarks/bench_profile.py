@@ -12,7 +12,11 @@ hot path itself:
   back onto the scalar per-server loop, the assertion fails before any
   wall-clock regression shows up in CI timing noise;
 * ``serve_query`` must be called exactly once per served query, guarding the
-  chunked arrival drain against double-serving or skipping.
+  chunked arrival drain against double-serving or skipping;
+* the *cached* run must stay on the same vectorized shape: pricing happens
+  inline against the pool's array-backed fills, so neither the scalar
+  ``ReplicaCache.serve`` loop nor the ``cache_adjusted_multiplier`` helper
+  may appear in the profile at all.
 """
 
 from __future__ import annotations
@@ -80,6 +84,64 @@ def test_bench_profile_hot_path(benchmark):
     assert "routing.py:_ready_pool" not in table, (
         "the scalar _ready_pool loop leaked into a vectorized run"
     )
+
+    top = sorted(table.items(), key=lambda item: item[1][1], reverse=True)
+    benchmark.extra_info["queries"] = queries
+    benchmark.extra_info["deployments"] = deployments
+    for rank, (name, (calls, cumulative)) in enumerate(top[:8]):
+        benchmark.extra_info[f"hot_{rank}"] = f"{name} calls={calls} cum={cumulative:.3f}s"
+
+
+def test_bench_profile_cached_hot_path(benchmark):
+    """Profile a cached run; assert pricing stayed inline and array-backed.
+
+    The per-replica embedding caches must not drag the engine off the
+    vectorized shape: fills live in ``ReplicaPool.fill_rows`` and pricing is
+    inlined in ``serve_query``, so the scalar ``ReplicaCache`` machinery and
+    the ``cache_adjusted_multiplier`` helper must be absent from the profile.
+    """
+    pattern = paper_dynamic_pattern(base_qps=30.0, peak_qps=110.0, duration_s=600.0)
+    profiler = cProfile.Profile()
+
+    def run():
+        engine = ServingEngine(
+            _reduced_plan(), seed=0, cost_model="skewed", cache_mb=64.0
+        )
+        profiler.enable()
+        result = engine.run(pattern)
+        profiler.disable()
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    queries = result.tracker.num_samples
+    assert queries > 10_000
+    assert result.cache_hit_rate, "the cached profile run recorded no hit-rate series"
+
+    stats = pstats.Stats(profiler)
+    table = _stats_by_name(stats)
+    deployments = len(result.replica_counts)
+
+    serve_calls = table["engine.py:serve_query"][0]
+    assert serve_calls == queries, "serve_query must run exactly once per query"
+
+    select_calls = table.get("routing.py:select_index", (0, 0.0))[0]
+    assert select_calls == queries * deployments, (
+        "the vectorized select_index path must carry every routing decision "
+        f"(saw {select_calls}, expected {queries * deployments})"
+    )
+    assert "routing.py:_ready_pool" not in table, (
+        "the scalar _ready_pool loop leaked into a vectorized cached run"
+    )
+    for leaked in (
+        "replica_server.py:serve",
+        "replica_server.py:hit_fractions",
+        "perf_model.py:cache_adjusted_multiplier",
+        "perf_model.py:factor",
+    ):
+        assert leaked not in table, (
+            f"{leaked} leaked into the cached hot path; pricing must stay "
+            "inline against the pool's array-backed fills"
+        )
 
     top = sorted(table.items(), key=lambda item: item[1][1], reverse=True)
     benchmark.extra_info["queries"] = queries

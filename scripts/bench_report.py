@@ -256,6 +256,9 @@ def _workload_record(name: str, rounds: int) -> dict[str, float]:
     Called inside a fresh child per workload, so the trailing ``peak_rss_mb``
     is this workload's own high-water mark (plus the small RSS the child
     inherited from the harness at fork time), not a report-wide maximum.
+    Every record carries the host's ``cpu_count`` so cross-record throughput
+    comparisons (e.g. ``cache_100k`` against ``engine_100k``) can be read in
+    the context of the machine that produced them.
     """
     best: dict[str, float] | None = None
     for _ in range(max(1, rounds)):
@@ -266,6 +269,7 @@ def _workload_record(name: str, rounds: int) -> dict[str, float]:
     best["wall_s"] = round(best["wall_s"], 3)
     best["events_per_sec"] = round(best["events_per_sec"], 1)
     best["peak_rss_mb"] = round(peak_rss_mb(), 1)
+    best["cpu_count"] = os.cpu_count() or 1
     rss = _current_rss_mb()
     if rss is not None:
         best["rss_mb"] = round(rss, 1)

@@ -339,6 +339,7 @@ class _DeploymentLane:
         "cost_bearing",
         "dense",
         "cached",
+        "server_list",
         "count",
         "latencies",
         "hit_sum",
@@ -359,8 +360,16 @@ class _DeploymentLane:
         self.service_s = service_s
         self.cost_bearing = cost_bearing
         self.dense = dense
-        #: Whether this lane's replicas carry embedding caches.
+        #: Whether this lane's replicas carry embedding caches.  The cache
+        #: geometry itself is not lane state: every cached lane shares the
+        #: tenant's one ``CacheSpec``, so the engine keeps it flattened in
+        #: ``_TenantRuntime.cache_geometry`` and unpacks it into locals once
+        #: per query rather than re-reading per-lane slots.
         self.cached = cached
+        #: The deployment's live replica servers (dict-values order),
+        #: maintained on membership changes so the scalar routing path does
+        #: not rebuild the list per query.
+        self.server_list: list[ReplicaServer] = []
         #: Queries offered to the deployment this sample interval.
         self.count = 0
         #: Shard latencies recorded this sample interval (end-to-end for
@@ -470,6 +479,29 @@ class _TenantRuntime:
                 )
                 self.cache_hit_cost = self.cache_spec.hit_cost_fraction
         self.caches_on = self.cache_spec is not None
+        # The tenant's one shared cache geometry, flattened into a tuple the
+        # hot path unpacks into locals once per query (the adjacent-point
+        # grid differences are precomputed so the in-loop lerp is one
+        # multiply-add per grid — the same IEEE subtraction
+        # ``CacheSpec.hit_fractions`` performs, hoisted out of the loop).
+        self.cache_geometry: tuple | None = None
+        if self.cache_spec is not None:
+            spec = self.cache_spec
+            grid_hot = spec.grid_hot
+            grid_cold = spec.grid_cold
+            self.cache_geometry = (
+                spec.step,
+                float(spec.capacity_eff),
+                grid_hot,
+                grid_cold,
+                [b - a for a, b in zip(grid_hot, grid_hot[1:])],
+                [b - a for a, b in zip(grid_cold, grid_cold[1:])],
+                len(grid_hot) - 1,
+                grid_hot[-1],
+                grid_cold[-1],
+                spec.hit_cost_fraction,
+                1.0 - spec.hit_cost_fraction,
+            )
         self.cache_enabled = {
             d.name: self.caches_on and self.cost_bearing[d.name]
             for d in self.deployments
@@ -500,9 +532,17 @@ class _TenantRuntime:
             )
             for d in self.deployments
         ]
+        self._lane_by_name = {lane.name: lane for lane in self._lanes}
         # Dense/monolithic lanes receive the query's end-to-end latency (the
         # signal their HPA scales on); the set is fixed by the plan.
         self._dense_lanes = [lane for lane in self._lanes if lane.dense]
+        # Most policies leave the base no-op on_submit untouched; skip the
+        # per-lane-per-query call entirely for them.
+        self.policy_on_submit = (
+            policy.on_submit
+            if type(policy).on_submit is not RoutingPolicy.on_submit
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Cluster/replica bookkeeping
@@ -546,6 +586,7 @@ class _TenantRuntime:
                     changed = True
             if changed:
                 self.pools[deployment.name].invalidate()
+                self._lane_by_name[deployment.name].server_list = list(servers.values())
 
     def invalidate_caches(self) -> None:
         """Drop every replica's cached rows (they all restart cold).
@@ -560,6 +601,10 @@ class _TenantRuntime:
             for server in servers.values():
                 if server.cache is not None:
                     server.cache.invalidate()
+        # Keep the pools' mirrored fill arrays consistent with the caches —
+        # one O(1) array clear per deployment on the vectorized path.
+        for pool in self.pools.values():
+            pool.reset_fills()
 
     # ------------------------------------------------------------------
     # Per-run lifecycle
@@ -582,6 +627,9 @@ class _TenantRuntime:
         # the float64 array (indexing yields the same values bit-for-bit).
         self.query_hot: "list[float] | np.ndarray | None" = None
         self.query_cold: "list[float] | np.ndarray | None" = None
+        self.query_total: "list[float] | np.ndarray | None" = None
+        self.query_warm_hits: "list[float] | np.ndarray | None" = None
+        self.query_warm_scale: "list[float] | np.ndarray | None" = None
         if self.cost_model.is_homogeneous:
             self.query_multipliers: "list[float] | np.ndarray | None" = None
         else:
@@ -589,12 +637,41 @@ class _TenantRuntime:
             if self.caches_on:
                 # The split-returning variant consumes the RNG identically to
                 # plain sample(), so the multipliers (and every downstream
-                # draw) match the cache-less run bit-for-bit.
-                multipliers, hot, cold = self.cost_model.sample_with_gathers(
+                # draw) match the cache-less run bit-for-bit.  The pre-priced
+                # totals are the exact per-query ``hot + cold`` sums, summed
+                # once per profile instead of twice per lane per query.
+                multipliers, hot, cold, total = self.cost_model.sample_priced(
                     self.arrivals.size, cost_rng
                 )
                 self.query_hot = hot if self.stream is not None else hot.tolist()
                 self.query_cold = cold if self.stream is not None else cold.tolist()
+                self.query_total = total if self.stream is not None else total.tolist()
+                # Steady-state pricing is fill-independent: once a replica's
+                # cache is pinned at capacity the hit fractions are the grid
+                # ends, so each query's warm hit mass and adjusted-cost scale
+                # are precomputed here, vectorised.  Every elementwise op
+                # below is the same IEEE-754 op the per-query scalar branch
+                # performs, in the same order, so the warm fast path in
+                # ``serve_query`` is bit-exact with the lerp branch it skips.
+                spec = self.cache_spec
+                hot_end = spec.grid_hot[-1]
+                cold_end = spec.grid_cold[-1]
+                warm_hits = hot * hot_end + cold * cold_end
+                rate = np.divide(
+                    warm_hits, total, out=np.zeros(total.shape), where=total > 0.0
+                )
+                warm_add = rate * total
+                warm_scale = np.where(
+                    rate == 1.0,
+                    spec.hit_cost_fraction,
+                    1.0 - rate * (1.0 - spec.hit_cost_fraction),
+                )
+                self.query_warm_hits = (
+                    warm_add if self.stream is not None else warm_add.tolist()
+                )
+                self.query_warm_scale = (
+                    warm_scale if self.stream is not None else warm_scale.tolist()
+                )
             else:
                 multipliers = self.cost_model.sample(self.arrivals.size, cost_rng)
             self.query_multipliers = (
@@ -710,9 +787,35 @@ class _TenantRuntime:
         rejected = False
         worst_completion = -np.inf
         policy = self.policy
+        select_index = policy.select_index
+        select = policy.select
+        on_submit = self.policy_on_submit
         vectorized = self.vectorized
         faults_on = self.faults_on
         track_inflight = self.track_inflight
+        if self.query_total is not None:
+            # One query's gather split is shared by every cached lane; read
+            # the pre-priced values once, not once per lane.  Likewise the
+            # tenant's single shared cache geometry: one tuple unpack here
+            # replaces per-lane attribute reads inside the loop.
+            hot = self.query_hot[query_index]
+            cold = self.query_cold[query_index]
+            total = self.query_total[query_index]
+            warm_hits = self.query_warm_hits[query_index]
+            warm_scale = self.query_warm_scale[query_index]
+            (
+                cache_step,
+                cache_capacity,
+                grid_hot,
+                grid_cold,
+                grid_dhot,
+                grid_dcold,
+                grid_last,
+                hot_end,
+                cold_end,
+                cache_hit_cost,
+                cache_miss_scale,
+            ) = self.cache_geometry
         for lane in self._lanes:
             name = lane.name
             service = lane.service_s
@@ -720,11 +823,11 @@ class _TenantRuntime:
             lane.count += 1
             if vectorized:
                 pool = lane.pool
-                index = policy.select_index(name, pool, arrival, (service, cost))
+                index = select_index(name, pool, arrival, (service, cost))
                 server = pool.servers[index] if index is not None else None
             else:
-                servers = list(self.servers[name].values())
-                server = policy.select(name, servers, arrival, cost=(service, cost))
+                index = None
+                server = select(name, lane.server_list, arrival, cost=(service, cost))
             if server is None:
                 # No capacity at all: count a full SLA violation.  The
                 # rejection still lands in the interval metrics (count and
@@ -748,19 +851,91 @@ class _TenantRuntime:
                 # fill-dependent fraction of this query's gathers at the hit
                 # cost and admits the misses (warming itself up).  A cold
                 # cache (hit rate 0) leaves the cost multiplier untouched.
-                hot = self.query_hot[query_index]
-                cold = self.query_cold[query_index]
-                hit_rate = server.cache.serve(hot, cold)
-                lane.gather_sum += hot + cold
-                if hit_rate > 0.0:
-                    lane.hit_sum += hit_rate * (hot + cold)
-                    submit_cost = cache_adjusted_multiplier(
-                        cost, hit_rate, self.cache_hit_cost
-                    )
+                # The vectorized branch prices against the pool's fill list
+                # with the tenant's shared grid (unpacked into locals above)
+                # — one lerp, one divide, one FMA and one fill write per
+                # query, bit-exact with the scalar ``ReplicaCache.serve`` +
+                # ``cache_adjusted_multiplier`` composition the
+                # ``vectorized=False`` path still uses.
+                lane.gather_sum += total
+                if index is not None:
+                    if pool.cache_warm:
+                        # Every replica in the pool is pinned at capacity, so
+                        # the fill array cannot change and pricing was
+                        # precomputed in ``begin_run``: the whole branch is
+                        # one accumulate and one multiply.  (A zero-gather
+                        # query precomputed to warm_hits 0.0 / warm_scale
+                        # 1.0, both exact no-ops.)
+                        lane.hit_sum += warm_hits
+                        submit_cost = cost * warm_scale
+                    elif total > 0.0:
+                        fills = pool.fill_rows
+                        fill = fills[index]
+                        if fill >= cache_capacity:
+                            # This replica is warm (fill pinned at exactly the
+                            # capacity — admission clamps there) even though
+                            # the pool as a whole is not: same precomputed
+                            # grid-end pricing, no write-back.
+                            lane.hit_sum += warm_hits
+                            submit_cost = cost * warm_scale
+                        else:
+                            if fill <= 0.0:
+                                # Cold cache: hits nothing, admits everything.
+                                hit_rate = 0.0
+                                fill = fill + total
+                            else:
+                                position = fill / cache_step
+                                grid_index = int(position)
+                                if grid_index >= grid_last:
+                                    f_hot = hot_end
+                                    f_cold = cold_end
+                                else:
+                                    frac = position - grid_index
+                                    f_hot = grid_hot[grid_index] + frac * grid_dhot[grid_index]
+                                    f_cold = (
+                                        grid_cold[grid_index] + frac * grid_dcold[grid_index]
+                                    )
+                                hits = hot * f_hot + cold * f_cold
+                                hit_rate = hits / total
+                                fill = fill + (total - hits)
+                            if fill >= cache_capacity:
+                                # The admission just pinned this replica at
+                                # capacity; if it was the pool's last cold
+                                # one, the whole pool enters the precomputed
+                                # steady state.
+                                fills[index] = cache_capacity
+                                if min(fills) >= cache_capacity:
+                                    pool.cache_warm = True
+                            else:
+                                fills[index] = fill
+                            if hit_rate > 0.0:
+                                lane.hit_sum += hit_rate * total
+                                if hit_rate == 1.0:
+                                    # IEEE-exact warm-cache contract: the
+                                    # adjusted cost is exactly
+                                    # hit_cost_fraction * cost.
+                                    submit_cost = cost * cache_hit_cost
+                                else:
+                                    submit_cost = cost * (
+                                        1.0 - hit_rate * cache_miss_scale
+                                    )
+                elif total > 0.0:
+                    # Scalar engine path: the per-replica ``ReplicaCache``
+                    # stays authoritative (the pool never builds fill arrays).
+                    hit_rate = server.cache.serve(hot, cold)
+                    if hit_rate > 0.0:
+                        lane.hit_sum += hit_rate * total
+                        if hit_rate == 1.0:
+                            # IEEE-exact warm-cache contract: the adjusted
+                            # cost is exactly hit_cost_fraction * cost.
+                            submit_cost = cost * cache_hit_cost
+                        else:
+                            submit_cost = cost * (1.0 - hit_rate * cache_miss_scale)
             completion = server.submit(arrival, service, submit_cost)
-            if vectorized:
-                pool.note_submit(index, completion)
-            policy.on_submit(name, server)
+            if index is not None:
+                pool.busy[index] = completion
+            if on_submit is not None:
+                on_submit(name, server)
             if track_inflight:
                 entry = [arrival, tracker_index, completion, lane.service_s, cost]
                 if lane.cached:
@@ -911,6 +1086,9 @@ class _TenantRuntime:
         server = self.servers[deployment_name].pop(victim)
         server.fail()
         self.pools[deployment_name].invalidate()
+        self._lane_by_name[deployment_name].server_list = list(
+            self.servers[deployment_name].values()
+        )
         totals = self._retired_totals[deployment_name]
         totals[0] += server.completed_queries
         totals[1] += server.completed_batches
@@ -948,7 +1126,7 @@ class _TenantRuntime:
                     if new_index is not None:
                         new_server = pool.servers[new_index]
                 else:
-                    survivors = list(self.servers[deployment_name].values())
+                    survivors = self._lane_by_name[deployment_name].server_list
                     if survivors:
                         new_server = self.policy.select(
                             deployment_name, survivors, now, cost=(service, cost)
@@ -966,8 +1144,15 @@ class _TenantRuntime:
             submit_cost = cost
             if len(entry) == 7 and new_server.cache is not None:
                 # Reprice the displaced query against the survivor's cache
-                # (the victim's warm rows died with it).
-                hit_rate = new_server.cache.serve(entry[5], entry[6])
+                # (the victim's warm rows died with it).  On the vectorized
+                # path the pool's fill array is authoritative, so the serve
+                # must read-modify-write through it.
+                if new_index is not None:
+                    hit_rate = self.pools[deployment_name].cache_serve(
+                        new_index, entry[5], entry[6]
+                    )
+                else:
+                    hit_rate = new_server.cache.serve(entry[5], entry[6])
                 if hit_rate > 0.0:
                     submit_cost = cache_adjusted_multiplier(
                         cost, hit_rate, self.cache_hit_cost
@@ -1233,6 +1418,11 @@ class _TenantRuntime:
         deliberately tiny (it crosses a process boundary).
         """
         self._flush_series_chunk()
+        if self.caches_on:
+            # Post-run cache state lives on the ReplicaCache objects again
+            # (tests and re-sharding hooks inspect them between runs).
+            for pool in self.pools.values():
+                pool.flush_fills()
         self.tracker.spill(self.tracker.num_samples, self._write_query_chunk)
         meta = {
             "schema": 1,
@@ -1266,6 +1456,11 @@ class _TenantRuntime:
         }
 
     def finish_run(self) -> SimulationResult:
+        if self.caches_on:
+            # Post-run cache state lives on the ReplicaCache objects again
+            # (tests and re-sharding hooks inspect them between runs).
+            for pool in self.pools.values():
+                pool.flush_fills()
         sample_times = np.asarray(self.sample_times)
         achieved_qps, p95_latency_ms = _metric_series(
             self.tracker, sample_times, self.sample_interval_s

@@ -23,7 +23,8 @@ instead of scanning the whole history.
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
+from itertools import islice
 
 from repro.data.distributions import AccessDistribution
 from repro.hardware.perf_model import BatchLatencyModel
@@ -62,6 +63,7 @@ class CacheSpec:
     __slots__ = (
         "capacity_rows",
         "capacity_eff",
+        "inv_capacity_eff",
         "hot_rows",
         "hit_cost_fraction",
         "_step",
@@ -89,6 +91,11 @@ class CacheSpec:
         num_items = distribution.num_items
         self.capacity_rows = int(capacity_rows)
         self.capacity_eff = min(self.capacity_rows, num_items)
+        #: Cached reciprocal: ``fill_fraction`` is read on every routing
+        #: decision of the recovery-aware policy, so the division is paid
+        #: once here (the full-cache case is special-cased to exactly 1.0 —
+        #: ``x * (1/x)`` is not 1.0 for every x).
+        self.inv_capacity_eff = 1.0 / self.capacity_eff
         self.hot_rows = min(int(hot_rows), num_items)
         self.hit_cost_fraction = float(hit_cost_fraction)
         cov_hot = distribution.coverage(self.hot_rows)
@@ -115,6 +122,26 @@ class CacheSpec:
             f_cold[-1] = 1.0
         self._f_hot = f_hot
         self._f_cold = f_cold
+
+    @property
+    def step(self) -> float:
+        """Fill-grid spacing in rows (the lerp divisor)."""
+        return self._step
+
+    @property
+    def grid_hot(self) -> list:
+        """Hot-gather hit fractions on the fill grid (treat as read-only).
+
+        Exposed so the serving engine can lane-slot the grid and inline the
+        :meth:`hit_fractions` lerp in its vectorized cached branch with the
+        exact same list lookups this class performs.
+        """
+        return self._f_hot
+
+    @property
+    def grid_cold(self) -> list:
+        """Cold-gather hit fractions on the fill grid (treat as read-only)."""
+        return self._f_cold
 
     def hit_fractions(self, fill_rows: float) -> tuple[float, float]:
         """(hot-gather, cold-gather) hit probabilities at a given fill."""
@@ -156,8 +183,18 @@ class ReplicaCache:
 
     @property
     def fill_fraction(self) -> float:
-        """Resident rows as a fraction of the effective capacity."""
-        return self.fill_rows / self.spec.capacity_eff
+        """Resident rows as a fraction of the effective capacity.
+
+        Uses the spec's cached ``1/capacity_eff`` (a multiply, not a divide)
+        with the full cache special-cased to exactly 1.0; the vectorized
+        routing path computes the identical expression over the pool's fill
+        array, so both paths rank replicas bit-identically.
+        """
+        fill = self.fill_rows
+        spec = self.spec
+        if fill >= spec.capacity_eff:
+            return 1.0
+        return fill * spec.inv_capacity_eff
 
     def hit_rate(self, hot_gathers: float, cold_gathers: float) -> float:
         """Expected fraction of a query's gathers served from the cache."""
@@ -167,17 +204,39 @@ class ReplicaCache:
         f_hot, f_cold = self.spec.hit_fractions(self.fill_rows)
         return (hot_gathers * f_hot + cold_gathers * f_cold) / total
 
+    def price(self, hot_gathers: float, cold_gathers: float) -> tuple[float, float]:
+        """Pure pricing read: (hit rate, expected hit count), no admission.
+
+        ``hits`` is returned alongside the rate because ``hit_rate * total``
+        does not round back to ``hits`` in floating point — :meth:`admit`
+        needs the exact hit count to reproduce :meth:`serve`'s fill update.
+        """
+        total = hot_gathers + cold_gathers
+        if total <= 0.0:
+            return 0.0, 0.0
+        f_hot, f_cold = self.spec.hit_fractions(self.fill_rows)
+        hits = hot_gathers * f_hot + cold_gathers * f_cold
+        return hits / total, hits
+
+    def admit(self, total_gathers: float, hits: float) -> None:
+        """Admit one priced query's missed gathers, clamped at capacity.
+
+        The single admission rule shared by the scalar reference and the
+        pool-array path: fill grows by ``total - hits`` and saturates at the
+        effective capacity.
+        """
+        fill = self.fill_rows + (total_gathers - hits)
+        capacity = self.spec.capacity_eff
+        self.fill_rows = capacity if fill > capacity else fill
+
     def serve(self, hot_gathers: float, cold_gathers: float) -> float:
         """Hit rate for one query's gathers; admits the missed rows."""
         total = hot_gathers + cold_gathers
         if total <= 0.0:
             return 0.0
-        f_hot, f_cold = self.spec.hit_fractions(self.fill_rows)
-        hits = hot_gathers * f_hot + cold_gathers * f_cold
-        fill = self.fill_rows + (total - hits)
-        capacity = self.spec.capacity_eff
-        self.fill_rows = capacity if fill > capacity else fill
-        return hits / total
+        hit_rate, hits = self.price(hot_gathers, cold_gathers)
+        self.admit(total, hits)
+        return hit_rate
 
     def warm(self) -> None:
         """Fill to capacity instantly (asymptotic steady state, for tests)."""
@@ -216,6 +275,7 @@ class ReplicaServer:
         "_single",
         "_batch_window_s",
         "_batch_model",
+        "_unit_scale",
         "_completed",
         "_batches",
         "_busy_time",
@@ -250,6 +310,19 @@ class ReplicaServer:
         self._single = self._max_batch == 1
         self._batch_window_s = float(batch_window_s)
         self._batch_model = batch_model
+        # Slope of factor(1, m) in the multiplier, precomputed so the
+        # single-query-batch hot path prices a query with one fused
+        # multiply-add instead of two method calls.  ``None`` means no model
+        # (factor(1, m) == m); dense ignores multipliers (slope 0.0, so the
+        # expression is exactly 1.0); embedding and monolithic share
+        # ``1 + (1 - overhead) * (m - 1)`` at batch size one (the monolithic
+        # dense term ``1 ** exponent`` is exactly 1.0).
+        if batch_model is None:
+            self._unit_scale = None
+        elif batch_model.kind == "dense":
+            self._unit_scale = 0.0
+        else:
+            self._unit_scale = 1.0 - batch_model.overhead_fraction
         #: Per-replica embedding cache, or ``None`` on cache-less runs.  The
         #: engine reads and updates it; a replacement container gets a fresh
         #: (cold) instance, never the dead replica's warm one.
@@ -352,6 +425,13 @@ class ReplicaServer:
         # (exactly 1.0 for a single average-cost query).
         return mult_sum
 
+    def _unit_factor(self, multiplier: float) -> float:
+        """``factor(1, multiplier)`` via the precomputed slope (bit-exact)."""
+        scale = self._unit_scale
+        if scale is None:
+            return self._factor(1, multiplier)
+        return 1.0 + scale * (multiplier - 1.0)
+
     def unit_service(self, service_time: float, multiplier: float = 1.0) -> float:
         """Service seconds of a fresh single-query batch (no queue effects).
 
@@ -359,7 +439,7 @@ class ReplicaServer:
         with uniform single-query batches, every replica's predicted
         completion is ``max(arrival, busy_until) + unit_service(...)``.
         """
-        return service_time * self._factor(1, multiplier)
+        return service_time * self._unit_factor(multiplier)
 
     def _can_join(self, arrival: float) -> bool:
         return (
@@ -379,7 +459,7 @@ class ReplicaServer:
             raise ValueError("service_time must be positive")
         if multiplier <= 0:
             raise ValueError("multiplier must be positive")
-        if self._can_join(arrival):
+        if not self._single and self._can_join(arrival):
             self._batch_count += 1
             # The batch's cost is accounted in units of its opener's base
             # service time; a joiner with a different base contributes
@@ -400,10 +480,17 @@ class ReplicaServer:
             if self._single:
                 # Single-query batches: no forming-batch state to maintain,
                 # and an average-cost query has a factor of exactly 1.0.
+                # The general case inlines the precomputed unit slope — one
+                # fused multiply-add, no _factor/factor calls on the hot path
+                # (bit-exact with factor(1, multiplier) for every model kind).
                 if multiplier == 1.0:
                     service = service_time
                 else:
-                    service = service_time * self._factor(1, multiplier)
+                    scale = self._unit_scale
+                    if scale is None:
+                        service = service_time * multiplier
+                    else:
+                        service = service_time * (1.0 + scale * (multiplier - 1.0))
             else:
                 if self._batch_window_s > 0:
                     # Hold the batch open so near-future queries can share it.
@@ -452,7 +539,7 @@ class ReplicaServer:
         start = max(arrival, self._busy_until, self._ready_at)
         if self._max_batch > 1 and self._batch_window_s > 0:
             start = max(start, arrival + self._batch_window_s)
-        return start + service_time * self._factor(1, multiplier)
+        return start + service_time * self._unit_factor(multiplier)
 
     def prune_runs(self, before: float) -> None:
         """Forget busy runs ending at or before ``before``.
@@ -472,20 +559,28 @@ class ReplicaServer:
     def busy_seconds_between(self, start_s: float, end_s: float) -> float:
         """Service time accumulated inside ``[start_s, end_s)``.
 
-        The run ends are strictly increasing, so the first overlapping run is
-        found by binary search and only the runs intersecting the window are
+        Both window edges are found by binary search (starts and ends are
+        each increasing), so only the runs intersecting the window are
         walked — O(log runs + overlap) rather than a scan of the full busy
-        history per sample tick.
+        history per sample tick.  The runs are disjoint, so the window can
+        clip at most the first run's start and the last run's end; plain
+        comparisons replace the ``min``/``max`` builtin calls (identical
+        values, no per-run call overhead — under a churny autoscaler the
+        walk covers hundreds of short runs per utilization sample).
         """
         run_starts = self._run_starts
         run_ends = self._run_ends
+        lo = bisect_right(run_ends, start_s)
+        hi = bisect_left(run_starts, end_s, lo)
         total = 0.0
-        for index in range(bisect_right(run_ends, start_s), len(run_ends)):
-            run_start = run_starts[index]
-            if run_start >= end_s:
-                break
-            run_end = run_ends[index]
-            total += min(run_end, end_s) - max(run_start, start_s)
+        for run_start, run_end in zip(
+            islice(run_starts, lo, hi), islice(run_ends, lo, hi)
+        ):
+            if run_start < start_s:
+                run_start = start_s
+            if run_end > end_s:
+                run_end = end_s
+            total += run_end - run_start
         return total
 
     def utilization(self, now: float, window_start: float = 0.0) -> float:

@@ -153,6 +153,10 @@ class ReplicaPool:
         "ready_threshold",
         "single_batch",
         "has_caches",
+        "fill_rows",
+        "cache_capacity",
+        "cache_inv_capacity",
+        "cache_warm",
     )
 
     def __init__(self, source: dict[str, ReplicaServer]) -> None:
@@ -167,6 +171,20 @@ class ReplicaPool:
         self.ready_threshold = 0.0
         self.single_batch = True
         self.has_caches = False
+        # Array-backed cache state (``None`` on cache-less pools): one fill
+        # value per replica, plus the shared spec's capacity and its cached
+        # reciprocal.  The scalar ``ReplicaCache`` objects stay the reference
+        # implementation — ``_rebuild`` writes the fills back to them before
+        # re-mirroring, so membership changes round-trip fills exactly.
+        self.fill_rows: list[float] | None = None
+        self.cache_capacity = 0.0
+        self.cache_inv_capacity = 0.0
+        # True only while *every* mirrored fill is pinned at the capacity.
+        # Fills are monotonic between invalidations (admission only adds
+        # rows), so once set the flag stays valid until ``reset_fills`` or a
+        # membership change; the engine's cached hot path uses it to skip
+        # the per-query fill read entirely in the steady state.
+        self.cache_warm = False
         self._dirty = True
 
     def invalidate(self) -> None:
@@ -180,6 +198,11 @@ class ReplicaPool:
         return self
 
     def _rebuild(self) -> None:
+        # Write the fill array back to the (old) servers' caches first, so a
+        # membership change never loses fills served since the last rebuild:
+        # survivors reload their exact values below, departed replicas keep
+        # theirs for post-run inspection, and fresh replicas mirror in cold.
+        self.flush_fills()
         servers = list(self._source.values())
         self.servers = servers
         size = len(servers)
@@ -218,11 +241,78 @@ class ReplicaPool:
         # Cached lanes drive the recovery-aware cold penalty off actual cache
         # fill; the flag routes those pools around the time-window fast path.
         self.has_caches = has_caches
+        if has_caches:
+            # A plain Python list, not a numpy array: the engine's cached hot
+            # path reads and writes one scalar fill per query, and float list
+            # indexing is several times cheaper than numpy scalar boxing.
+            # The recovery-aware policy (which wants the whole vector at
+            # once) converts with ``np.asarray`` at its call site.
+            fills = [0.0] * size
+            spec = None
+            for index, server in enumerate(servers):
+                cache = server.cache
+                if cache is not None:
+                    fills[index] = cache.fill_rows
+                    if spec is None:
+                        spec = cache.spec
+            self.fill_rows = fills
+            self.cache_capacity = float(spec.capacity_eff)
+            self.cache_inv_capacity = spec.inv_capacity_eff
+            self.cache_warm = bool(size and min(fills) >= self.cache_capacity)
+        else:
+            self.fill_rows = None
+            self.cache_warm = False
         self._dirty = False
 
     def note_submit(self, index: int, busy_until: float) -> None:
         """Record a replica's new queue-drain time after an accepted query."""
         self.busy[index] = busy_until
+
+    def flush_fills(self) -> None:
+        """Write the fill array back into the mirrored replicas' caches.
+
+        No-op on cache-less pools (and in the scalar engine path, where the
+        array is never built and the ``ReplicaCache`` objects stay
+        authoritative throughout).
+        """
+        fills = self.fill_rows
+        if fills is None:
+            return
+        for index, server in enumerate(self.servers):
+            cache = server.cache
+            if cache is not None:
+                cache.fill_rows = fills[index]
+
+    def reset_fills(self) -> None:
+        """Drop every mirrored fill to zero (cache invalidation)."""
+        if self.fill_rows is not None:
+            self.fill_rows = [0.0] * self.size
+            self.cache_warm = False
+
+    def cache_serve(self, index: int, hot_gathers: float, cold_gathers: float) -> float:
+        """Serve one query's gathers through the indexed replica's cache.
+
+        Syncs the array entry through the scalar :class:`ReplicaCache`
+        reference (read-modify-write), so the rare paths that use it — crash
+        requeues repricing in-flight queries — admit rows with the exact same
+        rule as the engine's inline hot path and the scalar engine.
+        """
+        cache = self.servers[index].cache
+        if cache is None:
+            return 0.0
+        fills = self.fill_rows
+        if fills is not None:
+            cache.fill_rows = fills[index]
+        rate = cache.serve(hot_gathers, cold_gathers)
+        if fills is not None:
+            fills[index] = cache.fill_rows
+            if (
+                not self.cache_warm
+                and cache.fill_rows >= self.cache_capacity
+                and min(fills) >= self.cache_capacity
+            ):
+                self.cache_warm = True
+        return rate
 
     def all_ready(self, now: float) -> bool:
         """Fast-path test: every replica routable and past its ready time."""
@@ -335,11 +425,27 @@ class LeastWorkPolicy(RoutingPolicy):
         now: float,
         cost: tuple[float, float] | None = None,
     ) -> int | None:
-        pool.refresh()
+        # The engine's default policy: one call per query per deployment, so
+        # refresh() and all_ready() are inlined (identical logic, two fewer
+        # method calls on the hottest path in the package).
+        if pool._dirty:
+            pool._rebuild()
         if not pool.size:
             return None
-        if pool.all_ready(now):
+        if now >= pool.ready_threshold:
             return int(pool.busy.argmin())
+        # Masked path, fused: one np.where + argmin instead of building the
+        # routable mask, reducing it with any(), and masking again.  A finite
+        # key at the winner proves some replica was routable; the chosen
+        # index is identical to ``_masked_argmin(busy, routable_mask(now))``
+        # because both pick the first minimal finite key in pool order.
+        available = pool.ready <= now
+        if pool.has_blocked:
+            available &= ~pool.blocked
+        keys = np.where(available, pool.busy, np.inf)
+        best = int(keys.argmin())
+        if keys[best] != np.inf:
+            return best
         mask = pool.routable_mask(now)
         if mask is None:
             return None
@@ -679,9 +785,23 @@ class RecoveryAwarePolicy(RoutingPolicy):
             # time-window fast path does not apply; the cold fractions come
             # from each replica's actual fill.
             service_s = cost[0] * cost[1] if cost is not None else 0.0
-            remaining = np.array(
-                [self._cold_fraction(server, now) for server in pool.servers]
-            )
+            if pool.fill_rows is not None:
+                # Elementwise mirror of the scalar ``1 - fill_fraction`` —
+                # including the full-cache == exactly-1.0 special case — so
+                # both paths rank replicas bit-identically.  The pool keeps
+                # its fills as a Python list for the engine's scalar hot
+                # path; this per-query conversion stays off the benchmark's
+                # default least-work route.
+                fills = np.asarray(pool.fill_rows)
+                remaining = 1.0 - np.where(
+                    fills >= pool.cache_capacity,
+                    1.0,
+                    fills * pool.cache_inv_capacity,
+                )
+            else:
+                remaining = np.array(
+                    [self._cold_fraction(server, now) for server in pool.servers]
+                )
             keys = pool.busy + (self.cold_penalty_queries * service_s) * remaining
             if pool.all_ready(now):
                 return int(keys.argmin())

@@ -41,6 +41,7 @@ exact in-memory result from the spool afterwards.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -262,7 +263,8 @@ def run_sharded(
     series and latency samples to disk (memory-bounded at any horizon) and
     the merge rebuilds the exact in-memory result.  The returned result
     carries a ``sharding_stats`` dict: worker count, shard membership,
-    per-worker peak RSS (MB) and wall time.
+    per-worker peak RSS (MB), wall time, and the host's CPU count (so a
+    recorded speedup can be judged against the cores that were available).
     """
     tenants = list(tenants)
     spec = cluster_spec if cluster_spec is not None else (
@@ -327,6 +329,7 @@ def run_sharded(
         "peak_rss_mb": [outcome[3] for outcome in outcomes],
         "wall_s": wall_s,
         "streamed": stream_root is not None,
+        "cpu_count": os.cpu_count() or 1,
     }
     return result
 

@@ -84,6 +84,21 @@ class QueryCostModel:
             f"cost model {self.name!r} does not expose per-query gather splits"
         )
 
+    def sample_priced(
+        self, num_queries: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Like :meth:`sample_with_gathers`, plus per-query gather totals.
+
+        The totals are summed once per *profile* and broadcast through the
+        assignment, so pre-pricing a run costs O(num_profiles) adds instead
+        of O(num_queries) — and each total is the identical ``hot + cold``
+        IEEE-754 sum the engine would compute per query.  Consumes the RNG
+        exactly like :meth:`sample` / :meth:`sample_with_gathers`.
+        """
+        raise NotImplementedError(
+            f"cost model {self.name!r} does not expose per-query gather splits"
+        )
+
 
 class HomogeneousCostModel(QueryCostModel):
     """Every query costs exactly the planner's mean estimate.
@@ -284,6 +299,30 @@ class SkewedCostModel(QueryCostModel):
             zeros = np.zeros(num_queries, dtype=np.float64)
             return np.ones(num_queries, dtype=np.float64), zeros, zeros
         return multipliers[assignment], hot[assignment], cold[assignment]
+
+    def sample_priced(
+        self, num_queries: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        if num_queries < 0:
+            raise ValueError("num_queries must be non-negative")
+        empty = np.empty(0, dtype=np.float64)
+        if num_queries == 0:
+            return empty, empty, empty, empty
+        multipliers, assignment, hot, cold = self._sample_profiles(num_queries, rng)
+        if assignment is None:
+            zeros = np.zeros(num_queries, dtype=np.float64)
+            ones = np.ones(num_queries, dtype=np.float64)
+            return ones, zeros, zeros, zeros
+        # Per-profile sums broadcast through the assignment: elementwise
+        # (hot + cold)[assignment] == hot[assignment] + cold[assignment],
+        # so the totals match a per-query sum bit-for-bit.
+        totals = hot + cold
+        return (
+            multipliers[assignment],
+            hot[assignment],
+            cold[assignment],
+            totals[assignment],
+        )
 
 
 #: Registry of query-cost models by CLI-facing name.

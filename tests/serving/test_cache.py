@@ -139,6 +139,55 @@ class TestReplicaCache:
         assert cache.hit_rate(10.0, 20.0) == 0.0
 
 
+class TestPriceAdmitSplit:
+    """PR8 split ``serve`` into a pure pricing read plus an admission write.
+
+    The engine's inline hot path and the crash-requeue repricing both lean
+    on the split: ``price`` must not mutate, ``admit`` must apply the one
+    shared admission rule, and their composition must reproduce ``serve``
+    bit-for-bit.
+    """
+
+    def test_price_is_pure(self):
+        cache = ReplicaCache(_spec(1000))
+        for _ in range(20):
+            cache.serve(10.0, 20.0)
+        fill = cache.fill_rows
+        first = cache.price(10.0, 20.0)
+        assert cache.fill_rows == fill
+        assert cache.price(10.0, 20.0) == first
+
+    def test_price_returns_exact_hits_not_a_rounded_product(self):
+        # hits is carried alongside the rate because rate * total does not
+        # round back to hits in floating point.
+        cache = ReplicaCache(_spec(5000))
+        for _ in range(30):
+            cache.serve(7.0, 13.0)
+        rate, hits = cache.price(7.0, 13.0)
+        assert rate == hits / 20.0
+        assert 0.0 < hits < 20.0
+
+    def test_serve_is_price_then_admit(self):
+        served = ReplicaCache(_spec(600))
+        split = ReplicaCache(_spec(600))
+        for _ in range(200):
+            expected = served.serve(10.0, 20.0)
+            rate, hits = split.price(10.0, 20.0)
+            split.admit(30.0, hits)
+            assert rate == expected
+            assert split.fill_rows == served.fill_rows
+
+    def test_admit_clamps_at_capacity(self):
+        cache = ReplicaCache(_spec(100))
+        cache.admit(1e9, 0.0)
+        assert cache.fill_rows == cache.spec.capacity_eff
+
+    def test_zero_gathers_price_is_a_noop_read(self):
+        cache = ReplicaCache(_spec(1000))
+        assert cache.price(0.0, 0.0) == (0.0, 0.0)
+        assert cache.fill_rows == 0.0
+
+
 class TestCacheAdjustedMultiplier:
     def test_zero_hit_rate_is_the_identity(self):
         for multiplier in (0.25, 1.0, 7.125):

@@ -110,6 +110,23 @@ class TestCostMultipliers:
         server = ReplicaServer("r0")
         assert server.submit(0.0, 1.0, multiplier=3.0) == pytest.approx(3.0)
 
+    @pytest.mark.parametrize("kind", ["dense", "embedding", "monolithic"])
+    def test_inlined_unit_slope_matches_factor_bit_exactly(self, kind):
+        # The single-query-batch hot path prices a query with one fused
+        # multiply-add off a precomputed slope instead of calling
+        # factor(1, m); the inlined expression must be bit-exact with the
+        # method for every model kind and any multiplier.
+        model = BatchLatencyModel(kind=kind, batch_exponent=0.85, overhead_fraction=0.2)
+        for multiplier in (0.25, 0.5, 1.0, 1.375, 2.0, 7.125):
+            server = ReplicaServer("r0", batch_model=model)
+            completion = server.submit(0.0, 0.7, multiplier=multiplier)
+            assert completion == 0.7 * model.factor(1, multiplier)
+
+    def test_no_model_unit_slope_is_the_multiplier_bit_exactly(self):
+        for multiplier in (0.25, 1.0, 3.0, 7.125):
+            server = ReplicaServer("r0")
+            assert server.submit(0.0, 0.7, multiplier=multiplier) == 0.7 * multiplier
+
 
 class TestBatching:
     def test_backlogged_queries_coalesce_into_one_batch(self):
@@ -239,3 +256,38 @@ class TestUtilizationExactBoundaries:
         server = ReplicaServer("r0", ready_at=0.0)
         server.submit(0.0, 10.0)
         assert server.utilization(5.0, window_start=8.0) == 0.0
+
+    def test_windowed_sum_matches_a_linear_scan_over_many_runs(self):
+        # The bisect-windowed implementation must agree bit-for-bit with a
+        # naive full scan (the historical implementation) on a long run
+        # list, for windows hitting every edge case: inside one run, inside
+        # a gap, clipping the first and last runs, and spanning everything.
+        server = ReplicaServer("r0", ready_at=0.0)
+        for index in range(200):
+            start = 2.0 * index
+            server.submit(start, 1.0)  # busy runs [2i, 2i + 1), gaps between
+
+        def naive(start_s, end_s):
+            total = 0.0
+            for run_start, run_end in zip(server._run_starts, server._run_ends):
+                overlap_start = max(run_start, start_s)
+                overlap_end = min(run_end, end_s)
+                if overlap_end > overlap_start:
+                    total += overlap_end - overlap_start
+            return total
+
+        windows = [
+            (0.0, 400.0),
+            (0.25, 0.75),
+            (1.25, 1.75),
+            (0.5, 399.5),
+            (3.0, 3.0),
+            (17.5, 120.25),
+            (399.0, 1000.0),
+            (-5.0, 0.5),
+        ]
+        for start_s, end_s in windows:
+            assert server.busy_seconds_between(start_s, end_s) == naive(start_s, end_s), (
+                start_s,
+                end_s,
+            )

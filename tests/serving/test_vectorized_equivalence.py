@@ -14,7 +14,13 @@ single float of any result.  This module locks the contract from two sides:
   through the same record/update/sample interleavings — including the
   requeue-style in-place rewrites fault handling performs — and every
   aggregate must match bit-for-bit while the buffer's amortized-growth
-  invariants hold.
+  invariants hold;
+* cache-level — PR8 moved per-replica cache fills into pool-owned arrays
+  with pricing inlined in ``serve_query``; cached engine configurations
+  (capacity x faults x routing x streaming) must still match the scalar
+  path digest-for-digest, and Hypothesis drives the array-backed fills
+  against standalone scalar :class:`ReplicaCache` instances through serve /
+  crash-replacement / invalidate interleavings.
 """
 
 from __future__ import annotations
@@ -23,12 +29,16 @@ import numpy as np
 import pytest
 
 from repro.core.planner import ElasticRecPlanner
+from repro.data.distributions import ZipfDistribution
 from repro.hardware.specs import cpu_only_cluster
 from repro.model.configs import microbenchmark
-from repro.serving.engine import ServingEngine
+from repro.serving.engine import MultiTenantEngine, ServingEngine, TenantSpec
 from repro.serving.latency import LatencyTracker
-from repro.serving.routing import routing_policy_names
+from repro.serving.replica_server import CacheSpec, ReplicaCache, ReplicaServer
+from repro.serving.routing import ReplicaPool, routing_policy_names
 from repro.serving.scenarios import build_scenario
+from repro.serving.sharding import run_sharded
+from repro.serving.workload import SkewedCostModel
 
 _PLAN_FACTORY = ElasticRecPlanner(cpu_only_cluster(num_nodes=4))
 
@@ -62,7 +72,13 @@ def _assert_equivalent(vectorized, scalar):
         assert np.array_equal(getattr(vectorized, attribute), getattr(scalar, attribute)), attribute
     assert np.array_equal(vectorized.tracker.completion_times, scalar.tracker.completion_times)
     assert np.array_equal(vectorized.tracker.latencies_s, scalar.tracker.latencies_s)
-    for mapping_name in ("replica_counts", "utilization", "availability", "requeues"):
+    for mapping_name in (
+        "replica_counts",
+        "utilization",
+        "availability",
+        "requeues",
+        "cache_hit_rate",
+    ):
         vectorized_map = getattr(vectorized, mapping_name)
         scalar_map = getattr(scalar, mapping_name)
         assert set(vectorized_map) == set(scalar_map), mapping_name
@@ -110,6 +126,46 @@ class TestEngineEquivalence:
         engine = ServingEngine(_plan(), seed=0)
         assert engine._runtime.vectorized is True
         engine.run(pattern)
+
+
+class TestCachedEngineEquivalence:
+    """PR8's inline array-backed cache pricing == the scalar ReplicaCache path.
+
+    The vectorized engine prices cached queries against pool-owned fill
+    arrays (pre-priced steady-state splits, lerp over precomputed delta
+    grids, a pool-level warm flag); the scalar engine still walks the
+    ``ReplicaCache`` objects.  Every cached configuration must agree
+    digest-for-digest, including the hit-rate series.
+    """
+
+    @pytest.mark.parametrize("routing", ["least-work", "recovery-aware"])
+    @pytest.mark.parametrize("cache_mb", [0.25, 16.0])
+    @pytest.mark.parametrize("faults", [None, "crash-storm"])
+    def test_cached_configs_match_the_scalar_path(self, routing, cache_mb, faults):
+        kwargs = dict(cost_model="skewed", cache_mb=cache_mb, seed=2)
+        vectorized = _run(routing, faults=faults, **kwargs)
+        scalar = _run(routing, faults=faults, vectorized=False, **kwargs)
+        assert vectorized.cache_hit_rate, "the cached run recorded no hit-rate series"
+        _assert_equivalent(vectorized, scalar)
+
+    def test_streamed_cached_run_matches_in_memory(self, tmp_path):
+        # Streaming rides the sharded executor: a single cached tenant
+        # spooled to disk must merge back to the exact in-memory result.
+        pattern = build_scenario("flash-crowd", 8.0, 24.0, 120.0, seed=2)
+        spec = TenantSpec(
+            "solo",
+            _plan(),
+            pattern,
+            seed=2,
+            cost_model="skewed",
+            cache_mb=16.0,
+            faults="single-crash",
+        )
+        in_memory = MultiTenantEngine([spec]).run().tenants["solo"]
+        streamed = run_sharded(
+            [spec], workers=1, stream_dir=tmp_path, spill_threshold=256
+        ).tenants["solo"]
+        _assert_equivalent(streamed, in_memory)
 
 
 # ----------------------------------------------------------------------
@@ -261,3 +317,93 @@ class TestTrackerEquivalence:
             tracker.sample(-1)
         with pytest.raises(ValueError):
             tracker.update(0, 1.0, -0.5)
+
+
+# ----------------------------------------------------------------------
+# Cache-fill equivalence (Hypothesis): pool arrays == scalar ReplicaCache
+# ----------------------------------------------------------------------
+def _cache_spec(capacity_rows: int) -> CacheSpec:
+    distribution = ZipfDistribution.from_locality(10_000, 0.9)
+    model = SkewedCostModel(distribution, 64, hot_cost_fraction=0.25)
+    return CacheSpec(
+        distribution,
+        capacity_rows=capacity_rows,
+        hot_rows=model.hot_rank_limit,
+        hit_cost_fraction=model.hot_cost_fraction,
+    )
+
+
+# Interleaved cache operations: (kind selector, replica selector fraction,
+# hot gathers, cold gathers).  kind 0 invalidates every cache, kind 1
+# crash-replaces one replica (cold restart through a pool rebuild), the
+# rest serve one query's gathers through the selected replica.
+_CACHE_OPS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=19),
+        st.floats(min_value=0.0, max_value=0.999),
+        st.floats(min_value=0.0, max_value=60.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=60.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestPoolFillEquivalence:
+    @given(ops=_CACHE_OPS, capacity=st.sampled_from([40, 600, 10_000]))
+    @settings(**_SETTINGS)
+    def test_array_backed_fills_match_scalar_caches(self, ops, capacity):
+        """Drive pool-owned fill arrays and scalar caches through the same ops.
+
+        The pool mirrors each replica's ``ReplicaCache`` fill into
+        ``fill_rows``; serves route through :meth:`ReplicaPool.cache_serve`
+        (the crash-requeue repricing path), crash replacements rebuild the
+        pool membership, and ``reset_fills`` models ``invalidate_caches``.
+        Every returned hit rate, every mirrored fill, the pool's warm flag,
+        and the final flushed-back cache fills must match the standalone
+        scalar reference bit-for-bit.
+        """
+        spec = _cache_spec(capacity)
+        names = [f"r{i}" for i in range(3)]
+        source = {
+            name: ReplicaServer(name, cache=ReplicaCache(spec)) for name in names
+        }
+        pool = ReplicaPool(source)
+        pool.refresh()
+        reference = {name: ReplicaCache(spec) for name in names}
+        spawned = len(names)
+
+        for kind, fraction, hot, cold in ops:
+            if kind == 0:
+                pool.reset_fills()
+                for cache in reference.values():
+                    cache.invalidate()
+            elif kind == 1:
+                victim = names[int(fraction * len(names))]
+                del source[victim]
+                del reference[victim]
+                replacement = f"r{spawned}"
+                spawned += 1
+                source[replacement] = ReplicaServer(
+                    replacement, cache=ReplicaCache(spec)
+                )
+                reference[replacement] = ReplicaCache(spec)
+                names = list(source)
+                pool.invalidate()
+                pool.refresh()
+            else:
+                name = names[int(fraction * len(names))]
+                index = pool.index_of[name]
+                rate = pool.cache_serve(index, hot, cold)
+                expected = reference[name].serve(hot, cold)
+                assert rate == expected
+                assert pool.fill_rows[index] == reference[name].fill_rows
+            # The warm flag may lag (it is only recomputed on clamp events
+            # and rebuilds) but must never claim warmth that is not there.
+            if pool.cache_warm:
+                assert min(pool.fill_rows) >= pool.cache_capacity
+
+        pool.flush_fills()
+        for name, server in source.items():
+            assert server.cache.fill_rows == reference[name].fill_rows
+            assert server.cache.fill_fraction == reference[name].fill_fraction
