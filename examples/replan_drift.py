@@ -1,0 +1,112 @@
+"""Online re-planning: surviving access-skew drift with a live re-shard.
+
+A sparse-heavy microbenchmark plan is provisioned against ``high`` locality
+(the hottest 10% of rows draw 90% of the traffic), then the skew drifts:
+over three minutes the hot prefix flattens toward near-uniform, gathers get
+more expensive, and the static plan's queues blow up.  The same simulation
+runs twice more:
+
+* with the threshold-tier drift detector enabled — after the p95 breaches
+  1.3x the SLA for two consecutive samples, the engine re-partitions against
+  the *measured* mixture distribution, pays for the shard-copy migration as
+  synthetic replica work, and cuts over (cold caches re-warm from traffic);
+* with a drift that never starts, which is bit-exact with no drift at all
+  (the drift layer draws from its own ``[seed, 4]`` RNG stream).
+
+The example prints the three runs side by side, then a per-minute p95
+timeline of the static and re-planned runs so the breach, the migration and
+the recovery are visible.
+
+Run with ``python examples/replan_drift.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro import ElasticRecPlanner, cpu_only_cluster
+from repro.analysis import format_table
+from repro.data.distributions import ZipfDistribution
+from repro.model.configs import LOCALITY_PRESETS, microbenchmark
+from repro.serving import ServingEngine
+from repro.serving.traffic import TrafficPattern
+from repro.serving.workload import SkewedCostModel
+
+QPS = 27.0
+DURATION_S = 600.0
+SEED = 3
+
+DRIFT = "linear@60+180:to=0.1"
+REPLAN = "sla@1.3:patience=2,cooldown=120,max=1"
+
+
+def main() -> None:
+    cluster = cpu_only_cluster(num_nodes=4)
+    base = microbenchmark(num_tables=2)
+    workload = replace(
+        base, embedding=replace(base.embedding, pooling=256), name="micro-drifting"
+    )
+    plan = ElasticRecPlanner(cluster).plan(workload, target_qps=30.0, num_shards=1)
+    pattern = TrafficPattern.constant(QPS, duration_s=DURATION_S)
+    cost_model = SkewedCostModel(
+        distribution=ZipfDistribution.from_locality(
+            workload.embedding.rows_per_table, LOCALITY_PRESETS["high"]
+        ),
+        pooling=workload.embedding.pooling,
+    )
+
+    def run(drift, replan):
+        return ServingEngine(
+            plan,
+            autoscale=False,
+            seed=SEED,
+            cost_model=cost_model,
+            drift=drift,
+            replan=replan,
+        ).run(pattern)
+
+    runs = {
+        "static-under-drift": run(DRIFT, None),
+        "replan-under-drift": run(DRIFT, REPLAN),
+        "no-drift": run(None, None),
+    }
+    # A drift that never starts is *bit-exact* with no drift at all.
+    assert run("step@99999:to=0.1", None).digest() == runs["no-drift"].digest()
+
+    rows = []
+    for label, result in runs.items():
+        series = result.p95_latency_ms
+        steady = float(np.mean(series[2 * series.size // 3 :]))
+        rows.append(
+            {
+                "run": label,
+                "replans": result.replans_applied,
+                "steady_p95_ms": steady,
+                "overall_p95_ms": result.overall_p95_latency_ms,
+                "sla_violations_pct": 100.0 * result.sla_violation_fraction(),
+                "queries": result.tracker.num_samples,
+            }
+        )
+    print(format_table(rows, title="Serving the same drifting skew three ways"))
+
+    print("\nPer-minute p95 (ms): the breach, the migration, the recovery:")
+    static = runs["static-under-drift"]
+    replanned = runs["replan-under-drift"]
+    samples_per_minute = 4  # 15 s sample interval
+    timeline = []
+    for start in range(0, static.sample_times.size, samples_per_minute):
+        stop = start + samples_per_minute
+        timeline.append(
+            {
+                "minute": int(static.sample_times[start] // 60) + 1,
+                "static_p95_ms": float(np.max(static.p95_latency_ms[start:stop])),
+                "replan_p95_ms": float(np.max(replanned.p95_latency_ms[start:stop])),
+            }
+        )
+    print(format_table(timeline))
+
+
+if __name__ == "__main__":
+    main()

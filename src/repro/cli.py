@@ -19,7 +19,10 @@ Usage (also available as ``python -m repro``):
     coalesce queued queries into batches of up to ``N``; ``--faults`` injects
     failures from a named fault scenario (``crash-storm``, ``rolling-drain``,
     ...) or an inline fault script such as
-    ``'crash@120:policy=drop;drain@300+60:node=1'``.
+    ``'crash@120:policy=drop;drain@300+60:node=1'``; ``--drift`` drifts the
+    access skew mid-run (``'linear@60+300:to=0.2'``) and ``--replan`` lets a
+    threshold-tier detector fire an online re-plan with live re-sharding
+    (``'sla@1.5:patience=3,cooldown=120'``).
 
 ``python -m repro simulate RM1 --tenants 8 --shard-workers 4 --stream-dir /tmp/spool``
     Serve N co-located tenants (seeds fanned out deterministically from
@@ -54,9 +57,10 @@ from repro.hardware.specs import ClusterSpec, cpu_gpu_cluster, cpu_only_cluster
 from repro.model.configs import DLRMConfig, workload_presets
 from repro.serving.engine import ServingEngine
 from repro.serving.faults import fault_scenario_names, validate_fault_spec
+from repro.serving.replanner import validate_replan_spec
 from repro.serving.routing import resolve_routing_names, routing_policy_names
 from repro.serving.scenarios import build_scenario, resolve_scenario_names, scenario_names
-from repro.serving.workload import cost_model_names
+from repro.serving.workload import cost_model_names, validate_drift_spec
 
 __all__ = ["main", "build_parser"]
 
@@ -105,6 +109,30 @@ def _check_cache(cache_mb: float, cost_model: str) -> None:
         raise SystemExit(
             "--cache-mb needs per-query gather splits; use --cost-model skewed"
         )
+
+
+def _check_drift(spec: str, cost_model: str) -> None:
+    """Exit with a one-line hint on a malformed or unusable --drift spec.
+
+    Drift re-prices each query's gather set against the distribution at its
+    arrival time, which only the skewed cost model samples per query.
+    """
+    try:
+        validate_drift_spec(spec)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    if spec.strip().lower() not in ("", "none") and cost_model == "homogeneous":
+        raise SystemExit(
+            "--drift needs per-query gather sampling; use --cost-model skewed"
+        )
+
+
+def _check_replan(spec: str) -> None:
+    """Exit with a one-line hint on a malformed --replan spec."""
+    try:
+        validate_replan_spec(spec)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
 
 
 def _resolve_cluster(system: str, num_nodes: int | None) -> ClusterSpec:
@@ -216,6 +244,23 @@ def build_parser() -> argparse.ArgumentParser:
             "skewed (default: 0, no cache)"
         ),
     )
+    simulate.add_argument(
+        "--drift",
+        default="none",
+        help=(
+            "access-skew drift schedule, e.g. 'linear@60+300:to=0.2' "
+            "(schedules: step, linear, oscillate); needs --cost-model skewed "
+            "(default: none)"
+        ),
+    )
+    simulate.add_argument(
+        "--replan",
+        default="none",
+        help=(
+            "online re-planning trigger, e.g. 'sla@1.5:patience=3,cooldown=120' "
+            "(default: none)"
+        ),
+    )
     simulate.add_argument("--base-qps", type=float, default=18.0, help="baseline query rate")
     simulate.add_argument("--peak-qps", type=float, default=90.0, help="peak query rate")
     simulate.add_argument(
@@ -320,6 +365,22 @@ def build_parser() -> argparse.ArgumentParser:
             "cell; needs --cost-model skewed (default: 0, no cache)"
         ),
     )
+    sweep.add_argument(
+        "--drift",
+        default="none",
+        help=(
+            "access-skew drift schedule applied to every cell, e.g. "
+            "'linear@60+300:to=0.2'; needs --cost-model skewed (default: none)"
+        ),
+    )
+    sweep.add_argument(
+        "--replan",
+        default="none",
+        help=(
+            "online re-planning trigger applied to every cell, e.g. "
+            "'sla@1.5:patience=3' (default: none)"
+        ),
+    )
     sweep.add_argument("--workers", type=int, default=1, help="worker processes")
     sweep.add_argument("--base-qps", type=float, default=18.0, help="baseline query rate")
     sweep.add_argument("--peak-qps", type=float, default=90.0, help="peak query rate")
@@ -389,6 +450,8 @@ def _command_simulate(args: argparse.Namespace) -> int:
     _check_names(args.scenario, args.routing, args.seed)
     _check_faults(args.faults)
     _check_cache(args.cache_mb, args.cost_model)
+    _check_drift(args.drift, args.cost_model)
+    _check_replan(args.replan)
     workload = _resolve_workload(args.workload)
     cluster = _resolve_cluster(args.system, args.num_nodes)
     try:
@@ -421,25 +484,28 @@ def _command_simulate(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             faults=args.faults,
             cache_mb=args.cache_mb,
+            drift=args.drift,
+            replan=args.replan,
         )
         if profiler is not None:
             result = profiler.runcall(engine.run, pattern)
         else:
             result = engine.run(pattern)
         summary = result.summary()
-        rows.append(
-            {
-                "strategy": strategy,
-                "routing": result.routing,
-                "cost_model": result.cost_model,
-                "peak_memory_gb": summary["peak_memory_gb"],
-                "mean_latency_ms": summary["mean_latency_ms"],
-                "p95_latency_ms": summary["p95_latency_ms"],
-                "sla_violations_pct": 100.0 * summary["sla_violation_fraction"],
-                "availability": result.availability_fraction,
-                "queries": summary["total_queries"],
-            }
-        )
+        row = {
+            "strategy": strategy,
+            "routing": result.routing,
+            "cost_model": result.cost_model,
+            "peak_memory_gb": summary["peak_memory_gb"],
+            "mean_latency_ms": summary["mean_latency_ms"],
+            "p95_latency_ms": summary["p95_latency_ms"],
+            "sla_violations_pct": 100.0 * summary["sla_violation_fraction"],
+            "availability": result.availability_fraction,
+            "queries": summary["total_queries"],
+        }
+        if result.replan != "none":
+            row["replans"] = result.replans_applied
+        rows.append(row)
     print(
         format_table(
             rows,
@@ -498,6 +564,8 @@ def _simulate_sharded(
                 max_batch=args.max_batch,
                 faults=args.faults,
                 cache_mb=args.cache_mb,
+                drift=args.drift,
+                replan=args.replan,
             )
             for index in range(args.tenants)
         ]
@@ -555,6 +623,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
     scenarios, routings = _check_names(args.scenarios, args.routings, args.seed)
     _check_faults(args.faults)
     _check_cache(args.cache_mb, args.cost_model)
+    _check_drift(args.drift, args.cost_model)
+    _check_replan(args.replan)
     try:
         budgets = [int(b) for b in args.replica_budgets.split(",") if b.strip()]
     except ValueError:
@@ -575,6 +645,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         faults=args.faults,
         cache_mb=args.cache_mb,
+        drift=args.drift,
+        replan=args.replan,
     )
     result = run_sweep(
         config,

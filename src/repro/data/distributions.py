@@ -35,6 +35,9 @@ __all__ = [
     "ZipfDistribution",
     "EmpiricalDistribution",
     "UniformDistribution",
+    "MixtureDistribution",
+    "DriftingDistribution",
+    "DRIFT_SCHEDULES",
     "hot_prefix_rows",
     "locality_of_probabilities",
     "solve_alpha_for_locality",
@@ -308,6 +311,199 @@ class EmpiricalDistribution(AccessDistribution):
         probs = self._probs[lo:hi]
         nonzero = probs > 0
         return float(np.sum(-np.expm1(num_draws * np.log1p(-probs[nonzero]))))
+
+
+class MixtureDistribution(AccessDistribution):
+    """Convex mixture of two distributions over the same hot-sorted ranks.
+
+    Every access picks the second component with probability ``weight`` and
+    the first otherwise, so per-rank probabilities — and therefore
+    :meth:`coverage` — are the exact weighted sums of the components'.  This
+    is the instantaneous distribution a :class:`DriftingDistribution` exposes
+    partway through a drift, and what the planner re-partitions against when
+    a mid-run re-plan fires.
+    """
+
+    def __init__(
+        self,
+        start: AccessDistribution,
+        end: AccessDistribution,
+        weight: float,
+    ) -> None:
+        if start.num_items != end.num_items:
+            raise ValueError(
+                "mixture endpoints must cover the same table: "
+                f"{start.num_items} vs {end.num_items} rows"
+            )
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError(f"weight must be in [0, 1], got {weight}")
+        super().__init__(start.num_items)
+        self._start = start
+        self._end = end
+        self._weight = float(weight)
+
+    @property
+    def weight(self) -> float:
+        """Probability that an access draws from the end-point distribution."""
+        return self._weight
+
+    def coverage(self, k: int) -> float:
+        w = self._weight
+        return (1.0 - w) * self._start.coverage(k) + w * self._end.coverage(k)
+
+    def probabilities(self) -> np.ndarray:
+        w = self._weight
+        return (1.0 - w) * self._start.probabilities() + w * self._end.probabilities()
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        from_end = rng.random(size) < self._weight
+        out = np.empty(size, dtype=np.int64)
+        num_end = int(np.count_nonzero(from_end))
+        if num_end < size:
+            out[~from_end] = self._start.sample(size - num_end, rng)
+        if num_end:
+            out[from_end] = self._end.sample(num_end, rng)
+        return out
+
+    def expected_unique(self, num_draws: int, lo: int = 0, hi: int | None = None) -> float:
+        lo, hi = self._validate_range(lo, hi)
+        if num_draws <= 0 or lo == hi:
+            return 0.0
+        start, end = self._start, self._end
+        if hasattr(start, "probability_range") and hasattr(end, "probability_range"):
+            # Exact path when both endpoints expose per-rank probabilities in
+            # chunks (the Zipf family): mix per rank, then 1 - (1-p)^D.
+            w = self._weight
+            total = 0.0
+            for chunk_lo in range(lo, hi, _CHUNK):
+                chunk_hi = min(chunk_lo + _CHUNK, hi)
+                probs = (1.0 - w) * start.probability_range(chunk_lo, chunk_hi)
+                probs += w * end.probability_range(chunk_lo, chunk_hi)
+                total += float(np.sum(-np.expm1(num_draws * np.log1p(-probs))))
+            return total
+        # Fallback: weighted sum of the components' expectations.  Exact only
+        # when the components' hot ranks coincide; documented approximation.
+        w = self._weight
+        return (1.0 - w) * start.expected_unique(num_draws, lo, hi) + w * end.expected_unique(num_draws, lo, hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MixtureDistribution({self._start!r}, {self._end!r}, "
+            f"weight={self._weight})"
+        )
+
+
+#: Drift schedules understood by :class:`DriftingDistribution`.
+DRIFT_SCHEDULES = ("step", "linear", "oscillate")
+
+
+class DriftingDistribution:
+    """Time-indexed interpolation between two :class:`AccessDistribution` endpoints.
+
+    Not itself an :class:`AccessDistribution` — it is a *schedule* over them:
+    :meth:`weight_at` maps a simulation time to the mixture weight of the end
+    endpoint, and :meth:`at` materialises the instantaneous distribution.  At
+    weight exactly ``0.0`` / ``1.0`` the original endpoint objects are
+    returned, so the boundaries of a drift are bit-identical with static runs
+    against the endpoints.
+
+    Schedules (``at_s`` is when the drift starts; ``duration_s`` scales it):
+
+    * ``step`` — weight jumps from 0 to 1 at ``at_s``; ``duration_s`` unused.
+    * ``linear`` — weight ramps 0 → 1 over ``[at_s, at_s + duration_s]``.
+    * ``oscillate`` — raised-cosine oscillation with period ``duration_s``
+      starting (at weight 0) at ``at_s``; hits weight 1 every half period.
+    """
+
+    def __init__(
+        self,
+        start: AccessDistribution,
+        end: AccessDistribution,
+        schedule: str = "linear",
+        at_s: float = 0.0,
+        duration_s: float = 0.0,
+    ) -> None:
+        if start.num_items != end.num_items:
+            raise ValueError(
+                "drift endpoints must cover the same table: "
+                f"{start.num_items} vs {end.num_items} rows"
+            )
+        if schedule not in DRIFT_SCHEDULES:
+            known = ", ".join(DRIFT_SCHEDULES)
+            raise ValueError(f"unknown drift schedule {schedule!r}; choose from {known}")
+        if at_s < 0.0:
+            raise ValueError(f"drift start must be non-negative, got {at_s}")
+        if schedule != "step" and duration_s <= 0.0:
+            raise ValueError(
+                f"{schedule} drift needs a positive duration, got {duration_s}"
+            )
+        self._start = start
+        self._end = end
+        self._schedule = schedule
+        self._at_s = float(at_s)
+        self._duration_s = float(duration_s)
+
+    @property
+    def start(self) -> AccessDistribution:
+        """The distribution before the drift begins."""
+        return self._start
+
+    @property
+    def end(self) -> AccessDistribution:
+        """The distribution the drift moves toward."""
+        return self._end
+
+    @property
+    def schedule(self) -> str:
+        """One of :data:`DRIFT_SCHEDULES`."""
+        return self._schedule
+
+    @property
+    def num_items(self) -> int:
+        """Number of embedding vectors in the (shared) table."""
+        return self._start.num_items
+
+    def weight_at(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Mixture weight of the end endpoint at simulation time ``t``.
+
+        Accepts a scalar or an array (vectorised over query arrival times);
+        results are clamped to ``[0, 1]``.
+        """
+        times = np.asarray(t, dtype=np.float64)
+        elapsed = times - self._at_s
+        if self._schedule == "step":
+            weights = np.where(elapsed >= 0.0, 1.0, 0.0)
+        elif self._schedule == "linear":
+            weights = np.clip(elapsed / self._duration_s, 0.0, 1.0)
+        else:  # oscillate
+            phase = 2.0 * math.pi * elapsed / self._duration_s
+            weights = np.where(elapsed >= 0.0, 0.5 * (1.0 - np.cos(phase)), 0.0)
+            weights = np.clip(weights, 0.0, 1.0)
+        if np.isscalar(t) or times.ndim == 0:
+            return float(weights)
+        return weights
+
+    def at(self, t: float) -> AccessDistribution:
+        """Instantaneous distribution at time ``t``.
+
+        Returns the *endpoint objects themselves* when the weight is exactly
+        0 or 1, and a :class:`MixtureDistribution` in between.
+        """
+        weight = float(self.weight_at(float(t)))
+        if weight <= 0.0:
+            return self._start
+        if weight >= 1.0:
+            return self._end
+        return MixtureDistribution(self._start, self._end, weight)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DriftingDistribution({self._start!r} -> {self._end!r}, "
+            f"schedule={self._schedule!r}, at_s={self._at_s}, "
+            f"duration_s={self._duration_s})"
+        )
 
 
 def hot_prefix_rows(

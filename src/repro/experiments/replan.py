@@ -1,0 +1,120 @@
+"""Online re-planning under access-skew drift: static plan vs live re-shard.
+
+The planner's DP partitioning is only as good as the access distribution it
+was fed.  Here the skew drifts mid-run — the workload's hot prefix flattens
+from ``high`` locality toward near-uniform over three minutes — so the static
+plan's per-shard throughput estimates go stale and its queues blow up.  The
+re-plan arm runs the same simulation with the threshold-tier drift detector
+enabled: after the p95 breaches the SLA-relative threshold for ``patience``
+consecutive samples, the engine re-partitions against the *measured* mixture
+distribution, models the shard-copy migration as synthetic replica work, and
+cuts over with a cold-cache warm-up.
+
+Both arms share the plan, seed, arrival process and the ``[seed, 2]`` cost
+stream (drift draws only from the isolated ``[seed, 4]`` stream), so the gap
+in steady-state p95 — the mean of the per-interval p95 series over the final
+third of the run, well after the drift completes — is attributable to the
+re-plan alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.planner import ElasticRecPlanner
+from repro.data.distributions import ZipfDistribution
+from repro.experiments.base import ExperimentResult
+from repro.hardware.specs import cpu_only_cluster
+from repro.model.configs import LOCALITY_PRESETS, microbenchmark
+from repro.serving.engine import ServingEngine
+from repro.serving.traffic import TrafficPattern
+from repro.serving.workload import SkewedCostModel
+
+__all__ = ["run"]
+
+#: Same sparse-heavy operating point as the ``cache`` experiment, run near
+#: the provisioned rate so the drifted gather costs turn into queueing delay.
+_QPS = 27.0
+_DURATION_S = 600.0
+_SEED = 3
+_POOLING = 256
+#: The hot prefix flattens from ``high`` locality toward this endpoint over
+#: three minutes, starting one minute in.
+_DRIFT = "linear@60+180:to=0.1"
+#: Fire after two consecutive samples above 1.3x the SLA; one re-plan only.
+_REPLAN = "sla@1.3:patience=2,cooldown=120,max=1"
+_ARMS = (("static", "none"), ("replan", _REPLAN))
+
+
+def _steady_p95_ms(result) -> float:
+    """Mean per-interval p95 over the final third of the run (post-drift)."""
+    series = result.p95_latency_ms
+    tail = series[2 * series.size // 3 :]
+    return float(np.mean(tail)) if tail.size else 0.0
+
+
+def run() -> ExperimentResult:
+    """Serve the same drifting workload with and without online re-planning."""
+    cluster = cpu_only_cluster(num_nodes=4)
+    base = microbenchmark(num_tables=2)
+    workload = replace(
+        base,
+        embedding=replace(base.embedding, pooling=_POOLING),
+        name="micro-sparse-heavy",
+    )
+    plan = ElasticRecPlanner(cluster).plan(workload, target_qps=30.0, num_shards=1)
+    pattern = TrafficPattern.constant(_QPS, duration_s=_DURATION_S)
+    embedding = workload.embedding
+    cost_model = SkewedCostModel(
+        distribution=ZipfDistribution.from_locality(
+            embedding.rows_per_table, LOCALITY_PRESETS["high"]
+        ),
+        pooling=embedding.pooling,
+    )
+
+    rows = []
+    steady: dict[str, float] = {}
+    for arm, replan in _ARMS:
+        result = ServingEngine(
+            plan,
+            autoscale=False,
+            seed=_SEED,
+            cost_model=cost_model,
+            drift=_DRIFT,
+            replan=replan,
+        ).run(pattern)
+        steady[arm] = _steady_p95_ms(result)
+        rows.append(
+            {
+                "arm": arm,
+                "replans_applied": float(result.replans_applied),
+                "steady_p95_ms": steady[arm],
+                "overall_p95_ms": result.overall_p95_latency_ms,
+                "mean_latency_ms": result.mean_latency_ms,
+                "sla_violations_pct": 100.0 * result.sla_violation_fraction(),
+                "queries": float(result.tracker.num_samples),
+            }
+        )
+
+    return ExperimentResult(
+        experiment_id="replan",
+        title="Online re-planning under access-skew drift: static vs re-shard",
+        rows=rows,
+        summary={
+            "static_steady_p95_ms": steady["static"],
+            "replan_steady_p95_ms": steady["replan"],
+            "steady_p95_speedup": (
+                steady["static"] / steady["replan"] if steady["replan"] > 0 else 0.0
+            ),
+        },
+        notes=(
+            "Both arms share the plan, seed, arrival process and cost stream; "
+            "only the re-plan trigger differs.  steady_p95_ms is the mean "
+            "per-interval p95 over the final third of the run, after the "
+            "drift has completed.  The re-plan arm re-partitions against the "
+            "measured mixture distribution and must hold a strictly lower "
+            "steady-state p95 than the stale static plan."
+        ),
+    )

@@ -22,6 +22,7 @@ from repro.experiments import (
     fig20,
     headline,
     multitenant,
+    replan,
     resilience,
     skew_sensitivity,
 )
@@ -48,6 +49,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "ablation": ablation.run,
     "cache": cache_tier.run,
     "multitenant": multitenant.run,
+    "replan": replan.run,
     "resilience": resilience.run,
     "skew": skew_sensitivity.run,
 }

@@ -37,9 +37,10 @@ from repro.model.configs import DLRMConfig, workload_presets
 from repro.parallel import pool_context, subseed
 from repro.serving.engine import MultiTenantEngine, TenantSpec
 from repro.serving.faults import validate_fault_spec
+from repro.serving.replanner import validate_replan_spec
 from repro.serving.routing import resolve_routing_names
 from repro.serving.scenarios import build_scenario, resolve_scenario_names
-from repro.serving.workload import resolve_cost_model_name
+from repro.serving.workload import resolve_cost_model_name, validate_drift_spec
 
 __all__ = [
     "SweepConfig",
@@ -74,6 +75,13 @@ class SweepConfig:
     #: Per-replica embedding cache capacity in MB for every cell's tenants
     #: (0 disables the cache; non-zero needs the skewed cost model).
     cache_mb: float = 0.0
+    #: Access-skew drift schedule applied to every cell's tenants ("none"
+    #: keeps the sweep bit-exact with a drift-unaware one; non-none needs the
+    #: skewed cost model).
+    drift: str = "none"
+    #: Online re-planning trigger applied to every cell's tenants ("none"
+    #: disables the drift detector).
+    replan: str = "none"
 
     def __post_init__(self) -> None:
         if self.tenants < 1:
@@ -90,6 +98,8 @@ class SweepConfig:
             raise ValueError("cache_mb must be non-negative")
         resolve_cost_model_name(self.cost_model)
         validate_fault_spec(self.faults)
+        validate_drift_spec(self.drift)
+        validate_replan_spec(self.replan)
 
 
 @dataclass(frozen=True)
@@ -184,6 +194,8 @@ def run_cell(config: SweepConfig, cell: SweepCell) -> dict[str, float | int | st
                 max_batch=config.max_batch,
                 faults=config.faults,
                 cache_mb=config.cache_mb,
+                drift=config.drift,
+                replan=config.replan,
             )
         )
     result = MultiTenantEngine(tenants, cluster_spec=plan.cluster).run()

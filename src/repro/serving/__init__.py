@@ -34,6 +34,11 @@ discrete-event engine with pluggable policies:
   (``max_batch``, batching window, batch service times from the hardware
   layer's :class:`~repro.hardware.perf_model.BatchLatencyModel`; the default
   ``max_batch=1`` reproduces single-query queueing bit-for-bit).
+* :mod:`repro.serving.replanner` — online re-planning: the threshold-tier
+  drift detector and re-plan policy behind the ``replan=`` knob; paired with
+  ``drift=`` (see :func:`repro.serving.workload.make_drift_model`), the
+  engine re-partitions mid-run against the measured mixture distribution and
+  models the shard-copy migration as typed heap events.
 * :mod:`repro.serving.faults` — fault injection: scripted and stochastic
   failure/recovery events (replica crash, node drain, straggler windows,
   transient degradation) scheduled as first-class engine events with seeded
@@ -107,6 +112,12 @@ from repro.serving.faults import (
     make_fault_model,
     parse_fault_script,
 )
+from repro.serving.replanner import (
+    DriftDetector,
+    ReplanPolicy,
+    make_replan_policy,
+    parse_replan_spec,
+)
 from repro.serving.sharding import (
     ShardPlan,
     merge_stream,
@@ -123,11 +134,14 @@ from repro.serving.simulator import ServingSimulator
 from repro.serving.stress import StressTestResult, find_qps_max
 from repro.serving.workload import (
     COST_MODELS,
+    DriftSpec,
     HomogeneousCostModel,
     QueryCostModel,
     SkewedCostModel,
     cost_model_names,
     make_cost_model,
+    make_drift_model,
+    parse_drift_spec,
 )
 
 __all__ = [
@@ -183,4 +197,11 @@ __all__ = [
     "COST_MODELS",
     "make_cost_model",
     "cost_model_names",
+    "DriftSpec",
+    "parse_drift_spec",
+    "make_drift_model",
+    "ReplanPolicy",
+    "DriftDetector",
+    "parse_replan_spec",
+    "make_replan_policy",
 ]

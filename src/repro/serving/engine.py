@@ -112,11 +112,24 @@ from repro.serving.faults import (
     validate_fault_spec,
 )
 from repro.serving.latency import LatencyTracker
+from repro.serving.replanner import (
+    DriftDetector,
+    ReplanPolicy,
+    make_replan_policy,
+    validate_replan_spec,
+)
 from repro.serving.replica_server import CacheSpec, ReplicaCache, ReplicaServer
 from repro.serving.routing import ReplicaPool, RoutingPolicy, make_routing_policy
 from repro.serving.streaming import ShardManifest, SpoolWriter, StreamConfig
 from repro.serving.traffic import TrafficPattern
-from repro.serving.workload import QueryCostModel, make_cost_model
+from repro.serving.workload import (
+    QueryCostModel,
+    drift_endpoint_model,
+    make_cost_model,
+    make_drift_model,
+    sample_drifting_priced,
+    validate_drift_spec,
+)
 
 __all__ = [
     "EventKind",
@@ -139,6 +152,10 @@ class EventKind(IntEnum):
     SAMPLE = 4
     FAULT = 5
     RECOVERY = 6
+    #: Online re-planning: a ``("fire", ...)`` event starts the shard-copy
+    #: migration toward a successor plan; its ``("cutover", ...)`` twin lands
+    #: when the copies complete and swaps the plan in (invalidating caches).
+    REPLAN = 7
 
 
 @dataclass
@@ -190,6 +207,15 @@ class SimulationResult:
     #: deployment, a drain of a node hosting none of the tenant's replicas)
     #: are not counted.
     faults_injected: int = 0
+    #: Access-skew drift spec the run was configured with ("none" when the
+    #: distribution is static).  Deliberately outside :meth:`digest`: the
+    #: digest fingerprints the simulated series, and a zero-weight drift is
+    #: bit-identical with no drift at all.
+    drift: str = "none"
+    #: Re-plan trigger spec ("none" when the initial plan is final).
+    replan: str = "none"
+    #: Successor plans actually cut over to mid-run.
+    replans_applied: int = 0
 
     @property
     def completed_queries(self) -> int:
@@ -407,6 +433,8 @@ class _TenantRuntime:
         vectorized: bool = True,
         stream: StreamConfig | None = None,
         cache_mb: float = 0.0,
+        drift: str | object | None = None,
+        replan: str | ReplanPolicy | None = None,
     ) -> None:
         if sample_interval_s <= 0:
             raise ValueError("sample_interval_s must be positive")
@@ -417,6 +445,8 @@ class _TenantRuntime:
         if cache_mb < 0:
             raise ValueError("cache_mb must be non-negative")
         validate_fault_spec(faults)
+        validate_drift_spec(drift)
+        validate_replan_spec(replan)
         # Streamed mode: per-interval series and settled tracker samples are
         # flushed to this tenant's spool directory instead of accumulating
         # in RAM for the whole run (the values written are bit-identical).
@@ -506,6 +536,38 @@ class _TenantRuntime:
             d.name: self.caches_on and self.cost_bearing[d.name]
             for d in self.deployments
         }
+        # Access-skew drift and online re-planning (ROADMAP item 1).  Drift
+        # re-samples each query's gather set against a time-indexed mixture
+        # of two distribution endpoints; the replan policy watches the live
+        # p95 series and swaps in a successor plan mid-run.  Both resolve
+        # here, once, so a malformed spec fails at construction time.
+        self.drift_spec = drift
+        self.drift_name = "none"
+        self.drift_model = None
+        self.end_cost_model = None
+        if drift is not None and not (
+            isinstance(drift, str) and drift.strip().lower() in ("", "none")
+        ):
+            if not getattr(self.cost_model, "supports_gather_splits", False):
+                raise ValueError(
+                    "access-skew drift needs per-query gather sampling; "
+                    "use the skewed cost model (--cost-model skewed)"
+                )
+            self.drift_model = make_drift_model(drift, self.cost_model.distribution)
+            self.drift_name = drift if isinstance(drift, str) else "custom"
+            self.end_cost_model = drift_endpoint_model(
+                self.cost_model, self.drift_model.end
+            )
+        self.drift_on = self.drift_model is not None
+        self.replan_policy = make_replan_policy(replan)
+        self.replan_name = "none"
+        if self.replan_policy is not None:
+            self.replan_name = replan if isinstance(replan, str) else "custom"
+            if plan.strategy != "elasticrec" or plan.sharding is None:
+                raise ValueError(
+                    "online re-planning needs an elasticrec plan with a "
+                    "sharding layout to re-partition (strategy 'elasticrec')"
+                )
         self.batch_models = {
             d.name: perf_model.batch_model(d.spec.role) for d in self.deployments
         }
@@ -634,7 +696,34 @@ class _TenantRuntime:
             self.query_multipliers: "list[float] | np.ndarray | None" = None
         else:
             cost_rng = np.random.default_rng([self.seed, 2])
-            if self.caches_on:
+            if self.drift_on:
+                # Drift-aware sampling.  The [seed, 2] cost stream is consumed
+                # exactly as the drift-free path consumes it (start-endpoint
+                # pool, then per-query assignment); the end-endpoint pool and
+                # the per-query endpoint choice draw only from the dedicated
+                # [seed, 4] drift stream — so a zero-weight drift reproduces
+                # the drift-free run bit-for-bit, and drift-off runs never
+                # touch [seed, 4] at all.
+                drift_rng = np.random.default_rng([self.seed, 4])
+                weights = self.drift_model.weight_at(self.arrivals)
+                (
+                    multipliers,
+                    hot,
+                    cold,
+                    total,
+                    start_mean,
+                    end_mean,
+                ) = sample_drifting_priced(
+                    self.cost_model,
+                    self.end_cost_model,
+                    weights,
+                    cost_rng,
+                    drift_rng,
+                )
+                self._drift_means = (start_mean, end_mean)
+                if self.caches_on:
+                    self._store_cache_pricing(hot, cold, total)
+            elif self.caches_on:
                 # The split-returning variant consumes the RNG identically to
                 # plain sample(), so the multipliers (and every downstream
                 # draw) match the cache-less run bit-for-bit.  The pre-priced
@@ -643,40 +732,24 @@ class _TenantRuntime:
                 multipliers, hot, cold, total = self.cost_model.sample_priced(
                     self.arrivals.size, cost_rng
                 )
-                self.query_hot = hot if self.stream is not None else hot.tolist()
-                self.query_cold = cold if self.stream is not None else cold.tolist()
-                self.query_total = total if self.stream is not None else total.tolist()
-                # Steady-state pricing is fill-independent: once a replica's
-                # cache is pinned at capacity the hit fractions are the grid
-                # ends, so each query's warm hit mass and adjusted-cost scale
-                # are precomputed here, vectorised.  Every elementwise op
-                # below is the same IEEE-754 op the per-query scalar branch
-                # performs, in the same order, so the warm fast path in
-                # ``serve_query`` is bit-exact with the lerp branch it skips.
-                spec = self.cache_spec
-                hot_end = spec.grid_hot[-1]
-                cold_end = spec.grid_cold[-1]
-                warm_hits = hot * hot_end + cold * cold_end
-                rate = np.divide(
-                    warm_hits, total, out=np.zeros(total.shape), where=total > 0.0
-                )
-                warm_add = rate * total
-                warm_scale = np.where(
-                    rate == 1.0,
-                    spec.hit_cost_fraction,
-                    1.0 - rate * (1.0 - spec.hit_cost_fraction),
-                )
-                self.query_warm_hits = (
-                    warm_add if self.stream is not None else warm_add.tolist()
-                )
-                self.query_warm_scale = (
-                    warm_scale if self.stream is not None else warm_scale.tolist()
-                )
+                self._store_cache_pricing(hot, cold, total)
             else:
                 multipliers = self.cost_model.sample(self.arrivals.size, cost_rng)
             self.query_multipliers = (
                 multipliers if self.stream is not None else multipliers.tolist()
             )
+        # Re-plan state: the detector is re-armed per run; fires are relayed
+        # through the event loop as REPLAN heap events so migrations keep the
+        # typed-event timeline (and its monotonicity invariant).
+        self.detector = (
+            DriftDetector(self.replan_policy, self.sla_s)
+            if self.replan_policy is not None
+            else None
+        )
+        self.replan_requested = False
+        self.replan_in_progress = False
+        self.pending_successor = None
+        self.replans_applied = 0
         self.tracker = LatencyTracker()
         self.boundaries = np.arange(
             self.sample_interval_s,
@@ -755,6 +828,41 @@ class _TenantRuntime:
         }
         #: Sample points accumulated since the last streamed series flush.
         self._pending_series_samples = 0
+
+    def _store_cache_pricing(
+        self, hot: np.ndarray, cold: np.ndarray, total: np.ndarray
+    ) -> None:
+        """Store gather splits and the precomputed warm-cache pricing.
+
+        Steady-state pricing is fill-independent: once a replica's cache is
+        pinned at capacity the hit fractions are the grid ends, so each
+        query's warm hit mass and adjusted-cost scale are precomputed here,
+        vectorised.  Every elementwise op below is the same IEEE-754 op the
+        per-query scalar branch performs, in the same order, so the warm fast
+        path in ``serve_query`` is bit-exact with the lerp branch it skips.
+        """
+        self.query_hot = hot if self.stream is not None else hot.tolist()
+        self.query_cold = cold if self.stream is not None else cold.tolist()
+        self.query_total = total if self.stream is not None else total.tolist()
+        spec = self.cache_spec
+        hot_end = spec.grid_hot[-1]
+        cold_end = spec.grid_cold[-1]
+        warm_hits = hot * hot_end + cold * cold_end
+        rate = np.divide(
+            warm_hits, total, out=np.zeros(total.shape), where=total > 0.0
+        )
+        warm_add = rate * total
+        warm_scale = np.where(
+            rate == 1.0,
+            spec.hit_cost_fraction,
+            1.0 - rate * (1.0 - spec.hit_cost_fraction),
+        )
+        self.query_warm_hits = (
+            warm_add if self.stream is not None else warm_add.tolist()
+        )
+        self.query_warm_scale = (
+            warm_scale if self.stream is not None else warm_scale.tolist()
+        )
 
     def arrival_at(self, index: int) -> float:
         """The ``index``-th arrival time as a Python float (any mode)."""
@@ -1262,6 +1370,134 @@ class _TenantRuntime:
             for name in action[1]:
                 self._remove_factor(self.degradations, name, action[2])
 
+    # ------------------------------------------------------------------
+    # Online re-planning (ROADMAP item 1)
+    # ------------------------------------------------------------------
+    def observe_drift(self, now: float) -> None:
+        """Feed the detector this interval's end-to-end p95 (if replanning).
+
+        Called from :meth:`sample` before the interval latency buffers are
+        cleared.  A fire only raises a flag; the driver turns it into a
+        typed REPLAN heap event so migrations stay on the event timeline.
+        """
+        if self.detector is None or self.replan_in_progress:
+            return
+        p95_s: float | None = None
+        for lane in self._dense_lanes:
+            if lane.latencies:
+                value = float(np.percentile(lane.latencies, 95))
+                if p95_s is None or value > p95_s:
+                    p95_s = value
+        if self.detector.observe(now, p95_s):
+            self.replan_requested = True
+
+    def start_replan(
+        self, now: float, tenant_index: int, heap: list, seq: itertools.count
+    ) -> float:
+        """Plan the successor deployment and schedule the shard-copy migration.
+
+        The successor plan is a fresh DP partitioning of the same workload at
+        the same target QPS against the distribution *measured* at ``now``
+        (the drift mixture; the original distribution when replanning without
+        drift).  Shard copies occupy every embedding replica as synthetic
+        work — a replica busy copying serves queries later, which is the
+        migration's cost — and the returned cutover time is when the last
+        copy lands.  Everything here is deterministic: the planner draws no
+        randomness and the copy schedule is fixed by replica state.
+        """
+        from repro.core.planner import ElasticRecPlanner
+
+        self.replan_in_progress = True
+        measured = (
+            self.drift_model.at(now) if self.drift_on else self.cost_model.distribution
+        )
+        num_tables = self.plan.workload.embedding.num_tables
+        num_shards = len(self.plan.sharding.shards_for_table(0))
+        successor = ElasticRecPlanner(self.plan.cluster).plan(
+            self.plan.workload,
+            self.plan.target_qps,
+            num_shards=num_shards,
+            table_distributions=[measured] * num_tables,
+        )
+        self.pending_successor = successor
+        copy_gb_per_s = self.replan_policy.copy_gb_per_s
+        track_completions = self.track_completions
+        cutover_at = now
+        for deployment, lane in zip(self.deployments, self._lanes):
+            if lane.dense:
+                # Dense shards hold no embedding rows; nothing to copy.
+                continue
+            copy_s = deployment.spec.resources.memory_bytes / (copy_gb_per_s * 1e9)
+            name = deployment.name
+            for server in self.servers[name].values():
+                completion = server.submit(now, copy_s, 1.0)
+                self.policy.on_submit(name, server)
+                if track_completions:
+                    heapq.heappush(
+                        heap,
+                        (
+                            completion,
+                            EventKind.COMPLETION,
+                            next(seq),
+                            (tenant_index, name, server.name),
+                        ),
+                    )
+                if completion > cutover_at:
+                    cutover_at = completion
+            # Copies are synthetic work, not queries: they never enter the
+            # in-flight registry (a crash mid-copy just loses the copy), but
+            # the pool's busy mirror must see them — rebuild it lazily.
+            self.pools[name].invalidate()
+        return cutover_at
+
+    def apply_replan(self, now: float) -> None:
+        """Cut over to the pending successor plan.
+
+        Service times and replica targets follow the successor's deployments
+        (matched by name: same workload, same shard count, so the names line
+        up).  Remaining query multipliers renormalise from the start-pool
+        mean to the mixture mean at cutover — the successor plan's per-shard
+        QPS estimates already price the drifted distribution, so keeping the
+        old normaliser would double-count the drift.  Finally the PR-7
+        invalidation storm: every replica's cache restarts cold on the new
+        shard boundaries and re-warms from served traffic.
+        """
+        successor = self.pending_successor
+        self.pending_successor = None
+        self.replan_in_progress = False
+        if successor is None:
+            return
+        by_name = {d.name: d for d in successor.deployments}
+        for deployment, lane in zip(self.deployments, self._lanes):
+            spec = by_name.get(deployment.name)
+            if spec is None:
+                continue
+            service = 1.0 / spec.per_replica_qps
+            self.service_times[deployment.name] = service
+            lane.service_s = service
+            deployment.desired_replicas = spec.replicas
+            if self.autoscale:
+                # Hold the HPA off while the new capacity materialises, the
+                # same grace a crash replacement gets.
+                self.autoscaler.notice_capacity_loss(deployment.name, now)
+        if self.drift_on and self.query_multipliers is not None:
+            start_mean, end_mean = self._drift_means
+            weight = float(self.drift_model.weight_at(now))
+            mixture_mean = (1.0 - weight) * start_mean + weight * end_mean
+            if mixture_mean > 0.0:
+                scale = start_mean / mixture_mean
+                begin = int(np.searchsorted(self.arrivals, now, side="right"))
+                multipliers = self.query_multipliers
+                if isinstance(multipliers, list):
+                    for index in range(begin, len(multipliers)):
+                        multipliers[index] *= scale
+                else:
+                    # Streamed runs keep the float64 array; the slice multiply
+                    # is the same IEEE op as the per-element loop above.
+                    multipliers[begin:] *= scale
+        self.invalidate_caches()
+        self.replans_applied += 1
+
     def record_interval_metrics(self, now: float, metrics) -> None:
         for lane in self._lanes:
             metrics.record(f"{lane.name}/queries", float(lane.count), now)
@@ -1271,6 +1507,9 @@ class _TenantRuntime:
                 )
 
     def sample(self, now: float) -> None:
+        # Drift detection reads the interval latency buffers this method is
+        # about to clear, so it observes first (a no-op unless replanning).
+        self.observe_drift(now)
         self.sample_times.append(now)
         self.memory_series.append(self.allocated_memory_gb)
         window_start = now - self.sample_interval_s
@@ -1437,6 +1676,9 @@ class _TenantRuntime:
             "max_batch": self.max_batch,
             "faults": self.faults_name,
             "cache_mb": self.cache_mb,
+            "drift": self.drift_name,
+            "replan": self.replan_name,
+            "replans_applied": self.replans_applied,
             "cached_deployments": list(self.cache_hit_series),
             "deployments": [lane.name for lane in self._lanes],
             "num_samples": self.tracker.num_samples,
@@ -1499,6 +1741,9 @@ class _TenantRuntime:
             dropped_queries=len(self.dropped_indices),
             requeued_queries=self.requeued_count,
             faults_injected=self.faults_injected,
+            drift=self.drift_name,
+            replan=self.replan_name,
+            replans_applied=self.replans_applied,
         )
 
 
@@ -1693,9 +1938,19 @@ def _drive(
             for tenant_index in payload:
                 if on_event is not None:
                     on_event(now, EventKind.SAMPLE)
-                runtimes[tenant_index].sample(now)
+                runtime = runtimes[tenant_index]
+                runtime.sample(now)
                 if probe is not None:
                     probe(now)
+                if runtime.replan_requested:
+                    # Relay the detector's fire as a typed heap event at this
+                    # timestamp; same-time ordering puts it after the control
+                    # tick, so the migration starts on a settled cluster.
+                    runtime.replan_requested = False
+                    heapq.heappush(
+                        heap,
+                        (now, EventKind.REPLAN, next(seq), (tenant_index, "fire")),
+                    )
             if any(runtime.stream is not None for runtime in runtimes):
                 # Streamed (memory-bounded) runs also cap the HPA metric
                 # history: the autoscalers only ever read trailing windows,
@@ -1716,7 +1971,7 @@ def _drive(
                 on_event(now, kind)
             tenant_index, event = payload
             _apply_fault(now, event, tenant_index, runtimes, cluster, heap, seq)
-        else:  # EventKind.RECOVERY
+        elif kind == EventKind.RECOVERY:
             if on_event is not None:
                 on_event(now, kind)
             tenant_index, action = payload
@@ -1733,6 +1988,19 @@ def _drive(
                         )
             else:
                 runtimes[tenant_index].recover(action)
+        else:  # EventKind.REPLAN
+            if on_event is not None:
+                on_event(now, kind)
+            tenant_index, action = payload
+            runtime = runtimes[tenant_index]
+            if action == "fire":
+                cutover_at = runtime.start_replan(now, tenant_index, heap, seq)
+                heapq.heappush(
+                    heap,
+                    (cutover_at, EventKind.REPLAN, next(seq), (tenant_index, "cutover")),
+                )
+            else:  # "cutover"
+                runtime.apply_replan(now)
 
     return [
         runtime.finish_run_streamed() if runtime.stream is not None else runtime.finish_run()
@@ -1767,6 +2035,8 @@ class ServingEngine:
         faults: str | FaultModel | None = None,
         vectorized: bool = True,
         cache_mb: float = 0.0,
+        drift: str | object | None = None,
+        replan: str | ReplanPolicy | None = None,
     ) -> None:
         if sample_interval_s <= 0:
             raise ValueError("sample_interval_s must be positive")
@@ -1789,6 +2059,8 @@ class ServingEngine:
             faults=faults,
             vectorized=vectorized,
             cache_mb=cache_mb,
+            drift=drift,
+            replan=replan,
         )
         self._cluster.reconcile(0.0)
         if warm_start:
@@ -1857,6 +2129,12 @@ class TenantSpec:
     #: Per-replica embedding-cache budget in MB (0.0 disables the tier;
     #: requires a cost model exposing gather splits, i.e. ``skewed``).
     cache_mb: float = 0.0
+    #: Access-skew drift spec (``None``/``"none"`` for a static distribution;
+    #: requires the skewed cost model).  See ``parse_drift_spec``.
+    drift: str | object | None = None
+    #: Re-plan trigger spec (``None``/``"none"`` keeps the initial plan).
+    #: See ``parse_replan_spec``.
+    replan: str | ReplanPolicy | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -1874,6 +2152,8 @@ class TenantSpec:
         if self.cache_mb < 0:
             raise ValueError("cache_mb must be non-negative")
         validate_fault_spec(self.faults)
+        validate_drift_spec(self.drift)
+        validate_replan_spec(self.replan)
 
 
 @dataclass
@@ -2063,6 +2343,8 @@ class MultiTenantEngine:
                     faults=tenant.faults,
                     vectorized=tenant.vectorized,
                     cache_mb=tenant.cache_mb,
+                    drift=tenant.drift,
+                    replan=tenant.replan,
                     stream=(
                         StreamConfig(
                             directory=stream.directory / f"tenant-{index:03d}",

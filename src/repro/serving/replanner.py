@@ -1,0 +1,201 @@
+"""Online re-planning: drift detection and mid-run successor plans.
+
+ElasticRec's planner runs once before the clock starts, but access skew
+drifts: the hot prefix a plan was partitioned around stops matching the
+traffic, the stale shard boundaries unbalance gather costs, and tail latency
+climbs (ROADMAP item 1).  This module closes the plan→serve→observe→re-plan
+loop with a deliberately cheap *threshold tier* — the rule-based first stage
+of a drift detector: it watches the live per-lane latency series the engine
+already samples and fires only after the p95 has breached an SLA-relative
+threshold for ``patience`` consecutive samples.  Paying for a full
+distributional re-plan (a fresh DP partitioning against the *measured*
+mixture distribution) happens only when that cheap tier says the series has
+really moved.
+
+The engine models the migration itself with typed heap events (see
+``EventKind.REPLAN`` in :mod:`repro.serving.engine`): shard copies occupy
+replicas as synthetic work, and arrival on the successor plan triggers the
+cache tier's ``invalidate_caches()`` storm with a cold-cache warm-up.
+
+``--replan`` specs use the fault-script grammar:
+``sla@<threshold>[:key=value,...]`` — the threshold is a multiple of the
+tenant's SLA, e.g. ``sla@1.5:patience=3,cooldown=120,max=2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ReplanPolicy",
+    "DriftDetector",
+    "parse_replan_spec",
+    "make_replan_policy",
+    "validate_replan_spec",
+]
+
+_REPLAN_HINT = (
+    "expected 'sla@<threshold>[:key=value,...]' with the threshold a multiple "
+    "of the SLA and optional keys patience, cooldown, max, bandwidth "
+    "(e.g. 'sla@1.5:patience=3,cooldown=120,max=2')"
+)
+
+
+@dataclass(frozen=True)
+class ReplanPolicy:
+    """When to fire a re-plan and how fast shard copies move.
+
+    * ``threshold`` — p95 must exceed ``threshold * sla_s`` (strictly) to
+      count as a breach; a series sitting exactly at the threshold never
+      fires.
+    * ``patience`` — consecutive breached samples required before firing.
+    * ``cooldown_s`` — minimum simulated time between fires.
+    * ``max_replans`` — hard cap on fires per run.
+    * ``copy_gb_per_s`` — shard-copy bandwidth; each replica is occupied for
+      ``per_replica_memory_bytes / bandwidth`` of synthetic migration work.
+    """
+
+    threshold: float = 1.5
+    patience: int = 3
+    cooldown_s: float = 120.0
+    max_replans: int = 1
+    copy_gb_per_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0.0:
+            raise ValueError(f"threshold must be positive, got {self.threshold}")
+        if self.patience < 1:
+            raise ValueError(f"patience must be at least 1, got {self.patience}")
+        if self.cooldown_s < 0.0:
+            raise ValueError(f"cooldown must be non-negative, got {self.cooldown_s}")
+        if self.max_replans < 1:
+            raise ValueError(f"max must be at least 1, got {self.max_replans}")
+        if self.copy_gb_per_s <= 0.0:
+            raise ValueError(f"bandwidth must be positive, got {self.copy_gb_per_s}")
+
+
+def _replan_number(chunk: str, text: str, kind: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(
+            f"malformed replan spec {chunk!r}: bad {kind} {text!r}; {_REPLAN_HINT}"
+        ) from None
+
+
+def parse_replan_spec(spec: str) -> ReplanPolicy:
+    """Parse a ``sla@<threshold>[:key=value,...]`` replan spec."""
+    chunk = spec.strip()
+    if not chunk:
+        raise ValueError(f"malformed replan spec {spec!r}: empty spec; {_REPLAN_HINT}")
+    head, _, param_text = chunk.partition(":")
+    kind, at_sign, threshold_text = head.partition("@")
+    kind = kind.strip()
+    if kind != "sla":
+        raise ValueError(
+            f"unknown replan trigger {kind!r}; the threshold tier is 'sla' "
+            f"({_REPLAN_HINT})"
+        )
+    if not at_sign:
+        raise ValueError(
+            f"malformed replan spec {chunk!r}: missing '@<threshold>'; {_REPLAN_HINT}"
+        )
+    threshold = _replan_number(chunk, threshold_text.strip(), "threshold")
+    values = {
+        "patience": 3.0,
+        "cooldown": 120.0,
+        "max": 1.0,
+        "bandwidth": 1.0,
+    }
+    if param_text.strip():
+        for pair in param_text.split(","):
+            key, eq, value = pair.partition("=")
+            key = key.strip()
+            if not eq or not key or not value.strip():
+                raise ValueError(
+                    f"malformed replan spec {chunk!r}: bad parameter {pair!r}; "
+                    f"{_REPLAN_HINT}"
+                )
+            if key not in values:
+                known = ", ".join(sorted(values))
+                raise ValueError(
+                    f"malformed replan spec {chunk!r}: unknown parameter {key!r} "
+                    f"(choose from {known}); {_REPLAN_HINT}"
+                )
+            values[key] = _replan_number(chunk, value.strip(), key)
+    try:
+        return ReplanPolicy(
+            threshold=threshold,
+            patience=int(values["patience"]),
+            cooldown_s=values["cooldown"],
+            max_replans=int(values["max"]),
+            copy_gb_per_s=values["bandwidth"],
+        )
+    except ValueError as error:
+        raise ValueError(f"malformed replan spec {chunk!r}: {error}") from None
+
+
+def make_replan_policy(spec: str | ReplanPolicy | None) -> ReplanPolicy | None:
+    """Resolve a replan knob: ``None``/``"none"`` off, instance or spec string."""
+    if spec is None or isinstance(spec, ReplanPolicy):
+        return spec
+    if spec.strip().lower() in ("", "none"):
+        return None
+    return parse_replan_spec(spec)
+
+
+def validate_replan_spec(spec: str | ReplanPolicy | None) -> None:
+    """Validate a replan knob eagerly, raising the one-line grammar error."""
+    make_replan_policy(spec)
+
+
+class DriftDetector:
+    """Threshold tier: consecutive SLA-relative p95 breaches fire a re-plan.
+
+    :meth:`observe` is fed one interval-p95 per sample tick and returns
+    ``True`` exactly when a re-plan should fire.  Breaches are *strict*
+    (``p95 > threshold * sla_s``): a series sitting exactly at the threshold
+    never fires.  A sample at or below the threshold — or an idle interval
+    with no latency signal — resets the patience streak.
+    """
+
+    def __init__(self, policy: ReplanPolicy, sla_s: float) -> None:
+        if sla_s <= 0.0:
+            raise ValueError(f"sla_s must be positive, got {sla_s}")
+        self._policy = policy
+        self._threshold_s = policy.threshold * sla_s
+        self._streak = 0
+        self._fires = 0
+        self._last_fire_s: float | None = None
+
+    @property
+    def threshold_s(self) -> float:
+        """Absolute p95 threshold in seconds."""
+        return self._threshold_s
+
+    @property
+    def fires(self) -> int:
+        """Re-plans fired so far."""
+        return self._fires
+
+    def observe(self, now: float, p95_s: float | None) -> bool:
+        """Feed one interval p95 (``None`` when the interval served nothing)."""
+        if self._fires >= self._policy.max_replans:
+            return False
+        if p95_s is None or p95_s <= self._threshold_s:
+            self._streak = 0
+            return False
+        self._streak += 1
+        if self._streak < self._policy.patience:
+            return False
+        if (
+            self._last_fire_s is not None
+            and now < self._last_fire_s + self._policy.cooldown_s
+        ):
+            # Still cooling down: keep the streak so the fire lands on the
+            # first breached sample past the cooldown.
+            return False
+        self._streak = 0
+        self._fires += 1
+        self._last_fire_s = now
+        return True

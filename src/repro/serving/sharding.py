@@ -439,6 +439,9 @@ def _merge_tenant(tenant_dir: Path) -> SimulationResult:
         faults_injected=int(meta["faults_injected"]),
         cache_hit_rate=cache_hit_rate,
         cache_mb=float(meta.get("cache_mb", 0.0)),
+        drift=meta.get("drift", "none"),
+        replan=meta.get("replan", "none"),
+        replans_applied=int(meta.get("replans_applied", 0)),
     )
 
 

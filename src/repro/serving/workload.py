@@ -30,12 +30,16 @@ deployment's planned service time stays the mean service time for any skew.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.data.distributions import (
     DEFAULT_TOP_FRACTION,
+    DRIFT_SCHEDULES,
     AccessDistribution,
+    DriftingDistribution,
+    ZipfDistribution,
     hot_prefix_rows,
 )
 from repro.model.configs import DLRMConfig
@@ -48,6 +52,12 @@ __all__ = [
     "make_cost_model",
     "cost_model_names",
     "resolve_cost_model_name",
+    "DriftSpec",
+    "parse_drift_spec",
+    "make_drift_model",
+    "validate_drift_spec",
+    "drift_endpoint_model",
+    "sample_drifting_priced",
 ]
 
 
@@ -245,16 +255,13 @@ class SkewedCostModel(QueryCostModel):
         hot_gathers, cold_gathers = self.profile_splits(rng)
         return cold_gathers + self._hot_cost_fraction * hot_gathers
 
-    def _sample_profiles(
-        self, num_queries: int, rng: np.random.Generator
-    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray, np.ndarray]:
-        """Shared sampling core: (costs, assignment, hot, cold) per profile.
+    def _raw_pool(
+        self, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Un-normalised profile pool: (costs, hot, cold) in cold-gather units.
 
-        Consumes the RNG identically for every caller, so multipliers from
-        :meth:`sample` and :meth:`sample_with_gathers` are bit-identical for
-        the same seed.  ``assignment`` is ``None`` on the degenerate
-        every-gather-free path, which returns before drawing it (matching the
-        historical stream).
+        One draw of the full pool — gather splits then pooling factors — in
+        the exact RNG order every sampling path shares.
         """
         hot_gathers, cold_gathers = self.profile_splits(rng)
         costs = cold_gathers + self._hot_cost_fraction * hot_gathers
@@ -266,6 +273,20 @@ class SkewedCostModel(QueryCostModel):
                 rng.normal(-0.5 * sigma * sigma, sigma, size=self._num_profiles)
             )
             costs = costs * pooling_factors
+        return costs, hot_gathers, cold_gathers
+
+    def _sample_profiles(
+        self, num_queries: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray, np.ndarray]:
+        """Shared sampling core: (costs, assignment, hot, cold) per profile.
+
+        Consumes the RNG identically for every caller, so multipliers from
+        :meth:`sample` and :meth:`sample_with_gathers` are bit-identical for
+        the same seed.  ``assignment`` is ``None`` on the degenerate
+        every-gather-free path, which returns before drawing it (matching the
+        historical stream).
+        """
+        costs, hot_gathers, cold_gathers = self._raw_pool(rng)
         mean = float(costs.mean())
         if mean <= 0:
             # Every gather free (hot_cost_fraction == 0 and all-hot table).
@@ -323,6 +344,250 @@ class SkewedCostModel(QueryCostModel):
             cold[assignment],
             totals[assignment],
         )
+
+
+# ---------------------------------------------------------------------------
+# Access-skew drift: spec grammar and the drift-aware priced sampler
+# ---------------------------------------------------------------------------
+
+_DRIFT_HINT = (
+    "expected 'schedule@start[+duration][:key=value,...]' with a schedule from "
+    "step, linear, oscillate and a required to=<locality> "
+    "(e.g. 'linear@60+300:to=0.2' or 'step@300:to=0.5,from=0.9')"
+)
+
+
+def _drift_number(chunk: str, text: str, kind: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(
+            f"malformed drift spec {chunk!r}: bad {kind} {text!r}; {_DRIFT_HINT}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """Parsed ``--drift`` spec: a schedule over two locality endpoints.
+
+    The start endpoint defaults to the workload's own access distribution
+    (``from_locality is None``); the end endpoint is always a Zipf
+    distribution solved for ``to_locality``.  :meth:`build` materialises the
+    :class:`~repro.data.distributions.DriftingDistribution` once the table
+    size is known.
+    """
+
+    schedule: str
+    at_s: float
+    duration_s: float
+    to_locality: float
+    from_locality: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.schedule not in DRIFT_SCHEDULES:
+            known = ", ".join(DRIFT_SCHEDULES)
+            raise ValueError(
+                f"unknown drift schedule {self.schedule!r}; choose from {known}"
+            )
+        if self.at_s < 0.0:
+            raise ValueError(f"drift start must be non-negative, got {self.at_s}")
+        if self.schedule != "step" and self.duration_s <= 0.0:
+            raise ValueError(
+                f"{self.schedule} drift needs a positive duration, got {self.duration_s}"
+            )
+        for label, value in (("to", self.to_locality), ("from", self.from_locality)):
+            if value is not None and not 0.0 < value <= 1.0:
+                raise ValueError(
+                    f"drift {label}= locality must be in (0, 1], got {value}"
+                )
+
+    def build(self, distribution: AccessDistribution) -> DriftingDistribution:
+        """Materialise the drift against a workload's access distribution."""
+        num_items = distribution.num_items
+        start = (
+            distribution
+            if self.from_locality is None
+            else ZipfDistribution.from_locality(num_items, self.from_locality)
+        )
+        end = ZipfDistribution.from_locality(num_items, self.to_locality)
+        return DriftingDistribution(
+            start, end, schedule=self.schedule, at_s=self.at_s, duration_s=self.duration_s
+        )
+
+
+def parse_drift_spec(spec: str) -> DriftSpec:
+    """Parse a ``schedule@start[+duration][:key=value,...]`` drift spec.
+
+    The grammar mirrors the fault-script grammar: ``@`` anchors the start
+    time, ``+`` an optional duration, and ``:`` introduces comma-separated
+    parameters.  ``to=<locality>`` is required; ``from=<locality>`` overrides
+    the start endpoint (default: the workload's own distribution).
+    """
+    chunk = spec.strip()
+    if not chunk:
+        raise ValueError(f"malformed drift spec {spec!r}: empty spec; {_DRIFT_HINT}")
+    head, _, param_text = chunk.partition(":")
+    schedule, at_sign, when = head.partition("@")
+    schedule = schedule.strip()
+    if not at_sign:
+        raise ValueError(
+            f"malformed drift spec {chunk!r}: missing '@<start>'; {_DRIFT_HINT}"
+        )
+    when, plus, duration_text = when.partition("+")
+    at_s = _drift_number(chunk, when.strip(), "start time")
+    duration_s = (
+        _drift_number(chunk, duration_text.strip(), "duration") if plus else 0.0
+    )
+    params: dict[str, str] = {}
+    if param_text.strip():
+        for pair in param_text.split(","):
+            key, eq, value = pair.partition("=")
+            if not eq or not key.strip() or not value.strip():
+                raise ValueError(
+                    f"malformed drift spec {chunk!r}: bad parameter {pair!r}; {_DRIFT_HINT}"
+                )
+            params[key.strip()] = value.strip()
+    if "to" not in params:
+        raise ValueError(
+            f"malformed drift spec {chunk!r}: missing required to=<locality>; {_DRIFT_HINT}"
+        )
+    to_locality = _drift_number(chunk, params.pop("to"), "to= locality")
+    from_locality = (
+        _drift_number(chunk, params.pop("from"), "from= locality")
+        if "from" in params
+        else None
+    )
+    if params:
+        unknown = ", ".join(sorted(params))
+        raise ValueError(
+            f"malformed drift spec {chunk!r}: unknown parameter(s) {unknown}; {_DRIFT_HINT}"
+        )
+    if schedule == "step" and plus:
+        raise ValueError(
+            f"malformed drift spec {chunk!r}: step takes no duration; {_DRIFT_HINT}"
+        )
+    try:
+        return DriftSpec(
+            schedule=schedule,
+            at_s=at_s,
+            duration_s=duration_s,
+            to_locality=to_locality,
+            from_locality=from_locality,
+        )
+    except ValueError as error:
+        raise ValueError(f"malformed drift spec {chunk!r}: {error}") from None
+
+
+def make_drift_model(
+    spec: str | DriftSpec | DriftingDistribution | None,
+    distribution: AccessDistribution | None = None,
+) -> DriftingDistribution | None:
+    """Resolve a drift knob into a :class:`DriftingDistribution` (or ``None``).
+
+    Accepts ``None`` / ``"none"`` / ``""`` (drift off), an already-built
+    :class:`DriftingDistribution` (passed through), a :class:`DriftSpec`, or
+    a spec string.  Building from a spec needs the workload's access
+    ``distribution`` for the table size and default start endpoint.
+    """
+    if spec is None or isinstance(spec, DriftingDistribution):
+        return spec
+    if isinstance(spec, str):
+        if spec.strip().lower() in ("", "none"):
+            return None
+        spec = parse_drift_spec(spec)
+    if distribution is None:
+        raise ValueError("building a drift model from a spec needs a distribution")
+    return spec.build(distribution)
+
+
+def validate_drift_spec(spec: str | DriftSpec | DriftingDistribution | None) -> None:
+    """Validate a drift knob eagerly (grammar only; no table size needed)."""
+    if isinstance(spec, str) and spec.strip().lower() not in ("", "none"):
+        parse_drift_spec(spec)
+
+
+def drift_endpoint_model(
+    model: "SkewedCostModel", endpoint: AccessDistribution
+) -> "SkewedCostModel":
+    """A cost model's twin over a drift endpoint distribution.
+
+    Shares ``pooling``, ``num_profiles``, ``hot_fraction`` and
+    ``hot_cost_fraction`` with the start model — equal table sizes then give
+    equal ``hot_rank_limit``, so the cache tier's pricing grids stay valid
+    for profiles drawn from either endpoint.  ``pooling_spread`` re-derives
+    from the endpoint's own locality (a more skewed endpoint also serves a
+    wider spread of query sizes).
+    """
+    if endpoint.num_items != model.distribution.num_items:
+        raise ValueError(
+            "drift endpoint must cover the same table as the cost model: "
+            f"{endpoint.num_items} vs {model.distribution.num_items} rows"
+        )
+    return SkewedCostModel(
+        distribution=endpoint,
+        pooling=model.pooling,
+        num_profiles=model.num_profiles,
+        hot_fraction=model.hot_fraction,
+        hot_cost_fraction=model.hot_cost_fraction,
+    )
+
+
+def sample_drifting_priced(
+    start_model: "SkewedCostModel",
+    end_model: "SkewedCostModel",
+    weights: np.ndarray,
+    cost_rng: np.random.Generator,
+    drift_rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, float, float]:
+    """Priced per-query costs under access-skew drift.
+
+    ``weights[i]`` is the drift weight at query ``i``'s arrival time: the
+    probability its gather set is drawn from the end endpoint's profile pool
+    instead of the start endpoint's.  Returns
+    ``(multipliers, hot, cold, total, start_mean, end_mean)`` where the pool
+    means are in cold-gather units (the multiplier normaliser and, at
+    re-plan cutover, the renormaliser).
+
+    RNG contract (the satellite-3 isolation lock): ``cost_rng`` — the
+    engine's ``[seed, 2]`` stream — is consumed *exactly* as the drift-free
+    :meth:`SkewedCostModel.sample_priced` path consumes it (start pool, then
+    per-query assignment), and everything drift-specific (end pool, per-query
+    endpoint choice) draws only from ``drift_rng`` (``[seed, 4]``).  A drift
+    whose weight is identically zero therefore reproduces the drift-free
+    multipliers bit-for-bit.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    num_queries = weights.size
+    empty = np.empty(0, dtype=np.float64)
+    if num_queries == 0:
+        # Nothing to draw: leave both streams untouched, like sample().
+        return empty, empty, empty, empty, 1.0, 1.0
+    costs_a, hot_a, cold_a = start_model._raw_pool(cost_rng)
+    start_mean = float(costs_a.mean())
+    if start_mean <= 0:
+        # Degenerate every-gather-free start pool: mirror the drift-free
+        # degenerate path (all-ones multipliers, assignment never drawn)
+        # without touching drift_rng.
+        zeros = np.zeros(num_queries, dtype=np.float64)
+        return np.ones(num_queries, dtype=np.float64), zeros, zeros, zeros, 1.0, 1.0
+    assignment = cost_rng.integers(0, start_model.num_profiles, size=num_queries)
+    # Normalising the start pool *then* indexing is elementwise-identical to
+    # indexing then dividing, so weight-zero queries reproduce the drift-free
+    # multipliers bit-for-bit.  The end pool normalises by the *start* mean:
+    # a drift toward a costlier distribution raises the mean offered load a
+    # stale plan sees, which is the whole point.
+    norm_a = costs_a / start_mean
+    totals_a = hot_a + cold_a
+    costs_b, hot_b, cold_b = end_model._raw_pool(drift_rng)
+    end_mean = float(costs_b.mean())
+    norm_b = costs_b / start_mean
+    totals_b = hot_b + cold_b
+    use_end = drift_rng.random(num_queries) < weights
+    multipliers = np.where(use_end, norm_b[assignment], norm_a[assignment])
+    hot = np.where(use_end, hot_b[assignment], hot_a[assignment])
+    cold = np.where(use_end, cold_b[assignment], cold_a[assignment])
+    total = np.where(use_end, totals_b[assignment], totals_a[assignment])
+    return multipliers, hot, cold, total, start_mean, end_mean
 
 
 #: Registry of query-cost models by CLI-facing name.

@@ -8,7 +8,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.data.distributions import (
+    DriftingDistribution,
     EmpiricalDistribution,
+    MixtureDistribution,
     UniformDistribution,
     ZipfDistribution,
     hot_prefix_rows,
@@ -281,3 +283,104 @@ def test_empirical_coverage_bounded(counts):
     dist = EmpiricalDistribution(counts)
     for k in (0, len(counts) // 2, len(counts)):
         assert -1e-9 <= dist.coverage(k) <= 1.0 + 1e-9
+
+
+class TestMixtureDistribution:
+    def test_coverage_is_normalized_at_every_interpolation_point(self):
+        start = ZipfDistribution(1000, 1.2)
+        end = ZipfDistribution(1000, 0.1)
+        for weight in np.linspace(0.0, 1.0, 11):
+            mixture = MixtureDistribution(start, end, float(weight))
+            assert mixture.coverage(1000) == pytest.approx(1.0, abs=1e-9)
+            probabilities = mixture.probabilities()
+            assert probabilities.sum() == pytest.approx(1.0, abs=1e-9)
+            assert (probabilities >= 0.0).all()
+
+    def test_endpoint_weights_reproduce_the_endpoints(self):
+        start = ZipfDistribution(500, 1.2)
+        end = ZipfDistribution(500, 0.1)
+        ks = [0, 10, 250, 500]
+        zero = MixtureDistribution(start, end, 0.0)
+        one = MixtureDistribution(start, end, 1.0)
+        for k in ks:
+            assert zero.coverage(k) == pytest.approx(start.coverage(k), abs=1e-12)
+            assert one.coverage(k) == pytest.approx(end.coverage(k), abs=1e-12)
+
+    def test_rejects_mismatched_sizes_and_bad_weights(self):
+        with pytest.raises(ValueError):
+            MixtureDistribution(ZipfDistribution(10, 1.0), ZipfDistribution(20, 1.0), 0.5)
+        with pytest.raises(ValueError):
+            MixtureDistribution(ZipfDistribution(10, 1.0), ZipfDistribution(10, 0.5), 1.5)
+
+
+class TestDriftingDistribution:
+    def _drift(self, schedule="linear", at_s=60.0, duration_s=300.0):
+        return DriftingDistribution(
+            ZipfDistribution(1000, 1.2),
+            ZipfDistribution(1000, 0.1),
+            schedule=schedule,
+            at_s=at_s,
+            duration_s=duration_s,
+        )
+
+    def test_before_onset_returns_the_start_endpoint_exactly(self):
+        drift = self._drift()
+        # Exact object identity, not approximate equality: at weight zero
+        # the drift *is* the start distribution, so every cached structure
+        # keyed on it stays valid.
+        assert drift.at(0.0) is drift.start
+        assert drift.at(60.0) is drift.start  # linear weight is 0 at onset
+
+    def test_at_duration_end_returns_the_end_endpoint_exactly(self):
+        drift = self._drift()
+        assert drift.at(360.0) is drift.end
+        assert drift.at(1e9) is drift.end
+
+    def test_interior_points_are_normalized_mixtures(self):
+        drift = self._drift()
+        for t in (61.0, 150.0, 359.0):
+            mixture = drift.at(t)
+            assert isinstance(mixture, MixtureDistribution)
+            assert mixture.coverage(1000) == pytest.approx(1.0, abs=1e-9)
+
+    def test_linear_weight_is_clipped_interpolation(self):
+        drift = self._drift()
+        assert drift.weight_at(0.0) == 0.0
+        assert drift.weight_at(60.0) == 0.0
+        assert drift.weight_at(210.0) == pytest.approx(0.5)
+        assert drift.weight_at(360.0) == 1.0
+        assert drift.weight_at(1e9) == 1.0
+
+    def test_step_weight_jumps_exactly_at_onset(self):
+        drift = self._drift(schedule="step", duration_s=0.0)
+        assert drift.weight_at(59.999) == 0.0
+        assert drift.weight_at(60.0) == 1.0
+        assert drift.at(59.999) is drift.start
+        assert drift.at(60.0) is drift.end
+
+    def test_oscillate_returns_to_the_start_each_period(self):
+        drift = self._drift(schedule="oscillate", duration_s=100.0)
+        assert drift.weight_at(60.0) == 0.0
+        assert drift.weight_at(110.0) == pytest.approx(1.0)
+        assert drift.weight_at(160.0) == pytest.approx(0.0, abs=1e-12)
+        assert drift.at(160.0) is drift.start
+
+    def test_vectorized_weights_match_scalar_weights(self):
+        drift = self._drift()
+        times = np.array([0.0, 60.0, 120.0, 210.0, 360.0, 500.0])
+        vector = drift.weight_at(times)
+        scalar = np.array([drift.weight_at(float(t)) for t in times])
+        assert np.array_equal(vector, scalar)
+
+    def test_rejects_bad_schedules_and_durations(self):
+        with pytest.raises(ValueError):
+            self._drift(schedule="warp")
+        with pytest.raises(ValueError):
+            self._drift(schedule="linear", duration_s=0.0)
+        with pytest.raises(ValueError):
+            self._drift(at_s=-1.0)
+        with pytest.raises(ValueError):
+            DriftingDistribution(
+                ZipfDistribution(10, 1.0), ZipfDistribution(20, 1.0), at_s=0.0,
+                duration_s=10.0,
+            )

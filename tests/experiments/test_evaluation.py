@@ -157,7 +157,7 @@ class TestRunner:
         expected = {
             "fig3", "fig5", "fig6", "fig9", "fig12", "fig13", "fig14", "fig15",
             "fig16", "fig17", "fig18", "fig19", "fig20", "headline", "ablation",
-            "multitenant", "resilience", "skew", "cache",
+            "multitenant", "resilience", "skew", "cache", "replan",
         }
         assert set(EXPERIMENTS) == expected
 

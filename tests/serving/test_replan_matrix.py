@@ -1,0 +1,196 @@
+"""Replan equivalence matrix: one migration timeline, every execution mode.
+
+The contract under test: a drift/replan-enabled run is digest-identical
+whether it executes vectorized or scalar, serial or sharded across worker
+processes, in-memory or streamed to an on-disk spool — and drift-without-
+replan holds the same guarantee as its own matrix row.  Alongside it, the
+RNG-stream isolation lock: drift and the replanner draw only from the
+dedicated ``[seed, 4]`` stream, so any configuration whose drift weight
+never leaves zero (or whose detector can never fire) is *bit-exact* with a
+run that has the feature off entirely.
+
+The fast tier runs the small matrix; the slow tier (``--runslow``) crosses
+every mode pair at a longer horizon.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.planner import ElasticRecPlanner
+from repro.hardware.specs import cpu_only_cluster
+from repro.model.configs import microbenchmark
+from repro.serving.engine import MultiTenantEngine, ServingEngine, TenantSpec
+from repro.serving.sharding import run_sharded
+from repro.serving.traffic import TrafficPattern
+
+DRIFT = "linear@10+60:to=0.1"
+REPLAN = "sla@1.2:patience=2,cooldown=30,max=2"
+
+#: Matrix rows: drift with live re-planning, and drift left unplanned.
+ROWS = [
+    pytest.param(DRIFT, REPLAN, id="drift+replan"),
+    pytest.param(DRIFT, "none", id="drift-only"),
+]
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return ElasticRecPlanner(cpu_only_cluster(num_nodes=4)).plan(
+        microbenchmark(num_tables=2), target_qps=30.0
+    )
+
+
+@pytest.fixture(scope="module")
+def shard_plan():
+    return ElasticRecPlanner(cpu_only_cluster(num_nodes=16)).plan(
+        microbenchmark(num_tables=2), target_qps=30.0
+    )
+
+
+def _pattern(duration_s: float = 120.0) -> TrafficPattern:
+    return TrafficPattern.constant(20.0, duration_s=duration_s)
+
+
+def _single(plan, drift, replan, *, vectorized=True, duration_s=120.0):
+    return ServingEngine(
+        plan,
+        seed=7,
+        cost_model="skewed",
+        drift=drift,
+        replan=replan,
+        vectorized=vectorized,
+    ).run(_pattern(duration_s))
+
+
+def _tenants(plan, drift, replan, *, count=2, vectorized=True, duration_s=120.0):
+    return [
+        TenantSpec(
+            name=f"t{index}",
+            plan=plan,
+            pattern=_pattern(duration_s),
+            seed=7 + index,
+            max_replicas=6,
+            cost_model="skewed",
+            drift=drift,
+            replan=replan,
+            vectorized=vectorized,
+        )
+        for index in range(count)
+    ]
+
+
+class TestEquivalenceMatrix:
+    @pytest.mark.parametrize("drift,replan", ROWS)
+    def test_scalar_matches_vectorized(self, plan, drift, replan):
+        vec = _single(plan, drift, replan, vectorized=True)
+        sca = _single(plan, drift, replan, vectorized=False)
+        assert vec.digest() == sca.digest()
+        assert vec.replans_applied == sca.replans_applied
+        if replan != "none":
+            assert vec.replans_applied >= 1, "the matrix row never migrated"
+
+    @pytest.mark.parametrize("drift,replan", ROWS)
+    def test_serial_multitenant_matches_single_engine(self, plan, drift, replan):
+        single = _single(plan, drift, replan)
+        spec = TenantSpec(
+            name="t", plan=plan, pattern=_pattern(), seed=7,
+            cost_model="skewed", drift=drift, replan=replan,
+        )
+        merged = MultiTenantEngine([spec]).run().tenant("t")
+        assert merged.digest() == single.digest()
+        assert merged.replans_applied == single.replans_applied
+
+    @pytest.mark.parametrize("drift,replan", ROWS)
+    def test_sharded_matches_serial(self, shard_plan, drift, replan):
+        tenants = _tenants(shard_plan, drift, replan)
+        serial = run_sharded(tenants, workers=1)
+        sharded = run_sharded(tenants, workers=2)
+        for name in serial.tenants:
+            assert serial.tenant(name).digest() == sharded.tenant(name).digest()
+            assert (
+                serial.tenant(name).replans_applied
+                == sharded.tenant(name).replans_applied
+            )
+
+    @pytest.mark.parametrize("drift,replan", ROWS)
+    def test_streamed_matches_in_memory(self, shard_plan, drift, replan, tmp_path):
+        tenants = _tenants(shard_plan, drift, replan)
+        in_memory = run_sharded(tenants, workers=1)
+        streamed = run_sharded(tenants, workers=1, stream_dir=str(tmp_path))
+        for name in in_memory.tenants:
+            assert in_memory.tenant(name).digest() == streamed.tenant(name).digest()
+            assert (
+                in_memory.tenant(name).replans_applied
+                == streamed.tenant(name).replans_applied
+            )
+            assert in_memory.tenant(name).drift == streamed.tenant(name).drift
+            assert in_memory.tenant(name).replan == streamed.tenant(name).replan
+
+
+class TestRngStreamIsolation:
+    """Drift and the replanner draw only from the ``[seed, 4]`` stream: any
+    configuration that never leaves weight zero (or can never fire) must be
+    bit-exact with the feature off — the ``[seed, 2]`` cost stream is
+    consumed identically either way."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self, plan):
+        return _single(plan, None, None).digest()
+
+    def test_zero_weight_drift_is_bit_exact_with_no_drift(self, plan, baseline):
+        assert _single(plan, "step@99999:to=0.2", None).digest() == baseline
+
+    def test_zero_weight_drift_endpoint_choice_cannot_leak(self, plan, baseline):
+        # Two different drift endpoints, both at weight zero for the whole
+        # run: the endpoint pool is drawn from [seed, 4], so neither draw may
+        # perturb the cost stream.
+        assert _single(plan, "step@99999:to=0.05", None).digest() == baseline
+        assert _single(plan, "step@99999:to=0.8", None).digest() == baseline
+
+    def test_linear_drift_past_horizon_is_bit_exact(self, plan, baseline):
+        assert _single(plan, "linear@99999+100:to=0.1", None).digest() == baseline
+
+    def test_unfireable_replan_is_bit_exact_with_no_replan(self, plan, baseline):
+        assert _single(plan, None, "sla@1000.0:patience=3").digest() == baseline
+
+    def test_unfireable_replan_under_drift_matches_drift_only(self, plan):
+        drift_only = _single(plan, DRIFT, None)
+        armed = _single(plan, DRIFT, "sla@1000.0:patience=3")
+        assert armed.replans_applied == 0
+        assert armed.digest() == drift_only.digest()
+
+
+@pytest.mark.slow
+class TestEquivalenceMatrixSlow:
+    """Every mode pair crossed at a longer horizon (``--runslow`` tier)."""
+
+    @pytest.mark.parametrize("drift,replan", ROWS)
+    def test_all_modes_agree(self, shard_plan, drift, replan, tmp_path):
+        digests = {}
+        replans = {}
+        cases = itertools.product((True, False), (1, 2), (None, "spool"))
+        for vectorized, workers, spool in cases:
+            tenants = _tenants(
+                shard_plan, drift, replan, vectorized=vectorized, duration_s=300.0
+            )
+            stream_dir = None
+            if spool:
+                stream_dir = str(
+                    tmp_path / f"{int(vectorized)}-{workers}-{spool}"
+                )
+            result = run_sharded(tenants, workers=workers, stream_dir=stream_dir)
+            key = (vectorized, workers, spool)
+            digests[key] = tuple(
+                result.tenant(name).digest() for name in sorted(result.tenants)
+            )
+            replans[key] = tuple(
+                result.tenant(name).replans_applied
+                for name in sorted(result.tenants)
+            )
+        assert len(set(digests.values())) == 1, digests
+        assert len(set(replans.values())) == 1, replans
+        if replan != "none":
+            assert any(count >= 1 for count in next(iter(replans.values())))

@@ -1,0 +1,151 @@
+"""Property-based invariants for drift × replan × fault × routing mixes.
+
+The online re-planning layer (drift detector, shard-copy migration, cutover)
+must preserve the engine's core invariants for *every* configuration it
+accepts — including a re-plan firing while a node drain is in progress:
+
+* conservation — completions + rejections + drops == arrivals;
+* monotonicity — the event loop pops events (REPLAN included) in
+  non-decreasing timestamp order;
+* determinism — the same seed yields a byte-identical result digest.
+
+Hypothesis draws the configurations; ``derandomize=True`` keeps CI stable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.core.planner import ElasticRecPlanner  # noqa: E402
+from repro.hardware.specs import cpu_only_cluster  # noqa: E402
+from repro.model.configs import microbenchmark  # noqa: E402
+from repro.serving.engine import EventKind, ServingEngine  # noqa: E402
+from repro.serving.routing import routing_policy_names  # noqa: E402
+from repro.serving.scenarios import build_scenario, scenario_names  # noqa: E402
+
+_PLAN = ElasticRecPlanner(cpu_only_cluster(num_nodes=4)).plan(
+    microbenchmark(num_tables=2), target_qps=30.0
+)
+
+_DRIFT_SPECS = [
+    "none",
+    "step@20:to=0.2",
+    "linear@10+40:to=0.1",
+    "oscillate@0+60:to=0.3",
+    "linear@5+30:to=0.95,from=0.2",
+]
+
+_REPLAN_SPECS = [
+    "none",
+    "sla@1.2:patience=1,cooldown=10,max=2",
+    "sla@1.05:patience=2,cooldown=5,max=3,bandwidth=4",
+    "sla@4.0:patience=3",
+]
+
+_FAULT_SPECS = [
+    "none",
+    "crash@20:policy=drop;crash@45:policy=drop",
+    "drain@30+40:node=0",
+    "straggler@15+30:factor=6;degrade@50+20:factor=3",
+]
+
+_CONFIGS = st.tuples(
+    st.sampled_from(scenario_names()),
+    st.sampled_from(routing_policy_names()),
+    st.sampled_from(_DRIFT_SPECS),
+    st.sampled_from(_REPLAN_SPECS),
+    st.sampled_from(_FAULT_SPECS),
+    st.integers(min_value=0, max_value=2**16),
+)
+
+_SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _run(scenario, routing, drift, replan, faults, seed, on_event=None):
+    pattern = build_scenario(scenario, 8.0, 24.0, 90.0, seed=seed)
+    engine = ServingEngine(
+        _PLAN,
+        routing=routing,
+        seed=seed,
+        cost_model="skewed",
+        faults=faults,
+        drift=drift,
+        replan=replan,
+    )
+    return engine.run(pattern, on_event=on_event)
+
+
+class TestConservation:
+    @given(config=_CONFIGS)
+    @settings(**_SETTINGS)
+    def test_completions_rejections_and_drops_partition_arrivals(self, config):
+        result = _run(*config)
+        arrivals = result.tracker.num_samples
+        assert (
+            result.completed_queries + result.rejected_queries + result.dropped_queries
+            == arrivals
+        )
+        assert result.completed_queries >= 0
+        assert 0.0 <= result.availability_fraction <= 1.0
+        assert result.replans_applied >= 0
+        for series in result.availability.values():
+            assert series.min() >= 0.0 and series.max() <= 1.0
+
+
+class TestMonotonicity:
+    @given(config=_CONFIGS)
+    @settings(**_SETTINGS)
+    def test_event_timestamps_never_move_backwards(self, config):
+        times: list[float] = []
+        kinds: list[int] = []
+        result = _run(
+            *config, on_event=lambda now, kind: (times.append(now), kinds.append(kind))
+        )
+        assert times, "the run popped no events"
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        assert {EventKind(k) for k in kinds} <= set(EventKind)
+        assert (result.tracker.latencies_s >= 0.0).all()
+
+
+class TestSeedDeterminism:
+    @given(config=_CONFIGS)
+    @settings(**_SETTINGS)
+    def test_same_seed_means_identical_digest(self, config):
+        assert _run(*config).digest() == _run(*config).digest()
+
+
+class TestReplanFiresMidDrain:
+    """A hair-trigger detector under an overload drift must actually fire
+    while a node drain is removing replicas — the invariants have to survive
+    a migration racing a fault window."""
+
+    _ARGS = (
+        "constant",
+        "least-work",
+        "linear@5+20:to=0.05",
+        "sla@1.01:patience=1,cooldown=1,max=3",
+        "drain@30+40:node=0",
+        7,
+    )
+
+    def test_replan_fires_and_conserves_queries(self):
+        result = _run(*self._ARGS)
+        assert result.replans_applied >= 1
+        arrivals = result.tracker.num_samples
+        assert (
+            result.completed_queries + result.rejected_queries + result.dropped_queries
+            == arrivals
+        )
+
+    def test_replan_mid_drain_is_deterministic(self):
+        assert _run(*self._ARGS).digest() == _run(*self._ARGS).digest()

@@ -66,6 +66,19 @@ class TestParser:
         )
         assert cached.cache_mb == 64.0
 
+    def test_drift_and_replan_default_to_none(self):
+        simulate = build_parser().parse_args(["simulate", "RM1"])
+        sweep = build_parser().parse_args(["sweep", "RM1"])
+        assert simulate.drift == "none" and simulate.replan == "none"
+        assert sweep.drift == "none" and sweep.replan == "none"
+        armed = build_parser().parse_args(
+            ["simulate", "RM1", "--cost-model", "skewed",
+             "--drift", "linear@60+300:to=0.2",
+             "--replan", "sla@1.5:patience=3"]
+        )
+        assert armed.drift == "linear@60+300:to=0.2"
+        assert armed.replan == "sla@1.5:patience=3"
+
     def test_unknown_cost_model_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "RM1", "--cost-model", "zipfian"])
@@ -244,6 +257,43 @@ class TestUnknownNameHints:
             for command in ("simulate", "sweep"):
                 message = self._exit_message([command, "RM1", "--faults", script])
                 assert "malformed fault spec" in message or "unknown" in message
+                assert "\n" not in message
+
+    def test_malformed_drift_spec(self):
+        for spec in (
+            "linear@10",            # linear needs a duration
+            "linear@10+60",         # missing to=
+            "warp@10+60:to=0.1",    # unknown schedule
+            "step@10+60:to=0.1",    # step takes no duration
+            "linear@10+60:to=2.0",  # locality out of range
+            "linear@10+60:to=0.1,turbo=1",  # unknown parameter
+        ):
+            for command in ("simulate", "sweep"):
+                message = self._exit_message(
+                    [command, "RM1", "--cost-model", "skewed", "--drift", spec]
+                )
+                assert "malformed drift spec" in message or "unknown" in message
+                assert "\n" not in message
+
+    def test_drift_without_skewed_cost_model_hints_the_fix(self):
+        for command in ("simulate", "sweep"):
+            message = self._exit_message(
+                [command, "RM1", "--drift", "linear@10+60:to=0.1"]
+            )
+            assert "--cost-model skewed" in message and "\n" not in message
+
+    def test_malformed_replan_spec(self):
+        for spec in (
+            "sla",                   # missing @<threshold>
+            "sla@",                  # empty threshold
+            "sla@abc",               # non-numeric threshold
+            "slo@1.5",               # unknown trigger
+            "sla@1.5:verve=3",       # unknown parameter
+            "sla@1.5:patience=0",    # out-of-range parameter
+        ):
+            for command in ("simulate", "sweep"):
+                message = self._exit_message([command, "RM1", "--replan", spec])
+                assert "malformed replan spec" in message or "unknown" in message
                 assert "\n" not in message
 
 
