@@ -20,16 +20,26 @@ Usage::
         --baseline BENCH_PR5.json --max-regression 1.5
 
 With ``--baseline``, every workload's throughput is compared against the
-baseline file's recorded ``events_per_sec``; the run exits non-zero if any
-workload is more than ``--max-regression`` times slower, or if *no* workload
-could be compared (a mismatched or truncated baseline must fail loudly, not
-pass silently).  Because the baseline may have been recorded on different
-hardware, every report also carries a ``calibration_score`` — a fixed
-repro-independent numpy/Python workload timed on the same host — and the
-regression check compares *calibration-normalized* throughput whenever both
-sides recorded one: machine-speed differences divide out, code regressions
-do not.  Wall-clock noise on shared CI hosts is why the default gate is a
-generous 1.5x, not 1.0x.
+baseline file's record; the run exits non-zero on a regression, or if *no*
+workload could be compared (a mismatched or truncated baseline must fail
+loudly, not pass silently).  Because the baseline may have been recorded on
+different hardware, every report also carries a ``calibration_score`` — a
+fixed repro-independent numpy/Python workload timed on the same host — and
+the regression check compares *calibration-normalized* throughput whenever
+both sides recorded one: machine-speed differences divide out, code
+regressions do not.
+
+The gate itself is two-tier.  Every round's throughput is recorded as one
+entry of ``throughput_samples``, and when both sides carry at least
+``--min-samples`` rounds the gate runs the tier-2 distribution tests from
+:mod:`repro.serving.watchdog` (Mann-Whitney U + KS, the same machinery the
+SLO watchdog uses on live latency windows): a workload regresses only when
+the baseline's throughput distribution is stochastically above the current
+one at ``--alpha`` *and* the median slowdown exceeds the practical floor
+(``--min-effect``).  With too few samples on either side — e.g. a baseline
+recorded before samples existed, or a quick ``--rounds 1`` run — the gate
+falls back to the original fixed-ratio check: wall-clock noise on shared CI
+hosts is why that fallback is a generous 1.5x, not 1.0x.
 
 The workload shapes intentionally mirror the pytest-benchmark suites
 (``benchmarks/bench_simulator_engine.py``, ``bench_multitenant.py``) so the
@@ -56,6 +66,16 @@ from repro.serving.engine import MultiTenantEngine, ServingEngine, TenantSpec
 from repro.serving.scenarios import build_scenario
 from repro.serving.sharding import run_sharded
 from repro.serving.traffic import paper_dynamic_pattern
+from repro.serving.watchdog import detect_shift
+
+#: Minimum per-side sample count before the distribution gate engages; below
+#: this the fixed-ratio fallback gates instead.  Six best-effort rounds are
+#: enough for the one-sided MW-U/KS pair to reject at alpha=0.01 when every
+#: current round is slower than every baseline round.
+MIN_GATE_SAMPLES = 6
+#: Practical-significance floor: the distribution gate only fails a workload
+#: whose *median* throughput dropped by more than this ratio.
+MIN_GATE_EFFECT = 1.1
 
 
 def _reduced_plan(num_tables: int = 4, num_nodes: int = 8, target_qps: float = 18.0):
@@ -261,13 +281,16 @@ def _workload_record(name: str, rounds: int) -> dict[str, float]:
     the context of the machine that produced them.
     """
     best: dict[str, float] | None = None
+    samples: list[float] = []
     for _ in range(max(1, rounds)):
         record = WORKLOADS[name]()
+        samples.append(round(record["events_per_sec"], 1))
         if best is None or record["wall_s"] < best["wall_s"]:
             best = record
     assert best is not None
     best["wall_s"] = round(best["wall_s"], 3)
     best["events_per_sec"] = round(best["events_per_sec"], 1)
+    best["throughput_samples"] = samples
     best["peak_rss_mb"] = round(peak_rss_mb(), 1)
     best["cpu_count"] = os.cpu_count() or 1
     rss = _current_rss_mb()
@@ -325,17 +348,33 @@ def run_benchmarks(
     return records
 
 
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return 0.5 * (ordered[middle - 1] + ordered[middle])
+
+
 def check_regression(
     records: dict[str, dict[str, float]],
     baseline: dict,
     max_regression: float,
     calibration: float | None = None,
+    min_samples: int = MIN_GATE_SAMPLES,
+    alpha: float = 0.01,
+    min_effect: float = MIN_GATE_EFFECT,
 ) -> list[str]:
     """Regression messages, or a loud failure when nothing could be compared.
 
     When both this run and the baseline carry a calibration score, the
     comparison uses calibration-normalized throughput, so a baseline recorded
-    on a faster (or slower) host still gates correctly.
+    on a faster (or slower) host still gates correctly.  When both sides
+    carry at least ``min_samples`` per-round ``throughput_samples``, the gate
+    is the tier-2 distribution test (fail only when the baseline throughput
+    distribution sits stochastically above the current one at ``alpha`` *and*
+    the median slowdown exceeds ``min_effect``); otherwise the fixed
+    ``max_regression`` ratio on best-round throughput gates as before.
     """
     failures = []
     compared = 0
@@ -354,13 +393,33 @@ def check_regression(
             )
             continue
         compared += 1
-        throughput = record["events_per_sec"]
-        recorded_throughput = recorded["events_per_sec"]
-        unit = "events/sec"
-        if normalize:
-            throughput /= calibration
-            recorded_throughput /= baseline_calibration
-            unit = "events per calibration op"
+        scale = 1.0 / calibration if normalize else 1.0
+        recorded_scale = 1.0 / baseline_calibration if normalize else 1.0
+        unit = "events per calibration op" if normalize else "events/sec"
+        samples = [s * scale for s in record.get("throughput_samples") or []]
+        recorded_samples = [
+            s * recorded_scale for s in recorded.get("throughput_samples") or []
+        ]
+        if min(len(samples), len(recorded_samples)) >= min_samples:
+            # Tier-2 gate: is the baseline distribution stochastically above
+            # the current one?  ``detect_shift(a, b)`` asks whether ``a`` is
+            # the greater side, so the baseline samples ride in front.
+            verdict = detect_shift(
+                recorded_samples, samples, alpha=alpha, min_samples=min_samples
+            )
+            median_now = _median(samples)
+            median_then = _median(recorded_samples)
+            if verdict.shifted and median_now * min_effect < median_then:
+                failures.append(
+                    f"{name}: median {median_now:.4g} {unit} fell more than "
+                    f"{min_effect}x below the baseline median "
+                    f"{median_then:.4g} and the distribution shifted "
+                    f"(MW p={verdict.mw_p:.3g}, KS p={verdict.ks_p:.3g}, "
+                    f"n={verdict.samples})"
+                )
+            continue
+        throughput = record["events_per_sec"] * scale
+        recorded_throughput = recorded["events_per_sec"] * recorded_scale
         floor = recorded_throughput / max_regression
         if throughput < floor:
             failures.append(
@@ -404,6 +463,30 @@ def main(argv: list[str] | None = None) -> int:
         default=2,
         help="rounds per workload; the best round is recorded (default: 2)",
     )
+    parser.add_argument(
+        "--min-samples",
+        type=int,
+        default=MIN_GATE_SAMPLES,
+        help=(
+            "per-side throughput samples needed before the distribution gate "
+            f"engages; fewer fall back to --max-regression (default: {MIN_GATE_SAMPLES})"
+        ),
+    )
+    parser.add_argument(
+        "--alpha",
+        type=float,
+        default=0.01,
+        help="significance level for the distribution gate (default: 0.01)",
+    )
+    parser.add_argument(
+        "--min-effect",
+        type=float,
+        default=MIN_GATE_EFFECT,
+        help=(
+            "median slowdown ratio the distribution gate tolerates "
+            f"(default: {MIN_GATE_EFFECT})"
+        ),
+    )
     args = parser.parse_args(argv)
 
     records = run_benchmarks(args.only, rounds=args.rounds)
@@ -424,12 +507,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {args.output}")
     if args.baseline is not None:
         baseline = json.loads(args.baseline.read_text())
-        failures = check_regression(records, baseline, args.max_regression, calibration)
+        failures = check_regression(
+            records,
+            baseline,
+            args.max_regression,
+            calibration,
+            min_samples=args.min_samples,
+            alpha=args.alpha,
+            min_effect=args.min_effect,
+        )
         if failures:
             for failure in failures:
                 print(f"REGRESSION {failure}", file=sys.stderr)
             return 1
-        print(f"no regression beyond {args.max_regression}x vs {args.baseline}")
+        print(f"no regression vs {args.baseline}")
     return 0
 
 

@@ -22,7 +22,9 @@ Usage (also available as ``python -m repro``):
     ``'crash@120:policy=drop;drain@300+60:node=1'``; ``--drift`` drifts the
     access skew mid-run (``'linear@60+300:to=0.2'``) and ``--replan`` lets a
     threshold-tier detector fire an online re-plan with live re-sharding
-    (``'sla@1.5:patience=3,cooldown=120'``).
+    (``'sla@1.5:patience=3,cooldown=120'``); ``--slo`` arms the self-healing
+    SLO watchdog with graceful degradation
+    (``'p95@1.5:p99=2.5,shed=0.1,retries=2'``).
 
 ``python -m repro simulate RM1 --tenants 8 --shard-workers 4 --stream-dir /tmp/spool``
     Serve N co-located tenants (seeds fanned out deterministically from
@@ -59,6 +61,7 @@ from repro.serving.engine import ServingEngine
 from repro.serving.faults import fault_scenario_names, validate_fault_spec
 from repro.serving.replanner import validate_replan_spec
 from repro.serving.routing import resolve_routing_names, routing_policy_names
+from repro.serving.watchdog import validate_slo_spec
 from repro.serving.scenarios import build_scenario, resolve_scenario_names, scenario_names
 from repro.serving.workload import cost_model_names, validate_drift_spec
 
@@ -131,6 +134,14 @@ def _check_replan(spec: str) -> None:
     """Exit with a one-line hint on a malformed --replan spec."""
     try:
         validate_replan_spec(spec)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+
+
+def _check_slo(spec: str) -> None:
+    """Exit with a one-line hint on a malformed --slo spec."""
+    try:
+        validate_slo_spec(spec)
     except ValueError as error:
         raise SystemExit(str(error)) from None
 
@@ -261,6 +272,14 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: none)"
         ),
     )
+    simulate.add_argument(
+        "--slo",
+        default="none",
+        help=(
+            "self-healing SLO watchdog, e.g. 'p95@1.5:p99=2.5,shed=0.1,retries=2' "
+            "(default: none)"
+        ),
+    )
     simulate.add_argument("--base-qps", type=float, default=18.0, help="baseline query rate")
     simulate.add_argument("--peak-qps", type=float, default=90.0, help="peak query rate")
     simulate.add_argument(
@@ -381,6 +400,14 @@ def build_parser() -> argparse.ArgumentParser:
             "'sla@1.5:patience=3' (default: none)"
         ),
     )
+    sweep.add_argument(
+        "--slo",
+        default="none",
+        help=(
+            "self-healing SLO watchdog applied to every cell, e.g. "
+            "'p95@1.5:shed=0.1' (default: none)"
+        ),
+    )
     sweep.add_argument("--workers", type=int, default=1, help="worker processes")
     sweep.add_argument("--base-qps", type=float, default=18.0, help="baseline query rate")
     sweep.add_argument("--peak-qps", type=float, default=90.0, help="peak query rate")
@@ -452,6 +479,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
     _check_cache(args.cache_mb, args.cost_model)
     _check_drift(args.drift, args.cost_model)
     _check_replan(args.replan)
+    _check_slo(args.slo)
     workload = _resolve_workload(args.workload)
     cluster = _resolve_cluster(args.system, args.num_nodes)
     try:
@@ -486,6 +514,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
             cache_mb=args.cache_mb,
             drift=args.drift,
             replan=args.replan,
+            slo=args.slo,
         )
         if profiler is not None:
             result = profiler.runcall(engine.run, pattern)
@@ -505,6 +534,9 @@ def _command_simulate(args: argparse.Namespace) -> int:
         }
         if result.replan != "none":
             row["replans"] = result.replans_applied
+        if result.slo != "none":
+            row["timeouts"] = result.timeout_queries
+            row["degraded"] = result.degraded_queries
         rows.append(row)
     print(
         format_table(
@@ -566,6 +598,7 @@ def _simulate_sharded(
                 cache_mb=args.cache_mb,
                 drift=args.drift,
                 replan=args.replan,
+                slo=args.slo,
             )
             for index in range(args.tenants)
         ]
@@ -625,6 +658,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     _check_cache(args.cache_mb, args.cost_model)
     _check_drift(args.drift, args.cost_model)
     _check_replan(args.replan)
+    _check_slo(args.slo)
     try:
         budgets = [int(b) for b in args.replica_budgets.split(",") if b.strip()]
     except ValueError:
@@ -647,6 +681,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         cache_mb=args.cache_mb,
         drift=args.drift,
         replan=args.replan,
+        slo=args.slo,
     )
     result = run_sweep(
         config,

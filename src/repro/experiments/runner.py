@@ -25,6 +25,7 @@ from repro.experiments import (
     replan,
     resilience,
     skew_sensitivity,
+    watchdog,
 )
 from repro.experiments.base import ExperimentResult
 
@@ -52,6 +53,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "replan": replan.run,
     "resilience": resilience.run,
     "skew": skew_sensitivity.run,
+    "watchdog": watchdog.run,
 }
 
 

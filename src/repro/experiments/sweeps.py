@@ -39,6 +39,7 @@ from repro.serving.engine import MultiTenantEngine, TenantSpec
 from repro.serving.faults import validate_fault_spec
 from repro.serving.replanner import validate_replan_spec
 from repro.serving.routing import resolve_routing_names
+from repro.serving.watchdog import validate_slo_spec
 from repro.serving.scenarios import build_scenario, resolve_scenario_names
 from repro.serving.workload import resolve_cost_model_name, validate_drift_spec
 
@@ -82,6 +83,9 @@ class SweepConfig:
     #: Online re-planning trigger applied to every cell's tenants ("none"
     #: disables the drift detector).
     replan: str = "none"
+    #: Self-healing SLO watchdog applied to every cell's tenants ("none"
+    #: keeps the sweep bit-exact with a watchdog-unaware one).
+    slo: str = "none"
 
     def __post_init__(self) -> None:
         if self.tenants < 1:
@@ -100,6 +104,7 @@ class SweepConfig:
         validate_fault_spec(self.faults)
         validate_drift_spec(self.drift)
         validate_replan_spec(self.replan)
+        validate_slo_spec(self.slo)
 
 
 @dataclass(frozen=True)
@@ -196,6 +201,7 @@ def run_cell(config: SweepConfig, cell: SweepCell) -> dict[str, float | int | st
                 cache_mb=config.cache_mb,
                 drift=config.drift,
                 replan=config.replan,
+                slo=config.slo,
             )
         )
     result = MultiTenantEngine(tenants, cluster_spec=plan.cluster).run()

@@ -122,8 +122,17 @@ from repro.serving.replica_server import CacheSpec, ReplicaCache, ReplicaServer
 from repro.serving.routing import ReplicaPool, RoutingPolicy, make_routing_policy
 from repro.serving.streaming import ShardManifest, SpoolWriter, StreamConfig
 from repro.serving.traffic import TrafficPattern
+from repro.serving.watchdog import (
+    WATCHDOG_SERIES_KEYS,
+    SloPolicy,
+    SloWatchdog,
+    make_slo_policy,
+    retry_allowed,
+    validate_slo_spec,
+)
 from repro.serving.workload import (
     QueryCostModel,
+    degraded_gather_multiplier,
     drift_endpoint_model,
     make_cost_model,
     make_drift_model,
@@ -156,6 +165,15 @@ class EventKind(IntEnum):
     #: migration toward a successor plan; its ``("cutover", ...)`` twin lands
     #: when the copies complete and swaps the plan in (invalidating caches).
     REPLAN = 7
+    #: SLO watchdog actuation: a typed ladder action — ``("degrade", level)``,
+    #: ``("recover", level)`` or ``("escalate",)`` — relayed from the sample
+    #: tick onto the heap so it applies in deterministic event order.
+    WATCHDOG = 8
+    #: A per-query attempt timeout under armed deadlines: decide between a
+    #: budgeted retry (backoff + jitter, storm-guarded) and a final timeout.
+    TIMEOUT = 9
+    #: A scheduled client retry re-issuing one query across all lanes.
+    RETRY = 10
 
 
 @dataclass
@@ -216,11 +234,42 @@ class SimulationResult:
     replan: str = "none"
     #: Successor plans actually cut over to mid-run.
     replans_applied: int = 0
+    #: SLO watchdog spec ("none" when the control plane is off).
+    slo: str = "none"
+    #: Queries whose deadline expired with the retry budget exhausted.
+    timeout_queries: int = 0
+    #: Queries served under quality fallback (cache-hot-only gathers).
+    degraded_queries: int = 0
+    #: Arrivals voluntarily rejected by watchdog admission control.  A
+    #: subset of ``rejected_queries`` — the involuntary remainder is
+    #: ``rejected_queries - shed_queries``.
+    shed_queries: int = 0
+    #: Client retries actually launched (re-issues, not distinct queries).
+    retried_queries: int = 0
+    #: Sample ticks on which at least one tier-1 SLA rule breached.
+    slo_tier1_breaches: int = 0
+    #: Sample ticks on which the tier-2 distribution tests flagged a shift.
+    slo_tier2_flags: int = 0
+    #: Ladder escalations handed to the re-planner.
+    slo_escalations: int = 0
+    #: Ladder levels recovered after tier-2 reported reconciliation.
+    slo_recoveries: int = 0
+    #: Per-interval watchdog series ("level", "shed", "timeouts",
+    #: "degraded"); empty on watchdog-off runs, so their digests are
+    #: untouched.
+    watchdog_series: dict[str, np.ndarray] = field(default_factory=dict)
 
     @property
     def completed_queries(self) -> int:
-        """Queries served to completion (arrivals minus rejections and drops)."""
-        return self.tracker.num_samples - self.rejected_queries - self.dropped_queries
+        """Queries served to completion (arrivals minus rejections, drops
+        and deadline timeouts — the conservation identity
+        ``completions + rejections + drops + timeouts == arrivals``)."""
+        return (
+            self.tracker.num_samples
+            - self.rejected_queries
+            - self.dropped_queries
+            - self.timeout_queries
+        )
 
     @property
     def availability_fraction(self) -> float:
@@ -238,6 +287,10 @@ class SimulationResult:
             "dropped_queries": float(self.dropped_queries),
             "requeued_queries": float(self.requeued_queries),
             "faults_injected": float(self.faults_injected),
+            "timeout_queries": float(self.timeout_queries),
+            "degraded_queries": float(self.degraded_queries),
+            "shed_queries": float(self.shed_queries),
+            "retried_queries": float(self.retried_queries),
         }
 
     def digest(self) -> str:
@@ -253,13 +306,15 @@ class SimulationResult:
             self.tracker.latencies_s,
         ):
             hasher.update(np.ascontiguousarray(array).tobytes())
-        # cache_hit_rate is empty on cache-less runs, so hashing it there is
-        # a no-op and every pre-cache digest is preserved bit-for-bit.
+        # cache_hit_rate / watchdog_series are empty on cache-less /
+        # watchdog-off runs, so hashing them there is a no-op and every
+        # pre-cache / pre-watchdog digest is preserved bit-for-bit.
         for mapping in (
             self.replica_counts,
             self.availability,
             self.requeues,
             self.cache_hit_rate,
+            self.watchdog_series,
         ):
             for name in sorted(mapping):
                 hasher.update(name.encode())
@@ -435,6 +490,7 @@ class _TenantRuntime:
         cache_mb: float = 0.0,
         drift: str | object | None = None,
         replan: str | ReplanPolicy | None = None,
+        slo: str | SloPolicy | None = None,
     ) -> None:
         if sample_interval_s <= 0:
             raise ValueError("sample_interval_s must be positive")
@@ -447,6 +503,7 @@ class _TenantRuntime:
         validate_fault_spec(faults)
         validate_drift_spec(drift)
         validate_replan_spec(replan)
+        validate_slo_spec(slo)
         # Streamed mode: per-interval series and settled tracker samples are
         # flushed to this tenant's spool directory instead of accumulating
         # in RAM for the whole run (the values written are bit-identical).
@@ -568,6 +625,13 @@ class _TenantRuntime:
                     "online re-planning needs an elasticrec plan with a "
                     "sharding layout to re-partition (strategy 'elasticrec')"
                 )
+        # SLO watchdog control plane (ROADMAP item 5).  Resolved once, here,
+        # so a malformed --slo spec fails at construction time with the
+        # grammar hint; the per-run state lives in begin_run.
+        self.slo_policy = make_slo_policy(slo)
+        self.slo_name = "none"
+        if self.slo_policy is not None:
+            self.slo_name = slo if isinstance(slo, str) else "custom"
         self.batch_models = {
             d.name: perf_model.batch_model(d.spec.role) for d in self.deployments
         }
@@ -723,6 +787,8 @@ class _TenantRuntime:
                 self._drift_means = (start_mean, end_mean)
                 if self.caches_on:
                     self._store_cache_pricing(hot, cold, total)
+                elif self.slo_policy is not None:
+                    self._store_gather_splits(hot, cold)
             elif self.caches_on:
                 # The split-returning variant consumes the RNG identically to
                 # plain sample(), so the multipliers (and every downstream
@@ -733,6 +799,18 @@ class _TenantRuntime:
                     self.arrivals.size, cost_rng
                 )
                 self._store_cache_pricing(hot, cold, total)
+            elif self.slo_policy is not None and getattr(
+                self.cost_model, "supports_gather_splits", False
+            ):
+                # Watchdog quality fallback prices cache-hot-only gathers, so
+                # a cache-less watchdog run keeps the splits.  sample_priced
+                # consumes the RNG identically to plain sample(), and
+                # query_total stays None, so the cache hot path stays off and
+                # the multipliers match the unguarded run bit-for-bit.
+                multipliers, hot, cold, _ = self.cost_model.sample_priced(
+                    self.arrivals.size, cost_rng
+                )
+                self._store_gather_splits(hot, cold)
             else:
                 multipliers = self.cost_model.sample(self.arrivals.size, cost_rng)
             self.query_multipliers = (
@@ -750,6 +828,51 @@ class _TenantRuntime:
         self.replan_in_progress = False
         self.pending_successor = None
         self.replans_applied = 0
+        # Watchdog state.  Off-mode (the default) arms nothing, keeps every
+        # per-run container empty and — critically — never constructs the
+        # dedicated [seed, 5] stream, so a watchdog-off run is bit-exact
+        # with the pre-watchdog engine.
+        self.watchdog_on = self.slo_policy is not None
+        self.watchdog: SloWatchdog | None = None
+        self.slo_rng: np.random.Generator | None = None
+        if self.watchdog_on:
+            policy = self.slo_policy
+            self.watchdog = SloWatchdog(policy, self.sla_s)
+            self.slo_rng = np.random.default_rng([self.seed, 5])
+            self.deadline_s = policy.deadline_beta * self.sla_s
+            self.attempt_timeout_s = policy.timeout_beta * self.sla_s
+            self.shed_fraction_value = policy.shed_fraction
+            self._hot_cost_fraction = getattr(
+                self.cost_model, "hot_cost_fraction", 0.0
+            )
+        self.shed_armed = False
+        self.deadline_armed = False
+        self.fallback_armed = False
+        #: Ladder actions pending relay onto the heap as WATCHDOG events.
+        self.watchdog_actions: list[tuple] = []
+        self.timeout_indices: set[int] = set()
+        self.degraded_indices: set[int] = set()
+        self.shed_count = 0
+        self.retried_count = 0
+        #: tracker index -> retries already launched for that query.
+        self.retry_attempts: dict[int, int] = {}
+        #: tracker index -> token of its one live TIMEOUT/RETRY event.  A
+        #: popped event whose token no longer matches is stale and inert, so
+        #: crash-rescheduling can never double-fire a query's timeout path.
+        self.pending_event: dict[int, int] = {}
+        #: Completion-time min-heaps approximating the live population for
+        #: the retry-storm guard (lazily pruned against ``now``).
+        self._live_completions: list[float] = []
+        self._retry_resolutions: list[float] = []
+        self._retries_scheduled = 0
+        self.interval_arrivals = 0
+        self.interval_shed = 0
+        self.interval_rejected = 0
+        self.interval_timeouts = 0
+        self.interval_degraded = 0
+        self.watchdog_series: dict[str, list[float]] = (
+            {key: [] for key in WATCHDOG_SERIES_KEYS} if self.watchdog_on else {}
+        )
         self.tracker = LatencyTracker()
         self.boundaries = np.arange(
             self.sample_interval_s,
@@ -864,6 +987,17 @@ class _TenantRuntime:
             warm_scale if self.stream is not None else warm_scale.tolist()
         )
 
+    def _store_gather_splits(self, hot: np.ndarray, cold: np.ndarray) -> None:
+        """Keep per-query hot/cold gather counts for fallback pricing only.
+
+        Unlike :meth:`_store_cache_pricing` this leaves ``query_total`` as
+        ``None``, so the cache hot path in ``serve_query`` stays disabled —
+        the splits exist purely so watchdog quality fallback can price a
+        cache-hot-only gather exactly.
+        """
+        self.query_hot = hot if self.stream is not None else hot.tolist()
+        self.query_cold = cold if self.stream is not None else cold.tolist()
+
     def arrival_at(self, index: int) -> float:
         """The ``index``-th arrival time as a Python float (any mode)."""
         if self.arrival_list is not None:
@@ -887,6 +1021,19 @@ class _TenantRuntime:
         seq: itertools.count | None = None,
     ) -> None:
         """Route one query through every deployment the tenant needs."""
+        watchdog_on = self.watchdog_on
+        if watchdog_on:
+            self.interval_arrivals += 1
+            # Admission control (ladder level >= 1): shed before touching any
+            # lane or server, from the dedicated [seed, 5] stream — draws
+            # happen only while shedding is armed, so a watchdog that never
+            # degrades consumes the stream identically to one that is idle.
+            if self.shed_armed and float(self.slo_rng.random()) < self.shed_fraction_value:
+                self._shed_query(arrival)
+                return
+        fallback_on = watchdog_on and self.fallback_armed
+        deadline_on = watchdog_on and self.deadline_armed
+        track_completions = self.track_completions
         multiplier = (
             1.0 if self.query_multipliers is None else self.query_multipliers[query_index]
         )
@@ -954,7 +1101,22 @@ class _TenantRuntime:
                 # service time; a healthy run multiplies by nothing.
                 service = service * self._slowdown_factor(name, server.name)
             submit_cost = cost
-            if lane.cached:
+            if fallback_on and lane.cost_bearing:
+                # Quality fallback (ladder level 3): serve cache-hot-only
+                # gathers at their exact reduced price (or the policy's flat
+                # quality fraction when the cost model has no splits).  The
+                # cache tier's accounting is deliberately bypassed — a
+                # degraded gather admits nothing and warms nothing.
+                if self.query_hot is not None:
+                    submit_cost = degraded_gather_multiplier(
+                        cost,
+                        self.query_hot[query_index],
+                        self.query_cold[query_index],
+                        self._hot_cost_fraction,
+                    )
+                else:
+                    submit_cost = cost * self.slo_policy.quality
+            elif lane.cached:
                 # Embedding-cache tier: the selected replica's cache serves a
                 # fill-dependent fraction of this query's gathers at the hit
                 # cost and admits the misses (warming itself up).  A cold
@@ -1052,7 +1214,7 @@ class _TenantRuntime:
                     entry.append(hot)
                     entry.append(cold)
                 self.inflight.setdefault((name, server.name), []).append(entry)
-            if heap is not None:
+            if heap is not None and track_completions:
                 heapq.heappush(
                     heap,
                     (
@@ -1073,7 +1235,353 @@ class _TenantRuntime:
             lane.latencies.append(latency)
         if rejected:
             self.rejected_indices.add(tracker_index)
+            if watchdog_on:
+                self.interval_rejected += 1
+        elif fallback_on:
+            self.degraded_indices.add(tracker_index)
+            self.interval_degraded += 1
         tracker.record(arrival + latency, latency)
+        if deadline_on and not rejected:
+            # Per-query deadline contract (ladder level >= 2): track the live
+            # population for the storm guard, and schedule the attempt's
+            # TIMEOUT only when it will actually outlive its timeout budget.
+            heapq.heappush(self._live_completions, query_completion)
+            attempt_deadline = arrival + self.attempt_timeout_s
+            if query_completion > attempt_deadline:
+                hot_split = cold_split = -1.0
+                if self.query_hot is not None:
+                    hot_split = float(self.query_hot[query_index])
+                    cold_split = float(self.query_cold[query_index])
+                token = next(seq)
+                self.pending_event[tracker_index] = token
+                heapq.heappush(
+                    heap,
+                    (
+                        attempt_deadline,
+                        EventKind.TIMEOUT,
+                        token,
+                        (
+                            tenant_index,
+                            tracker_index,
+                            arrival,
+                            multiplier,
+                            hot_split,
+                            cold_split,
+                            token,
+                        ),
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    # SLO watchdog: shedding, deadlines/retries, fallback, escalation
+    # ------------------------------------------------------------------
+    def _shed_query(self, arrival: float) -> None:
+        """Admission-control rejection: no lane, server or cache is touched.
+
+        A shed query is charged the same full-SLA-violation penalty as a
+        capacity rejection, but it is *voluntary*: it lands in
+        ``shed_queries`` and the shed series, and is excluded from the
+        availability/reject signals the watchdog itself consumes (otherwise
+        shedding would read as an availability breach and the ladder could
+        never recover).
+        """
+        tracker_index = self.tracker.num_samples
+        self.rejected_indices.add(tracker_index)
+        self.shed_count += 1
+        self.interval_shed += 1
+        latency = 2.0 * self.sla_s
+        self.tracker.record(arrival + latency, latency)
+
+    def _prune_live(self, now: float) -> int:
+        """Live (non-retry) in-flight queries at ``now``, lazily pruned."""
+        live = self._live_completions
+        while live and live[0] <= now:
+            heapq.heappop(live)
+        return len(live)
+
+    def _prune_retries(self, now: float) -> int:
+        """Live retries at ``now``: unresolved re-issues + scheduled ones."""
+        live = self._retry_resolutions
+        while live and live[0] <= now:
+            heapq.heappop(live)
+        return len(live) + self._retries_scheduled
+
+    def observe_slo(self, now: float) -> None:
+        """Feed the watchdog one sample tick (no-op when the plane is off).
+
+        Runs inside the SAMPLE phase *before* the interval latency buffers
+        clear, so the tick sees exactly the interval's end-to-end latencies.
+        Ladder decisions are buffered in ``watchdog_actions``; the driver
+        relays them onto the heap as typed WATCHDOG events so they apply in
+        deterministic event order in every execution mode.
+        """
+        if not self.watchdog_on:
+            return
+        latencies: list[float] = []
+        for lane in self._dense_lanes:
+            if lane.latencies:
+                latencies.extend(lane.latencies)
+        arrivals = self.interval_arrivals
+        admitted = arrivals - self.interval_shed
+        involuntary = self.interval_rejected + self.interval_timeouts
+        if admitted > 0:
+            availability = max(0.0, 1.0 - involuntary / admitted)
+            reject_rate = self.interval_rejected / admitted
+        else:
+            availability = 1.0 if involuntary == 0 else 0.0
+            reject_rate = 0.0 if involuntary == 0 else 1.0
+        actions = self.watchdog.observe(now, latencies, availability, reject_rate)
+        if actions:
+            self.watchdog_actions.extend(actions)
+        series = self.watchdog_series
+        series["level"].append(float(self.watchdog.level))
+        series["shed"].append(self.interval_shed / arrivals if arrivals else 0.0)
+        series["timeouts"].append(float(self.interval_timeouts))
+        series["degraded"].append(float(self.interval_degraded))
+        self.interval_arrivals = 0
+        self.interval_shed = 0
+        self.interval_rejected = 0
+        self.interval_timeouts = 0
+        self.interval_degraded = 0
+
+    def apply_watchdog(
+        self,
+        now: float,
+        action: tuple,
+        tenant_index: int,
+        heap: list,
+        seq: itertools.count,
+    ) -> None:
+        """Apply one ladder action popped from the heap as a WATCHDOG event."""
+        kind = action[0]
+        if kind in ("degrade", "recover"):
+            level = action[1]
+            self.shed_armed = level >= 1
+            self.deadline_armed = level >= 2
+            self.fallback_armed = level >= 3
+        elif (
+            self.detector is not None
+            and not self.replan_in_progress
+            and self.detector.escalate(now)
+        ):
+            # Escalation: hand the incident to the re-planner, which still
+            # enforces its own fire budget and cooldown.
+            heapq.heappush(
+                heap, (now, EventKind.REPLAN, next(seq), (tenant_index, "fire"))
+            )
+
+    def handle_timeout(
+        self, now: float, payload: tuple, heap: list, seq: itertools.count
+    ) -> None:
+        """One attempt's timeout fired: retry within budget or finalize."""
+        tenant_index, tracker_index, arrival, multiplier, hot, cold, token = payload
+        if self.pending_event.get(tracker_index) != token:
+            return  # Stale: the query re-entered the pipeline since.
+        del self.pending_event[tracker_index]
+        if (
+            tracker_index in self.rejected_indices
+            or tracker_index in self.dropped_indices
+            or tracker_index in self.timeout_indices
+        ):
+            return
+        completion, _ = self.tracker.sample(tracker_index)
+        if completion <= now:
+            # The attempt settled before its timeout (a retry pulled the
+            # completion in); nothing to do.
+            self.retry_attempts.pop(tracker_index, None)
+            return
+        self._try_retry(
+            now, tenant_index, tracker_index, arrival, multiplier, hot, cold, heap, seq
+        )
+
+    def _try_retry(
+        self,
+        now: float,
+        tenant_index: int,
+        tracker_index: int,
+        arrival: float,
+        multiplier: float,
+        hot: float,
+        cold: float,
+        heap: list,
+        seq: itertools.count,
+    ) -> bool:
+        """Schedule a budgeted backoff retry, or finalize the timeout.
+
+        Returns ``True`` when a RETRY event was scheduled.  A retry launches
+        only when budget remains, the backoff still lands inside the query's
+        hard deadline, and the storm guard admits it; the jitter draw comes
+        from the [seed, 5] stream and happens only for retries that
+        actually launch.
+        """
+        policy = self.slo_policy
+        deadline_at = arrival + self.deadline_s
+        attempts = self.retry_attempts.get(tracker_index, 0)
+        if attempts >= policy.retries or now >= deadline_at:
+            self._finalize_timeout(now, tracker_index, arrival)
+            return False
+        if not retry_allowed(
+            self._prune_retries(now), self._prune_live(now), policy.storm
+        ):
+            self._finalize_timeout(now, tracker_index, arrival)
+            return False
+        delay = policy.backoff_s * (2.0**attempts)
+        if policy.jitter > 0.0:
+            delay *= 1.0 + policy.jitter * float(self.slo_rng.random())
+        retry_at = now + delay
+        if retry_at >= deadline_at:
+            self._finalize_timeout(now, tracker_index, arrival)
+            return False
+        self.retry_attempts[tracker_index] = attempts + 1
+        self._retries_scheduled += 1
+        token = next(seq)
+        self.pending_event[tracker_index] = token
+        heapq.heappush(
+            heap,
+            (
+                retry_at,
+                EventKind.RETRY,
+                token,
+                (tenant_index, tracker_index, arrival, multiplier, hot, cold, token),
+            ),
+        )
+        return True
+
+    def _finalize_timeout(self, now: float, tracker_index: int, arrival: float) -> None:
+        """Give up on a query: its deadline contract ends in a timeout.
+
+        The client learns of the failure no earlier than its attempt timeout
+        and no later than the hard deadline; the recorded latency is that
+        give-up point (conservation moves the query from completions to
+        ``timeout_queries``).
+        """
+        deadline_at = arrival + self.deadline_s
+        give_up = min(max(now, arrival + self.attempt_timeout_s), deadline_at)
+        self.timeout_indices.add(tracker_index)
+        self.degraded_indices.discard(tracker_index)
+        self.interval_timeouts += 1
+        self.retry_attempts.pop(tracker_index, None)
+        self.tracker.update(tracker_index, give_up, give_up - arrival)
+
+    def handle_retry(
+        self, now: float, payload: tuple, heap: list, seq: itertools.count
+    ) -> None:
+        """Re-issue one query across all lanes (a scheduled client retry)."""
+        tenant_index, tracker_index, arrival, multiplier, hot, cold, token = payload
+        self._retries_scheduled -= 1
+        if self.pending_event.get(tracker_index) != token:
+            return
+        del self.pending_event[tracker_index]
+        if (
+            tracker_index in self.rejected_indices
+            or tracker_index in self.dropped_indices
+            or tracker_index in self.timeout_indices
+        ):
+            return
+        self.retried_count += 1
+        deadline_at = arrival + self.deadline_s
+        attempt_deadline = min(now + self.attempt_timeout_s, deadline_at)
+        policy = self.policy
+        select_index = policy.select_index
+        select = policy.select
+        on_submit = self.policy_on_submit
+        vectorized = self.vectorized
+        faults_on = self.faults_on
+        track_inflight = self.track_inflight
+        track_completions = self.track_completions
+        fallback = self.fallback_armed
+        worst = -np.inf
+        failed = False
+        for lane in self._lanes:
+            name = lane.name
+            service = lane.service_s
+            cost = multiplier if lane.cost_bearing else 1.0
+            lane.count += 1
+            if vectorized:
+                pool = lane.pool
+                index = select_index(name, pool, now, (service, cost))
+                server = pool.servers[index] if index is not None else None
+            else:
+                index = None
+                server = select(name, lane.server_list, now, cost=(service, cost))
+            if server is None:
+                failed = True
+                self.interval_failures[name] += 1
+                continue
+            if faults_on:
+                service = service * self._slowdown_factor(name, server.name)
+            submit_cost = cost
+            if fallback and lane.cost_bearing:
+                # Retries re-price with the same fallback rule as first
+                # attempts; a non-fallback retry pays full price (the cache
+                # tier is not consulted for re-issues — no split carried).
+                if hot >= 0.0:
+                    submit_cost = degraded_gather_multiplier(
+                        cost, hot, cold, self._hot_cost_fraction
+                    )
+                else:
+                    submit_cost = cost * self.slo_policy.quality
+            completion = server.submit(now, service, submit_cost)
+            if index is not None:
+                pool.busy[index] = completion
+            if on_submit is not None:
+                on_submit(name, server)
+            if track_inflight:
+                entry = [arrival, tracker_index, completion, lane.service_s, cost]
+                self.inflight.setdefault((name, server.name), []).append(entry)
+            if track_completions:
+                heapq.heappush(
+                    heap,
+                    (
+                        completion,
+                        EventKind.COMPLETION,
+                        next(seq),
+                        (tenant_index, name, server.name),
+                    ),
+                )
+            if completion > worst:
+                worst = completion
+            if not lane.dense:
+                lane.latencies.append(completion - now)
+        if failed or worst == -np.inf:
+            # The retry itself found no capacity: back off again within the
+            # same budget, or finalize.
+            self._try_retry(
+                now, tenant_index, tracker_index, arrival, multiplier, hot, cold,
+                heap, seq,
+            )
+            return
+        new_total = worst + self.rpc_overhead_s
+        latency = new_total - arrival
+        self.tracker.update(tracker_index, new_total, latency)
+        for lane in self._dense_lanes:
+            lane.latencies.append(latency)
+        if fallback and tracker_index not in self.degraded_indices:
+            self.degraded_indices.add(tracker_index)
+            self.interval_degraded += 1
+        heapq.heappush(self._retry_resolutions, min(new_total, attempt_deadline))
+        if new_total > attempt_deadline:
+            next_token = next(seq)
+            self.pending_event[tracker_index] = next_token
+            heapq.heappush(
+                heap,
+                (
+                    attempt_deadline,
+                    EventKind.TIMEOUT,
+                    next_token,
+                    (
+                        tenant_index,
+                        tracker_index,
+                        arrival,
+                        multiplier,
+                        hot,
+                        cold,
+                        next_token,
+                    ),
+                ),
+            )
+        else:
+            self.retry_attempts.pop(tracker_index, None)
 
     # ------------------------------------------------------------------
     # Fault handling
@@ -1223,6 +1731,13 @@ class _TenantRuntime:
                 continue  # finished before the failure
             if tracker_index in self.dropped_indices or tracker_index in self.rejected_indices:
                 continue  # the query already failed elsewhere
+            if tracker_index in self.timeout_indices:
+                continue  # the client already gave up on it
+            if tracker_index in self.pending_event:
+                # The client is already between attempts (a TIMEOUT or RETRY
+                # event is live): losing the abandoned attempt's server-side
+                # work changes nothing for it.
+                continue
             new_server = None
             new_index = None
             if policy == "requeue":
@@ -1240,10 +1755,26 @@ class _TenantRuntime:
                             deployment_name, survivors, now, cost=(service, cost)
                         )
             if new_server is None:
+                if self.watchdog_on and self.deadline_armed:
+                    # Armed deadlines convert the drop into a client retry
+                    # when budget and storm guard allow: the client sees its
+                    # connection die and re-issues the whole query.
+                    entry_hot = float(entry[5]) if len(entry) == 7 else -1.0
+                    entry_cold = float(entry[6]) if len(entry) == 7 else -1.0
+                    if self._try_retry(
+                        now, tenant_index, tracker_index, arrival, cost,
+                        entry_hot, entry_cold, heap, seq,
+                    ):
+                        continue
+                    # _try_retry finalized it as a timeout instead of a drop.
+                    self.interval_failures[deployment_name] += 1
+                    continue
                 # Dropped: charge the rejection penalty (the query never
                 # completed, so its recorded latency becomes the penalty).
                 self.dropped_indices.add(tracker_index)
                 self.interval_failures[deployment_name] += 1
+                if self.watchdog_on:
+                    self.interval_rejected += 1
                 _, old_latency = self.tracker.sample(tracker_index)
                 latency = max(old_latency, 2.0 * self.sla_s)
                 self.tracker.update(tracker_index, arrival + latency, latency)
@@ -1510,6 +2041,9 @@ class _TenantRuntime:
         # Drift detection reads the interval latency buffers this method is
         # about to clear, so it observes first (a no-op unless replanning).
         self.observe_drift(now)
+        # The SLO watchdog reads the same buffers plus the interval arrival/
+        # failure counters (a no-op when the control plane is off).
+        self.observe_slo(now)
         self.sample_times.append(now)
         self.memory_series.append(self.allocated_memory_gb)
         window_start = now - self.sample_interval_s
@@ -1596,6 +2130,12 @@ class _TenantRuntime:
                     index = int(entry[1])
                     if index < watermark:
                         watermark = index
+        if self.pending_event:
+            # A live TIMEOUT/RETRY event may still rewrite its query's
+            # sample, so the watermark also stops at the oldest pending one.
+            pending_min = min(self.pending_event)
+            if pending_min < watermark:
+                watermark = pending_min
         return watermark
 
     def _maybe_spill_tracker(self) -> None:
@@ -1636,6 +2176,12 @@ class _TenantRuntime:
             chunk["cache_hit_rate"] = np.asarray(
                 [self.cache_hit_series[name] for name in self.cache_hit_series]
             )
+        if self.watchdog_on:
+            # Rows follow WATCHDOG_SERIES_KEYS order; absent on watchdog-off
+            # runs so their chunks stay byte-identical with the old format.
+            chunk["watchdog"] = np.asarray(
+                [self.watchdog_series[key] for key in WATCHDOG_SERIES_KEYS]
+            )
         self.stream_writer.append("series", **chunk)
         self.sample_times = []
         self.memory_series = []
@@ -1647,6 +2193,8 @@ class _TenantRuntime:
             self.batch_occupancy_series[name] = []
         for name in self.cache_hit_series:
             self.cache_hit_series[name] = []
+        for key in self.watchdog_series:
+            self.watchdog_series[key] = []
         self._pending_series_samples = 0
 
     def finish_run_streamed(self) -> dict:
@@ -1679,6 +2227,15 @@ class _TenantRuntime:
             "drift": self.drift_name,
             "replan": self.replan_name,
             "replans_applied": self.replans_applied,
+            "slo": self.slo_name,
+            "timeout_queries": len(self.timeout_indices),
+            "degraded_queries": len(self.degraded_indices),
+            "shed_queries": self.shed_count,
+            "retried_queries": self.retried_count,
+            "slo_tier1_breaches": self.watchdog.tier1_breaches if self.watchdog else 0,
+            "slo_tier2_flags": self.watchdog.tier2_flags if self.watchdog else 0,
+            "slo_escalations": self.watchdog.escalations if self.watchdog else 0,
+            "slo_recoveries": self.watchdog.recoveries if self.watchdog else 0,
             "cached_deployments": list(self.cache_hit_series),
             "deployments": [lane.name for lane in self._lanes],
             "num_samples": self.tracker.num_samples,
@@ -1744,6 +2301,19 @@ class _TenantRuntime:
             drift=self.drift_name,
             replan=self.replan_name,
             replans_applied=self.replans_applied,
+            slo=self.slo_name,
+            timeout_queries=len(self.timeout_indices),
+            degraded_queries=len(self.degraded_indices),
+            shed_queries=self.shed_count,
+            retried_queries=self.retried_count,
+            slo_tier1_breaches=self.watchdog.tier1_breaches if self.watchdog else 0,
+            slo_tier2_flags=self.watchdog.tier2_flags if self.watchdog else 0,
+            slo_escalations=self.watchdog.escalations if self.watchdog else 0,
+            slo_recoveries=self.watchdog.recoveries if self.watchdog else 0,
+            watchdog_series={
+                key: np.asarray(value)
+                for key, value in self.watchdog_series.items()
+            },
         )
 
 
@@ -1869,9 +2439,14 @@ def _drive(
                 on_event(now, kind)
             tenant_index, index = payload
             runtime = runtimes[tenant_index]
-            if runtime.track_completions:
-                # One event per arrival so completion events interleave
-                # with arrivals in timestamp order.
+            if runtime.track_completions or runtime.deadline_armed:
+                # One event per arrival so completion (or timeout) events
+                # interleave with arrivals in timestamp order.  Armed
+                # deadlines force this mode even for policies that do not
+                # track completions: serve_query must be able to schedule
+                # TIMEOUT events, and the predicate re-evaluates at every
+                # pop, so the ladder arming/disarming mid-run switches the
+                # drain mode at the next arrival.
                 runtime.serve_query(
                     runtime.arrival_at(index), index, tenant_index, heap, seq
                 )
@@ -1951,6 +2526,21 @@ def _drive(
                         heap,
                         (now, EventKind.REPLAN, next(seq), (tenant_index, "fire")),
                     )
+                if runtime.watchdog_actions:
+                    # Relay ladder actions the same way: typed WATCHDOG
+                    # events at this timestamp, applied in deterministic
+                    # event order in every execution mode.
+                    for action in runtime.watchdog_actions:
+                        heapq.heappush(
+                            heap,
+                            (
+                                now,
+                                EventKind.WATCHDOG,
+                                next(seq),
+                                (tenant_index, action),
+                            ),
+                        )
+                    runtime.watchdog_actions = []
             if any(runtime.stream is not None for runtime in runtimes):
                 # Streamed (memory-bounded) runs also cap the HPA metric
                 # history: the autoscalers only ever read trailing windows,
@@ -1988,7 +2578,7 @@ def _drive(
                         )
             else:
                 runtimes[tenant_index].recover(action)
-        else:  # EventKind.REPLAN
+        elif kind == EventKind.REPLAN:
             if on_event is not None:
                 on_event(now, kind)
             tenant_index, action = payload
@@ -2001,6 +2591,19 @@ def _drive(
                 )
             else:  # "cutover"
                 runtime.apply_replan(now)
+        elif kind == EventKind.WATCHDOG:
+            if on_event is not None:
+                on_event(now, kind)
+            tenant_index, action = payload
+            runtimes[tenant_index].apply_watchdog(now, action, tenant_index, heap, seq)
+        elif kind == EventKind.TIMEOUT:
+            if on_event is not None:
+                on_event(now, kind)
+            runtimes[payload[0]].handle_timeout(now, payload, heap, seq)
+        else:  # EventKind.RETRY
+            if on_event is not None:
+                on_event(now, kind)
+            runtimes[payload[0]].handle_retry(now, payload, heap, seq)
 
     return [
         runtime.finish_run_streamed() if runtime.stream is not None else runtime.finish_run()
@@ -2037,6 +2640,7 @@ class ServingEngine:
         cache_mb: float = 0.0,
         drift: str | object | None = None,
         replan: str | ReplanPolicy | None = None,
+        slo: str | SloPolicy | None = None,
     ) -> None:
         if sample_interval_s <= 0:
             raise ValueError("sample_interval_s must be positive")
@@ -2061,6 +2665,7 @@ class ServingEngine:
             cache_mb=cache_mb,
             drift=drift,
             replan=replan,
+            slo=slo,
         )
         self._cluster.reconcile(0.0)
         if warm_start:
@@ -2135,6 +2740,9 @@ class TenantSpec:
     #: Re-plan trigger spec (``None``/``"none"`` keeps the initial plan).
     #: See ``parse_replan_spec``.
     replan: str | ReplanPolicy | None = None
+    #: SLO watchdog spec (``None``/``"none"`` keeps the control plane off).
+    #: See ``parse_slo_spec``.
+    slo: str | SloPolicy | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -2154,6 +2762,7 @@ class TenantSpec:
         validate_fault_spec(self.faults)
         validate_drift_spec(self.drift)
         validate_replan_spec(self.replan)
+        validate_slo_spec(self.slo)
 
 
 @dataclass
@@ -2345,6 +2954,7 @@ class MultiTenantEngine:
                     cache_mb=tenant.cache_mb,
                     drift=tenant.drift,
                     replan=tenant.replan,
+                    slo=tenant.slo,
                     stream=(
                         StreamConfig(
                             directory=stream.directory / f"tenant-{index:03d}",

@@ -199,3 +199,23 @@ class DriftDetector:
         self._fires += 1
         self._last_fire_s = now
         return True
+
+    def escalate(self, now: float) -> bool:
+        """Fire a re-plan on an external escalation, bypassing the streak.
+
+        The SLO watchdog's ladder escalates here once its own patience at
+        the top degradation level runs out, so the threshold streak is
+        irrelevant — but the fire budget (``max_replans``) and the cooldown
+        still apply: an escalation that lands inside either is refused.
+        """
+        if self._fires >= self._policy.max_replans:
+            return False
+        if (
+            self._last_fire_s is not None
+            and now < self._last_fire_s + self._policy.cooldown_s
+        ):
+            return False
+        self._streak = 0
+        self._fires += 1
+        self._last_fire_s = now
+        return True

@@ -69,6 +69,7 @@ from repro.serving.streaming import (
     iter_chunks,
     read_meta,
 )
+from repro.serving.watchdog import WATCHDOG_SERIES_KEYS
 
 __all__ = ["ShardPlan", "plan_shards", "run_sharded", "merge_stream"]
 
@@ -359,6 +360,10 @@ def _merge_tenant(tenant_dir: Path) -> SimulationResult:
     # cached-deployment order; pre-cache spools have neither key.
     cached_deployments = meta.get("cached_deployments", [])
     cache_hit_rate: dict[str, np.ndarray] = {}
+    # Watchdog runs stream one extra series whose rows follow
+    # WATCHDOG_SERIES_KEYS order; watchdog-off spools have neither key.
+    slo = meta.get("slo", "none")
+    watchdog_series: dict[str, np.ndarray] = {}
     series_chunks = list(iter_chunks(tenant_dir, "series"))
     if series_chunks:
         sample_times = np.concatenate([c["sample_times"] for c in series_chunks])
@@ -389,6 +394,14 @@ def _merge_tenant(tenant_dir: Path) -> SimulationResult:
                 deployment: hit_rows[row]
                 for row, deployment in enumerate(cached_deployments)
             }
+        if slo != "none":
+            watchdog_rows = np.concatenate(
+                [c["watchdog"] for c in series_chunks], axis=1
+            )
+            watchdog_series = {
+                key: watchdog_rows[row]
+                for row, key in enumerate(WATCHDOG_SERIES_KEYS)
+            }
     else:
         sample_times = np.empty(0, dtype=np.float64)
         target_qps = np.empty(0, dtype=np.float64)
@@ -410,6 +423,10 @@ def _merge_tenant(tenant_dir: Path) -> SimulationResult:
             deployment: np.empty(0, dtype=np.float64)
             for deployment in cached_deployments
         }
+        if slo != "none":
+            watchdog_series = {
+                key: np.empty(0, dtype=np.float64) for key in WATCHDOG_SERIES_KEYS
+            }
     achieved_qps, p95_latency_ms = _metric_series(
         tracker, sample_times, float(meta["sample_interval_s"])
     )
@@ -442,6 +459,16 @@ def _merge_tenant(tenant_dir: Path) -> SimulationResult:
         drift=meta.get("drift", "none"),
         replan=meta.get("replan", "none"),
         replans_applied=int(meta.get("replans_applied", 0)),
+        slo=slo,
+        timeout_queries=int(meta.get("timeout_queries", 0)),
+        degraded_queries=int(meta.get("degraded_queries", 0)),
+        shed_queries=int(meta.get("shed_queries", 0)),
+        retried_queries=int(meta.get("retried_queries", 0)),
+        slo_tier1_breaches=int(meta.get("slo_tier1_breaches", 0)),
+        slo_tier2_flags=int(meta.get("slo_tier2_flags", 0)),
+        slo_escalations=int(meta.get("slo_escalations", 0)),
+        slo_recoveries=int(meta.get("slo_recoveries", 0)),
+        watchdog_series=watchdog_series,
     )
 
 

@@ -58,7 +58,26 @@ __all__ = [
     "validate_drift_spec",
     "drift_endpoint_model",
     "sample_drifting_priced",
+    "degraded_gather_multiplier",
 ]
+
+
+def degraded_gather_multiplier(
+    multiplier: float, hot: float, cold: float, hot_cost_fraction: float
+) -> float:
+    """Cache-hot-only price of a query under watchdog quality fallback.
+
+    A degraded gather serves only the query's hot rows (cache-resident, at
+    ``hot_cost_fraction`` per row) and skips the cold rows entirely, so the
+    full-price ``multiplier`` scales by the hot share of the priced work:
+    ``hot_cost_fraction * hot / (hot_cost_fraction * hot + cold)``.  A query
+    with no priced work keeps its multiplier unchanged (nothing to shed).
+    """
+    hot_cost = hot_cost_fraction * hot
+    denominator = hot_cost + cold
+    if denominator <= 0.0:
+        return multiplier
+    return multiplier * (hot_cost / denominator)
 
 
 class QueryCostModel:

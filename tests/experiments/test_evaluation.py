@@ -158,6 +158,7 @@ class TestRunner:
             "fig3", "fig5", "fig6", "fig9", "fig12", "fig13", "fig14", "fig15",
             "fig16", "fig17", "fig18", "fig19", "fig20", "headline", "ablation",
             "multitenant", "resilience", "skew", "cache", "replan",
+            "watchdog",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -38,6 +38,7 @@ LANE_FIELDS = (
     "availability",
     "requeues",
     "cache_hit_rate",
+    "watchdog_series",
 )
 
 
@@ -60,9 +61,11 @@ def make_tenants(
     cost_model: str = "skewed",
     duration_s: float = 120.0,
     cache_mb: float = 0.0,
+    slo: str = "none",
 ) -> list[TenantSpec]:
     """``count`` tenants; tenant 2 gets the faults, tenant 3 the cost model
-    (and the embedding cache, when ``cache_mb`` is set)."""
+    (and the embedding cache, when ``cache_mb`` is set); tenants 2 and 3
+    both get the SLO watchdog when ``slo`` is set."""
     return [
         TenantSpec(
             name=f"t{index}",
@@ -74,6 +77,7 @@ def make_tenants(
             cost_model=cost_model if index == 3 else "homogeneous",
             faults=faults if index == 2 else None,
             cache_mb=cache_mb if index == 3 else 0.0,
+            slo=slo if index in (2, 3) else "none",
         )
         for index in range(count)
     ]
@@ -105,6 +109,9 @@ def assert_tenants_identical(serial, sharded) -> None:
         assert np.array_equal(
             actual.tracker.latencies_s, expected.tracker.latencies_s
         ), name
+        # The merged reliability aggregates (including the watchdog's timeout
+        # and degraded counters) must equal the serial run's, key for key.
+        assert actual.reliability_summary() == expected.reliability_summary(), name
 
 
 class TestShardPlanning:
@@ -213,6 +220,42 @@ class TestShardedEquivalenceFast:
         assert_tenants_identical(serial, sharded)
         assert_tenants_identical(serial, streamed)
         assert streamed.tenants["t3"].cache_mb == 16.0
+
+    def test_watchdog_tenant_matches_serial_and_streamed(self, plan, cluster, tmp_path):
+        # Tenants 2 (faulted) and 3 (skewed) run under an aggressive SLO
+        # watchdog: the degradation ladder, shed decisions, retries and the
+        # per-tick watchdog series must all round-trip through the sharded
+        # merge and the streamed spool bit-exactly.
+        slo = (
+            "p95@0.5:availability=0.999,reject=0.001,patience=1,"
+            "shed=0.2,deadline=20,timeout=6,retries=2,recover=3"
+        )
+        tenants = make_tenants(plan, count=4, duration_s=60.0, slo=slo)
+        serial = MultiTenantEngine(tenants, cluster_spec=cluster).run()
+        guarded = serial.tenants["t2"]
+        assert guarded.slo != "none"
+        assert guarded.watchdog_series and max(guarded.watchdog_series["level"]) > 0
+        assert serial.tenants["t0"].watchdog_series == {}
+        # Conservation identity: every arrival is accounted for exactly once.
+        assert (
+            guarded.completed_queries
+            + guarded.rejected_queries
+            + guarded.dropped_queries
+            + guarded.timeout_queries
+            == guarded.tracker.num_samples
+        )
+        sharded = run_sharded(tenants, cluster, workers=2)
+        streamed = run_sharded(
+            tenants,
+            cluster,
+            workers=2,
+            stream_dir=tmp_path / "spool",
+            spill_threshold=64,
+            flush_series_every=3,
+        )
+        assert_tenants_identical(serial, sharded)
+        assert_tenants_identical(serial, streamed)
+        assert streamed.tenants["t2"].slo == slo
 
     def test_merged_cluster_series_sums_shard_pools(self, plan, cluster, serial):
         tenants = make_tenants(plan, count=3, duration_s=60.0)

@@ -1,0 +1,169 @@
+"""Watchdog equivalence matrix: one degradation timeline, every execution mode.
+
+The contract under test: an SLO-watchdog-enabled run is digest-identical
+whether it executes vectorized or scalar, serial or sharded across worker
+processes, in-memory or streamed to an on-disk spool.  The degradation
+ladder, shed decisions, deadline/retry events and the per-tick watchdog
+series must all land identically in every mode.
+
+The fast tier runs the small matrix; the slow tier (``--runslow``) crosses
+every mode pair at a longer horizon.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.planner import ElasticRecPlanner
+from repro.hardware.specs import cpu_only_cluster
+from repro.model.configs import microbenchmark
+from repro.serving.engine import MultiTenantEngine, ServingEngine, TenantSpec
+from repro.serving.sharding import run_sharded
+from repro.serving.traffic import TrafficPattern
+
+FAULTS = "degrade@20+60:factor=3;crash@40:policy=drop"
+#: Hair-trigger ladder: sheds, arms deadlines/retries and falls back within
+#: the first few sample ticks of the brownout.
+SLO = (
+    "p95@0.5:patience=1,shed=0.2,deadline=20,timeout=6,retries=2,"
+    "storm=1.0,recover=3"
+)
+
+#: Matrix rows: faults ridden out by the watchdog, and the watchdog alone.
+ROWS = [
+    pytest.param(FAULTS, SLO, id="faults+watchdog"),
+    pytest.param("none", SLO, id="watchdog-only"),
+]
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return ElasticRecPlanner(cpu_only_cluster(num_nodes=4)).plan(
+        microbenchmark(num_tables=2), target_qps=30.0
+    )
+
+
+@pytest.fixture(scope="module")
+def shard_plan():
+    return ElasticRecPlanner(cpu_only_cluster(num_nodes=16)).plan(
+        microbenchmark(num_tables=2), target_qps=30.0
+    )
+
+
+def _pattern(duration_s: float = 120.0) -> TrafficPattern:
+    return TrafficPattern.constant(20.0, duration_s=duration_s)
+
+
+def _single(plan, faults, slo, *, vectorized=True, duration_s=120.0):
+    return ServingEngine(
+        plan,
+        seed=7,
+        cost_model="skewed",
+        faults=faults,
+        slo=slo,
+        vectorized=vectorized,
+    ).run(_pattern(duration_s))
+
+
+def _tenants(plan, faults, slo, *, count=2, vectorized=True, duration_s=120.0):
+    return [
+        TenantSpec(
+            name=f"t{index}",
+            plan=plan,
+            pattern=_pattern(duration_s),
+            seed=7 + index,
+            max_replicas=6,
+            cost_model="skewed",
+            faults=faults,
+            slo=slo,
+            vectorized=vectorized,
+        )
+        for index in range(count)
+    ]
+
+
+def _actuation(result) -> tuple:
+    return (
+        result.shed_queries,
+        result.retried_queries,
+        result.timeout_queries,
+        result.degraded_queries,
+        result.slo_tier1_breaches,
+        result.slo_tier2_flags,
+    )
+
+
+class TestEquivalenceMatrix:
+    @pytest.mark.parametrize("faults,slo", ROWS)
+    def test_scalar_matches_vectorized(self, plan, faults, slo):
+        vec = _single(plan, faults, slo, vectorized=True)
+        sca = _single(plan, faults, slo, vectorized=False)
+        assert vec.digest() == sca.digest()
+        assert _actuation(vec) == _actuation(sca)
+        assert vec.slo_tier1_breaches >= 1, "the matrix row never degraded"
+        assert vec.shed_queries >= 1, "shedding never actuated"
+
+    @pytest.mark.parametrize("faults,slo", ROWS)
+    def test_serial_multitenant_matches_single_engine(self, plan, faults, slo):
+        single = _single(plan, faults, slo)
+        spec = TenantSpec(
+            name="t", plan=plan, pattern=_pattern(), seed=7,
+            cost_model="skewed", faults=faults, slo=slo,
+        )
+        merged = MultiTenantEngine([spec]).run().tenant("t")
+        assert merged.digest() == single.digest()
+        assert _actuation(merged) == _actuation(single)
+
+    @pytest.mark.parametrize("faults,slo", ROWS)
+    def test_sharded_matches_serial(self, shard_plan, faults, slo):
+        tenants = _tenants(shard_plan, faults, slo)
+        serial = run_sharded(tenants, workers=1)
+        sharded = run_sharded(tenants, workers=2)
+        for name in serial.tenants:
+            assert serial.tenant(name).digest() == sharded.tenant(name).digest()
+            assert _actuation(serial.tenant(name)) == _actuation(sharded.tenant(name))
+
+    @pytest.mark.parametrize("faults,slo", ROWS)
+    def test_streamed_matches_in_memory(self, shard_plan, faults, slo, tmp_path):
+        tenants = _tenants(shard_plan, faults, slo)
+        in_memory = run_sharded(tenants, workers=1)
+        streamed = run_sharded(tenants, workers=1, stream_dir=str(tmp_path))
+        for name in in_memory.tenants:
+            assert in_memory.tenant(name).digest() == streamed.tenant(name).digest()
+            assert _actuation(in_memory.tenant(name)) == _actuation(
+                streamed.tenant(name)
+            )
+            assert in_memory.tenant(name).slo == streamed.tenant(name).slo
+
+
+@pytest.mark.slow
+class TestEquivalenceMatrixSlow:
+    """Every mode pair crossed at a longer horizon (``--runslow`` tier)."""
+
+    @pytest.mark.parametrize("faults,slo", ROWS)
+    def test_all_modes_agree(self, shard_plan, faults, slo, tmp_path):
+        digests = {}
+        actuations = {}
+        cases = itertools.product((True, False), (1, 2), (None, "spool"))
+        for vectorized, workers, spool in cases:
+            tenants = _tenants(
+                shard_plan, faults, slo, vectorized=vectorized, duration_s=300.0
+            )
+            stream_dir = None
+            if spool:
+                stream_dir = str(tmp_path / f"{int(vectorized)}-{workers}-{spool}")
+            result = run_sharded(tenants, workers=workers, stream_dir=stream_dir)
+            key = (vectorized, workers, spool)
+            digests[key] = tuple(
+                result.tenant(name).digest() for name in sorted(result.tenants)
+            )
+            actuations[key] = tuple(
+                _actuation(result.tenant(name)) for name in sorted(result.tenants)
+            )
+        assert len(set(digests.values())) == 1, digests
+        assert len(set(actuations.values())) == 1, actuations
+        assert any(
+            row[0] >= 1 for row in next(iter(actuations.values()))
+        ), "shedding never actuated in the slow matrix"

@@ -1,0 +1,176 @@
+"""Property-based invariants for the SLO watchdog across random configs.
+
+The control plane must preserve the engine's core invariants for *every*
+policy it accepts, under every fault mix it can meet:
+
+* conservation — ``completions + rejections + drops + timeouts == arrivals``
+  (the four outcomes partition the arrival set exactly);
+* determinism — the same seed yields a byte-identical result digest;
+* storm safety — ``storm=0`` disables retries outright, and the pure
+  ``retry_allowed`` guard never admits a retry at or above its cap;
+* isolation — a watchdog that can never fire leaves every latency sample
+  and series byte-identical to a run with the feature off (the ``[seed, 5]``
+  stream is never touched unless degradation actually actuates).
+
+Hypothesis draws the configurations; ``derandomize=True`` keeps CI stable.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.core.planner import ElasticRecPlanner  # noqa: E402
+from repro.hardware.specs import cpu_only_cluster  # noqa: E402
+from repro.model.configs import microbenchmark  # noqa: E402
+from repro.serving.engine import ServingEngine  # noqa: E402
+from repro.serving.scenarios import build_scenario  # noqa: E402
+from repro.serving.watchdog import retry_allowed  # noqa: E402
+
+_PLAN = ElasticRecPlanner(cpu_only_cluster(num_nodes=4)).plan(
+    microbenchmark(num_tables=2), target_qps=30.0
+)
+
+_SLO_SPECS = [
+    "p95@1.5",
+    "p95@0.5:patience=1,shed=0.3,deadline=20,timeout=6,retries=2",
+    "p95@0.8:availability=0.999,reject=0.001,patience=1,shed=0.1,"
+    "deadline=10,timeout=3,retries=3,storm=1.0,recover=1",
+    "p95@2.0:p99=3.0,alpha=0.05,window=2,baseline=2,quality=0.5",
+    "p95@0.5:patience=1,storm=0.0,deadline=8,timeout=2",
+]
+
+_FAULT_SPECS = [
+    "none",
+    "crash@20:policy=drop;crash@45:policy=drop",
+    "degrade@10+40:factor=3",
+    "straggler@15+30:factor=6;degrade@50+20:factor=3",
+    "crashes@5+60:rate=3.0,policy=drop",
+]
+
+_CONFIGS = st.tuples(
+    st.sampled_from(["constant", "flash-crowd", "diurnal"]),
+    st.sampled_from(_SLO_SPECS),
+    st.sampled_from(_FAULT_SPECS),
+    st.integers(min_value=0, max_value=2**16),
+)
+
+_SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _run(scenario, slo, faults, seed):
+    pattern = build_scenario(scenario, 8.0, 24.0, 90.0, seed=seed)
+    engine = ServingEngine(
+        _PLAN,
+        seed=seed,
+        cost_model="skewed",
+        faults=faults,
+        slo=slo,
+    )
+    return engine.run(pattern)
+
+
+class TestConservation:
+    @given(config=_CONFIGS)
+    @settings(**_SETTINGS)
+    def test_outcomes_partition_arrivals_exactly(self, config):
+        result = _run(*config)
+        arrivals = result.tracker.num_samples
+        assert (
+            result.completed_queries
+            + result.rejected_queries
+            + result.dropped_queries
+            + result.timeout_queries
+            == arrivals
+        )
+        assert result.timeout_queries >= 0
+        assert result.degraded_queries <= result.completed_queries + result.timeout_queries
+        assert result.shed_queries <= result.rejected_queries
+        assert 0.0 <= result.availability_fraction <= 1.0
+        reliability = result.reliability_summary()
+        assert reliability["timeout_queries"] == float(result.timeout_queries)
+        assert reliability["degraded_queries"] == float(result.degraded_queries)
+
+
+class TestSeedDeterminism:
+    @given(config=_CONFIGS)
+    @settings(**_SETTINGS)
+    def test_same_seed_means_identical_digest(self, config):
+        assert _run(*config).digest() == _run(*config).digest()
+
+
+class TestStormGuard:
+    def test_storm_zero_never_retries(self):
+        result = _run(
+            "constant",
+            "p95@0.5:patience=1,storm=0.0,deadline=8,timeout=2",
+            "crashes@5+60:rate=3.0,policy=drop",
+            7,
+        )
+        assert result.retried_queries == 0
+
+    @given(
+        retries_live=st.integers(min_value=0, max_value=10_000),
+        inflight=st.integers(min_value=0, max_value=10_000),
+        storm=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None, derandomize=True)
+    def test_retry_allowed_never_admits_at_or_above_cap(
+        self, retries_live, inflight, storm
+    ):
+        allowed = retry_allowed(retries_live, inflight, storm)
+        if storm <= 0.0:
+            assert not allowed
+        else:
+            cap = max(1.0, storm * float(inflight))
+            assert allowed == (float(retries_live) < cap)
+            # Exactly at the cap (when the cap is integral) never launches.
+            if float(retries_live) == cap:
+                assert not allowed
+            assert math.isfinite(cap)
+
+
+class TestWatchdogOffIsolation:
+    """A watchdog that can never fire must not perturb any random stream."""
+
+    _UNFIREABLE = (
+        "p95@1000000:p99=1000000,availability=0,reject=1,alpha=0,shed=0.5"
+    )
+
+    @pytest.fixture(scope="class")
+    def off(self):
+        return _run("flash-crowd", None, "degrade@10+40:factor=3", 11)
+
+    @pytest.fixture(scope="class")
+    def armed(self):
+        return _run("flash-crowd", self._UNFIREABLE, "degrade@10+40:factor=3", 11)
+
+    def test_latency_samples_are_bit_exact(self, off, armed):
+        assert armed.slo_tier1_breaches == 0
+        assert armed.slo_tier2_flags == 0
+        assert armed.shed_queries == 0 and armed.retried_queries == 0
+        assert np.array_equal(
+            armed.tracker.completion_times, off.tracker.completion_times
+        )
+        assert np.array_equal(armed.tracker.latencies_s, off.tracker.latencies_s)
+
+    def test_series_and_summaries_match(self, off, armed):
+        assert np.array_equal(armed.p95_latency_ms, off.p95_latency_ms)
+        assert np.array_equal(armed.achieved_qps, off.achieved_qps)
+        assert armed.summary() == off.summary()
+        # The armed run carries its (all-zero actuation) watchdog series; the
+        # off run carries none — that is the only difference.
+        assert armed.watchdog_series and off.watchdog_series == {}
+        assert max(armed.watchdog_series["level"], default=0.0) == 0.0

@@ -79,6 +79,15 @@ class TestParser:
         assert armed.drift == "linear@60+300:to=0.2"
         assert armed.replan == "sla@1.5:patience=3"
 
+    def test_slo_defaults_to_none(self):
+        simulate = build_parser().parse_args(["simulate", "RM1"])
+        sweep = build_parser().parse_args(["sweep", "RM1"])
+        assert simulate.slo == "none" and sweep.slo == "none"
+        armed = build_parser().parse_args(
+            ["simulate", "RM1", "--slo", "p95@1.5:p99=2.5,shed=0.1,retries=2"]
+        )
+        assert armed.slo == "p95@1.5:p99=2.5,shed=0.1,retries=2"
+
     def test_unknown_cost_model_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "RM1", "--cost-model", "zipfian"])
@@ -294,6 +303,21 @@ class TestUnknownNameHints:
             for command in ("simulate", "sweep"):
                 message = self._exit_message([command, "RM1", "--replan", spec])
                 assert "malformed replan spec" in message or "unknown" in message
+                assert "\n" not in message
+
+    def test_malformed_slo_spec(self):
+        for spec in (
+            "p95",                   # missing @<beta>
+            "p95@",                  # empty beta
+            "p95@abc",               # non-numeric beta
+            "p50@1.5",               # unknown metric
+            "p95@1.5:tornado=1",     # unknown parameter
+            "p95@1.5:shed=2.0",      # out-of-range parameter
+            "p95@1.5:deadline=2,timeout=4",  # deadline below the timeout
+        ):
+            for command in ("simulate", "sweep"):
+                message = self._exit_message([command, "RM1", "--slo", spec])
+                assert "malformed slo spec" in message or "unknown" in message
                 assert "\n" not in message
 
 
